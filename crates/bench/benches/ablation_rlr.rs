@@ -1,0 +1,7 @@
+//! RLR design-choice ablations (SV-B priorities, SIV-C sweeps).
+fn main() {
+    let scale = rlr_bench::start("ablation");
+    for table in experiments::ablations::all(scale) {
+        table.emit();
+    }
+}

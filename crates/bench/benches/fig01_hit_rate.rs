@@ -1,0 +1,5 @@
+//! Regenerates Fig. 1: LLC hit rate incl. the RL agent and Belady.
+fn main() {
+    let scale = rlr_bench::start("fig01");
+    experiments::figures::fig1(scale).emit();
+}

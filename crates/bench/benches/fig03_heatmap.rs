@@ -1,0 +1,5 @@
+//! Regenerates Fig. 3: the neural-network weight heat map.
+fn main() {
+    let scale = rlr_bench::start("fig03");
+    experiments::figures::fig3(scale).emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4: |preuse - reuse| distribution.
+fn main() {
+    let scale = rlr_bench::start("fig04");
+    experiments::figures::fig4(scale).emit();
+}

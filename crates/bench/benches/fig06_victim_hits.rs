@@ -1,0 +1,5 @@
+//! Regenerates Fig. 6: victims by hit count at eviction.
+fn main() {
+    let scale = rlr_bench::start("fig06");
+    experiments::figures::fig6(scale).emit();
+}

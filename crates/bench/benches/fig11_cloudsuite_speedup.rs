@@ -1,0 +1,5 @@
+//! Regenerates Fig. 11: CloudSuite IPC speedups over LRU.
+fn main() {
+    let scale = rlr_bench::start("fig11");
+    experiments::figures::fig11(scale).emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 12: demand MPKI comparison.
+fn main() {
+    let scale = rlr_bench::start("fig12");
+    experiments::figures::fig12(scale).emit();
+}

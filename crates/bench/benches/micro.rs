@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks: policy decision latency, simulator and MLP
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cache_sim::{SingleCoreSystem, SystemConfig};
+use experiments::PolicyKind;
+use rl::Mlp;
+
+/// Simulated instructions per iteration for the end-to-end benches.
+const SIM_INSTRUCTIONS: u64 = 200_000;
+
+fn policy_throughput(c: &mut Criterion) {
+    let config = SystemConfig::paper_single_core();
+    let workload = workloads::spec2006("429.mcf").expect("known benchmark");
+    let mut group = c.benchmark_group("simulate_mcf_200k_instructions");
+    group.sample_size(10);
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Drrip,
+        PolicyKind::Ship,
+        PolicyKind::Hawkeye,
+        PolicyKind::Rlr,
+        PolicyKind::RlrUnopt,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut system =
+                    SingleCoreSystem::new(&config, kind.build(&config.llc, None));
+                black_box(system.run(workload.stream(), SIM_INSTRUCTIONS))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn mlp_inference(c: &mut Criterion) {
+    // The paper's agent: 334 -> 175 -> 16.
+    let net = Mlp::new(334, 175, 16, 7);
+    let input = vec![0.25f32; 334];
+    c.bench_function("mlp_334_175_16_inference", |b| {
+        b.iter(|| black_box(net.predict(black_box(&input))))
+    });
+}
+
+criterion_group!(benches, policy_throughput, mlp_inference);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates Table I: hardware overhead per policy.
+fn main() {
+    let _ = rlr_bench::start("table1");
+    experiments::tables::table1().emit();
+}

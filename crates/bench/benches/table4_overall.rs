@@ -1,0 +1,5 @@
+//! Regenerates Table IV: overall speedups, 1-core and 4-core.
+fn main() {
+    let scale = rlr_bench::start("table4");
+    experiments::tables::table4(scale).emit();
+}

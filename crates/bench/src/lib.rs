@@ -1,0 +1,12 @@
+//! Shared glue for the benchmark targets that regenerate the paper's
+//! tables and figures. Each `cargo bench` target prints an aligned table
+//! to stdout and saves a CSV under `results/`.
+
+use experiments::Scale;
+
+/// Standard preamble: resolve the scale and announce the target.
+pub fn start(target: &str) -> Scale {
+    let scale = Scale::from_env();
+    println!("[{target}] RLR_SCALE={scale}");
+    scale
+}

@@ -1,0 +1,21 @@
+//! Quick throughput/realism sanity check for the simulator (dev tool).
+use cache_sim::{SingleCoreSystem, SystemConfig, TrueLru};
+use std::time::Instant;
+
+fn main() {
+    let cfg = SystemConfig::paper_single_core();
+    for name in ["429.mcf", "470.lbm", "450.soplex", "416.gamess", "471.omnetpp", "403.gcc"] {
+        let wl = workloads::spec2006(name).unwrap();
+        let mut sys = SingleCoreSystem::new(&cfg, Box::new(TrueLru::new(&cfg.llc)));
+        let mut s = wl.stream();
+        let t0 = Instant::now();
+        sys.warm_up(&mut s, 200_000);
+        let stats = sys.run(s, 1_000_000);
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{name:16} ipc={:.3} mpki={:6.2} llc_hit%={:5.1} l1d_hit%={:5.1} [{:.1}s, {:.2}M instr/s]",
+            stats.ipc(), stats.llc_demand_mpki(), stats.llc_hit_rate_pct(),
+            stats.l1d.hit_rate()*100.0, dt, 1.2 / dt
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Cache access descriptors seen by replacement policies.
+
+/// The kind of a cache access, as seen at a given cache level.
+///
+/// These are the four LLC access types the RLR paper enumerates:
+/// demand loads, read-for-ownership (store misses from above), hardware
+/// prefetches, and writebacks of dirty lines evicted from the level above.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// Demand load.
+    Load,
+    /// Read-for-ownership: a demand store that missed above.
+    Rfo,
+    /// Hardware prefetch.
+    Prefetch,
+    /// Writeback of a dirty line evicted from the cache above.
+    Writeback,
+}
+
+impl AccessKind {
+    /// All four kinds, in the paper's canonical order (LD, RFO, PF, WB).
+    pub const ALL: [AccessKind; 4] =
+        [AccessKind::Load, AccessKind::Rfo, AccessKind::Prefetch, AccessKind::Writeback];
+
+    /// `true` for demand accesses (loads and RFOs), which are the accesses
+    /// that count toward demand hits and demand MPKI.
+    pub fn is_demand(self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::Rfo)
+    }
+
+    /// Dense index (0..4) in the order of [`AccessKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            AccessKind::Load => 0,
+            AccessKind::Rfo => 1,
+            AccessKind::Prefetch => 2,
+            AccessKind::Writeback => 3,
+        }
+    }
+
+    /// Short display name used in reports (`LD`, `RFO`, `PF`, `WB`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            AccessKind::Load => "LD",
+            AccessKind::Rfo => "RFO",
+            AccessKind::Prefetch => "PF",
+            AccessKind::Writeback => "WB",
+        }
+    }
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// One access presented to a cache and its replacement policy.
+///
+/// `seq` is the cache-local access sequence number (assigned by the cache);
+/// at the LLC it identifies the access's position in the LLC stream, which
+/// offline oracles (Belady, the RL reward) key on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Program counter of the triggering instruction (0 for writebacks,
+    /// whose originating PC is architecturally unavailable).
+    pub pc: u64,
+    /// Full byte address accessed.
+    pub addr: u64,
+    /// Access kind at this level.
+    pub kind: AccessKind,
+    /// Issuing core id.
+    pub core: u8,
+    /// Cache-local sequence number of this access.
+    pub seq: u64,
+}
+
+impl Access {
+    /// The 64-byte-aligned line address (`addr >> 6`).
+    pub fn line(&self) -> u64 {
+        self.addr >> 6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_kinds() {
+        assert!(AccessKind::Load.is_demand());
+        assert!(AccessKind::Rfo.is_demand());
+        assert!(!AccessKind::Prefetch.is_demand());
+        assert!(!AccessKind::Writeback.is_demand());
+    }
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, kind) in AccessKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn line_strips_offset() {
+        let a = Access { pc: 0, addr: 0x1234_5678, kind: AccessKind::Load, core: 0, seq: 0 };
+        assert_eq!(a.line(), 0x1234_5678 >> 6);
+    }
+}

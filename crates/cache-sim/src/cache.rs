@@ -1,0 +1,365 @@
+//! A generic set-associative, write-back, write-allocate cache with a
+//! pluggable replacement policy.
+
+use crate::access::{Access, AccessKind};
+use crate::config::CacheConfig;
+use crate::replacement::{Decision, LineSnapshot, ReplacementPolicy};
+use crate::stats::CacheStats;
+
+/// Maximum associativity supported without heap allocation on the victim
+/// selection path.
+const MAX_WAYS: usize = 32;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    valid: bool,
+    line: u64,
+    dirty: bool,
+    core: u8,
+}
+
+/// The result of one cache access.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The access hit.
+    pub hit: bool,
+    /// The way that served or received the line (`None` if bypassed).
+    pub way: Option<u16>,
+    /// The policy chose to bypass the fill.
+    pub bypassed: bool,
+    /// Line address of a dirty victim that must be written back below.
+    pub writeback: Option<u64>,
+    /// Line address of the evicted victim, dirty or clean.
+    pub evicted: Option<u64>,
+}
+
+/// A set-associative cache.
+///
+/// Semantics, mirroring ChampSim's per-level behaviour:
+///
+/// * misses always allocate (write-allocate); writeback misses allocate the
+///   line dirty without fetching from below,
+/// * invalid ways are filled before the policy is consulted,
+/// * dirty victims produce a writeback to the level below,
+/// * [`Decision::Bypass`] is honoured only when bypass is enabled and the
+///   access is not a writeback.
+///
+/// ```
+/// use cache_sim::{Access, AccessKind, CacheConfig, SetAssocCache, TrueLru};
+///
+/// let cfg = CacheConfig { sets: 2, ways: 2, latency: 1 };
+/// let mut cache = SetAssocCache::new("L1D", cfg, Box::new(TrueLru::new(&cfg)));
+/// let a = Access { pc: 0, addr: 0x80, kind: AccessKind::Load, core: 0, seq: 0 };
+/// assert!(!cache.access(&a).hit); // cold miss
+/// assert!(cache.access(&a).hit); // now resident
+/// ```
+pub struct SetAssocCache {
+    name: String,
+    config: CacheConfig,
+    lines: Vec<Line>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+    allow_bypass: bool,
+    /// If set, RFO accesses dirty the line (used at L1, where RFO models a
+    /// store; at L2/LLC an RFO is a read and data is dirtied only by a
+    /// later writeback).
+    rfo_dirties: bool,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with the given replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associativity exceeds the supported maximum (32).
+    pub fn new(name: impl Into<String>, config: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+        assert!(
+            (config.ways as usize) <= MAX_WAYS,
+            "associativity above {MAX_WAYS} is not supported"
+        );
+        Self {
+            name: name.into(),
+            config,
+            lines: vec![Line::default(); config.lines() as usize],
+            policy,
+            stats: CacheStats::default(),
+            allow_bypass: false,
+            rfo_dirties: false,
+        }
+    }
+
+    /// Enables honouring [`Decision::Bypass`] from the policy.
+    pub fn set_allow_bypass(&mut self, allow: bool) {
+        self.allow_bypass = allow;
+    }
+
+    /// Makes RFO accesses mark lines dirty (L1 store semantics).
+    pub fn set_rfo_dirties(&mut self, dirties: bool) {
+        self.rfo_dirties = dirties;
+    }
+
+    /// The cache's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics (cache contents are preserved), used at the end
+    /// of a warm-up phase.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The replacement policy (e.g. to read policy-specific counters).
+    pub fn policy(&self) -> &dyn ReplacementPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Returns whether `addr`'s line is resident (no state change).
+    pub fn contains(&self, addr: u64) -> bool {
+        let set = self.config.set_of(addr);
+        let line = addr >> 6;
+        self.set_lines(set).iter().any(|l| l.valid && l.line == line)
+    }
+
+    fn set_base(&self, set: u32) -> usize {
+        set as usize * self.config.ways as usize
+    }
+
+    fn set_lines(&self, set: u32) -> &[Line] {
+        let base = self.set_base(set);
+        &self.lines[base..base + self.config.ways as usize]
+    }
+
+    /// Performs one access: lookup, policy update, and fill on miss.
+    pub fn access(&mut self, access: &Access) -> AccessOutcome {
+        let set = self.config.set_of(access.addr);
+        let line = access.line();
+        let base = self.set_base(set);
+        let ways = self.config.ways as usize;
+
+        // Lookup.
+        let mut hit_way = None;
+        for w in 0..ways {
+            let l = &self.lines[base + w];
+            if l.valid && l.line == line {
+                hit_way = Some(w as u16);
+                break;
+            }
+        }
+
+        if let Some(way) = hit_way {
+            self.stats.record(access.kind, true);
+            let l = &mut self.lines[base + way as usize];
+            if access.kind == AccessKind::Writeback || (self.rfo_dirties && access.kind == AccessKind::Rfo) {
+                l.dirty = true;
+            }
+            l.core = access.core;
+            self.policy.on_hit(set, way, access);
+            return AccessOutcome { hit: true, way: Some(way), ..AccessOutcome::default() };
+        }
+
+        self.stats.record(access.kind, false);
+        self.policy.on_miss(set, access);
+
+        // Fill an invalid way if one exists.
+        let invalid_way = (0..ways).find(|&w| !self.lines[base + w].valid).map(|w| w as u16);
+        let (victim_way, mut outcome) = if let Some(w) = invalid_way {
+            (w, AccessOutcome { hit: false, way: Some(w), ..AccessOutcome::default() })
+        } else {
+            let mut snapshot = [LineSnapshot { valid: false, line: 0, dirty: false, core: 0 }; MAX_WAYS];
+            for w in 0..ways {
+                let l = &self.lines[base + w];
+                snapshot[w] = LineSnapshot { valid: l.valid, line: l.line, dirty: l.dirty, core: l.core };
+            }
+            match self.policy.select_victim(set, &snapshot[..ways], access) {
+                Decision::Evict(w) => {
+                    assert!(
+                        (w as usize) < ways,
+                        "policy {} chose way {w} of {ways} in cache {}",
+                        self.policy.name(),
+                        self.name
+                    );
+                    let victim = self.lines[base + w as usize];
+                    let writeback = victim.dirty.then_some(victim.line);
+                    if writeback.is_some() {
+                        self.stats.writebacks_out += 1;
+                    }
+                    self.stats.evictions += 1;
+                    (
+                        w,
+                        AccessOutcome {
+                            hit: false,
+                            way: Some(w),
+                            writeback,
+                            evicted: Some(victim.line),
+                            ..AccessOutcome::default()
+                        },
+                    )
+                }
+                Decision::Bypass => {
+                    if self.allow_bypass && access.kind != AccessKind::Writeback {
+                        self.stats.bypasses += 1;
+                        return AccessOutcome { hit: false, bypassed: true, ..AccessOutcome::default() };
+                    }
+                    // Bypass not permitted here: fall back deterministically.
+                    let victim = self.lines[base];
+                    let writeback = victim.dirty.then_some(victim.line);
+                    if writeback.is_some() {
+                        self.stats.writebacks_out += 1;
+                    }
+                    self.stats.evictions += 1;
+                    (
+                        0,
+                        AccessOutcome {
+                            hit: false,
+                            way: Some(0),
+                            writeback,
+                            evicted: Some(victim.line),
+                            ..AccessOutcome::default()
+                        },
+                    )
+                }
+            }
+        };
+
+        let slot = &mut self.lines[base + victim_way as usize];
+        slot.valid = true;
+        slot.line = line;
+        slot.dirty = access.kind == AccessKind::Writeback
+            || (self.rfo_dirties && access.kind == AccessKind::Rfo);
+        slot.core = access.core;
+        self.policy.on_fill(set, victim_way, access);
+        outcome.way = Some(victim_way);
+        outcome
+    }
+}
+
+impl std::fmt::Debug for SetAssocCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetAssocCache")
+            .field("name", &self.name)
+            .field("config", &self.config)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::TrueLru;
+
+    fn cache(sets: u32, ways: u16) -> SetAssocCache {
+        let cfg = CacheConfig { sets, ways, latency: 1 };
+        SetAssocCache::new("test", cfg, Box::new(TrueLru::new(&cfg)))
+    }
+
+    fn load(addr: u64) -> Access {
+        Access { pc: 0x400, addr, kind: AccessKind::Load, core: 0, seq: 0 }
+    }
+
+    fn writeback(addr: u64) -> Access {
+        Access { pc: 0, addr, kind: AccessKind::Writeback, core: 0, seq: 0 }
+    }
+
+    #[test]
+    fn fills_invalid_ways_before_evicting() {
+        let mut c = cache(1, 4);
+        for i in 0..4 {
+            let out = c.access(&load(i * 64));
+            assert!(!out.hit);
+            assert!(out.evicted.is_none(), "no eviction while ways are free");
+        }
+        let out = c.access(&load(4 * 64));
+        assert!(out.evicted.is_some(), "full set must evict");
+    }
+
+    #[test]
+    fn lru_eviction_order_in_cache() {
+        let mut c = cache(1, 2);
+        c.access(&load(0)); // A
+        c.access(&load(64)); // B
+        c.access(&load(0)); // touch A
+        let out = c.access(&load(128)); // must evict B
+        assert_eq!(out.evicted, Some(1));
+        assert!(c.contains(0));
+        assert!(!c.contains(64));
+    }
+
+    #[test]
+    fn writeback_allocates_dirty_and_evicts_with_writeback() {
+        let mut c = cache(1, 1);
+        let out = c.access(&writeback(0));
+        assert!(!out.hit);
+        assert!(out.writeback.is_none());
+        // Evicting the dirty line must produce a writeback below.
+        let out = c.access(&load(64));
+        assert_eq!(out.writeback, Some(0));
+    }
+
+    #[test]
+    fn clean_eviction_produces_no_writeback() {
+        let mut c = cache(1, 1);
+        c.access(&load(0));
+        let out = c.access(&load(64));
+        assert!(out.writeback.is_none());
+        assert_eq!(out.evicted, Some(0));
+    }
+
+    #[test]
+    fn rfo_dirties_only_when_configured() {
+        let mut l1 = cache(1, 2);
+        l1.set_rfo_dirties(true);
+        let rfo = Access { pc: 0, addr: 0, kind: AccessKind::Rfo, core: 0, seq: 0 };
+        l1.access(&rfo);
+        l1.access(&load(64));
+        let out = l1.access(&load(128)); // evicts the RFO line (LRU)
+        assert_eq!(out.writeback, Some(0), "L1 store line must be dirty");
+
+        let mut l2 = cache(1, 2);
+        let rfo2 = Access { pc: 0, addr: 0, kind: AccessKind::Rfo, core: 0, seq: 0 };
+        l2.access(&rfo2);
+        l2.access(&load(64));
+        let out = l2.access(&load(128));
+        assert!(out.writeback.is_none(), "L2 RFO line is clean until written back");
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut c = cache(4, 2);
+        c.access(&load(0));
+        c.access(&load(0));
+        c.access(&load(64 * 4)); // different set? same set 0 actually: set_of(256)=0 (4 sets) -> yes set 0
+        assert_eq!(c.stats().accesses(), 3);
+        assert_eq!(c.stats().hits(), 1);
+    }
+
+    #[test]
+    fn same_line_different_sets_do_not_alias() {
+        let mut c = cache(2, 1);
+        c.access(&load(0)); // set 0
+        c.access(&load(64)); // set 1
+        assert!(c.contains(0));
+        assert!(c.contains(64));
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents() {
+        let mut c = cache(2, 2);
+        c.access(&load(0));
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(c.access(&load(0)).hit, "contents survive stats reset");
+    }
+}

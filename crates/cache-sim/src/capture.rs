@@ -1,0 +1,189 @@
+//! LLC access trace capture: the `<PC, access type, address>` records the
+//! paper's offline pipeline (RL agent, Belady oracle) consumes.
+
+use std::io::{self, Read, Write};
+
+use crate::access::AccessKind;
+
+/// One captured LLC access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LlcRecord {
+    /// Program counter of the triggering instruction (0 for writebacks).
+    pub pc: u64,
+    /// Line address (byte address >> 6).
+    pub line: u64,
+    /// Access kind at the LLC.
+    pub kind: AccessKind,
+    /// Issuing core.
+    pub core: u8,
+}
+
+/// An ordered LLC access trace.
+///
+/// The record index *is* the LLC sequence number, so offline oracles keyed
+/// by sequence number line up exactly with a re-run of the same workload.
+///
+/// ```
+/// use cache_sim::{AccessKind, LlcRecord, LlcTrace};
+///
+/// let mut t = LlcTrace::new();
+/// t.push(LlcRecord { pc: 1, line: 7, kind: AccessKind::Load, core: 0 });
+/// t.push(LlcRecord { pc: 2, line: 9, kind: AccessKind::Load, core: 0 });
+/// t.push(LlcRecord { pc: 1, line: 7, kind: AccessKind::Load, core: 0 });
+/// let next = t.next_use_table();
+/// assert_eq!(next[0], 2);          // line 7 is used again at index 2
+/// assert_eq!(next[1], u64::MAX);   // line 9 is never used again
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LlcTrace {
+    records: Vec<LlcRecord>,
+}
+
+impl LlcTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: LlcRecord) {
+        self.records.push(record);
+    }
+
+    /// The captured records in access order.
+    pub fn records(&self) -> &[LlcRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Shortens the trace to at most `len` records.
+    pub fn truncate(&mut self, len: usize) {
+        self.records.truncate(len);
+    }
+
+    /// For each access index `i`, the index of the *next* access to the same
+    /// line, or `u64::MAX` if the line is never referenced again. This is the
+    /// oracle used by Belady's algorithm and by the RL reward.
+    pub fn next_use_table(&self) -> Vec<u64> {
+        let mut next = vec![u64::MAX; self.records.len()];
+        let mut last_seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for i in (0..self.records.len()).rev() {
+            let line = self.records[i].line;
+            if let Some(&j) = last_seen.get(&line) {
+                next[i] = j;
+            }
+            last_seen.insert(line, i as u64);
+        }
+        next
+    }
+
+    /// Serializes the trace to a compact binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(b"LLCT")?;
+        w.write_all(&(self.records.len() as u64).to_le_bytes())?;
+        for r in &self.records {
+            w.write_all(&r.pc.to_le_bytes())?;
+            w.write_all(&r.line.to_le_bytes())?;
+            w.write_all(&[r.kind.index() as u8, r.core])?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace written by [`LlcTrace::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or malformed input.
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"LLCT" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        }
+        let mut len8 = [0u8; 8];
+        r.read_exact(&mut len8)?;
+        let len = u64::from_le_bytes(len8) as usize;
+        let mut records = Vec::with_capacity(len.min(1 << 24));
+        for _ in 0..len {
+            let mut buf = [0u8; 18];
+            r.read_exact(&mut buf)?;
+            let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice is 8 bytes"));
+            let line = u64::from_le_bytes(buf[8..16].try_into().expect("slice is 8 bytes"));
+            let kind = match buf[16] {
+                0 => AccessKind::Load,
+                1 => AccessKind::Rfo,
+                2 => AccessKind::Prefetch,
+                3 => AccessKind::Writeback,
+                k => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad access kind {k}"),
+                    ))
+                }
+            };
+            records.push(LlcRecord { pc, line, kind, core: buf[17] });
+        }
+        Ok(Self { records })
+    }
+}
+
+impl FromIterator<LlcRecord> for LlcTrace {
+    fn from_iter<T: IntoIterator<Item = LlcRecord>>(iter: T) -> Self {
+        Self { records: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(line: u64) -> LlcRecord {
+        LlcRecord { pc: 0x400, line, kind: AccessKind::Load, core: 0 }
+    }
+
+    #[test]
+    fn next_use_handles_repeats_and_tail() {
+        let t: LlcTrace = [rec(1), rec(2), rec(1), rec(1), rec(2)].into_iter().collect();
+        assert_eq!(t.next_use_table(), vec![2, 4, 3, u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn roundtrip_serialization() {
+        let t: LlcTrace = [
+            LlcRecord { pc: 7, line: 42, kind: AccessKind::Prefetch, core: 3 },
+            LlcRecord { pc: 0, line: 9, kind: AccessKind::Writeback, core: 1 },
+        ]
+        .into_iter()
+        .collect();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).expect("in-memory write cannot fail");
+        let back = LlcTrace::read_from(buf.as_slice()).expect("roundtrip");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(LlcTrace::read_from(&b"NOPE\0\0\0\0\0\0\0\0"[..]).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = LlcTrace::new();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).expect("in-memory write cannot fail");
+        assert!(LlcTrace::read_from(buf.as_slice()).expect("roundtrip").is_empty());
+    }
+}

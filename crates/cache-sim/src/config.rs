@@ -1,0 +1,189 @@
+//! Cache and system geometry, defaulting to Table III of the paper.
+
+/// Geometry and latency of one cache level.
+///
+/// ```
+/// use cache_sim::CacheConfig;
+///
+/// let llc = CacheConfig::with_capacity_kb(2048, 16, 26);
+/// assert_eq!(llc.sets, 2048);
+/// assert_eq!(llc.capacity_bytes(), 2 << 20);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u16,
+    /// Access latency in cycles (hit service time at this level).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Creates a config from capacity in KB, associativity, and latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting set count is zero or not a power of two.
+    pub fn with_capacity_kb(capacity_kb: u64, ways: u16, latency: u32) -> Self {
+        let lines = capacity_kb * 1024 / crate::LINE_BYTES;
+        let sets = lines / u64::from(ways);
+        assert!(sets > 0, "cache too small for its associativity");
+        assert!(sets.is_power_of_two(), "set count must be a power of two (got {sets})");
+        Self { sets: sets as u32, ways, latency }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.sets) * u64::from(self.ways) * crate::LINE_BYTES
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        u64::from(self.sets) * u64::from(self.ways)
+    }
+
+    /// Set index for a byte address.
+    pub fn set_of(&self, addr: u64) -> u32 {
+        ((addr >> 6) & u64::from(self.sets - 1)) as u32
+    }
+
+    /// Bits needed to encode a way index (`log2(ways)` rounded up).
+    pub fn way_bits(&self) -> u32 {
+        16 - u16::leading_zeros(self.ways.saturating_sub(1).max(1))
+    }
+}
+
+/// Which prefetcher drives L2 (Table III uses IP-stride; §V-B swaps in
+/// KPC-P).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum L2PrefetcherKind {
+    /// Per-PC stride detection (the paper's default configuration).
+    IpStride,
+    /// KPC-P: PC-free delta-signature prefetching with confidence-scaled
+    /// fill levels.
+    KpcP,
+}
+
+/// Full-system configuration (core model + cache hierarchy), mirroring
+/// Table III of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SystemConfig {
+    /// Number of cores sharing the LLC.
+    pub cores: u8,
+    /// Issue/retire width of each core (paper: 3).
+    pub issue_width: u32,
+    /// Reorder-buffer capacity (paper: 256).
+    pub rob_entries: u32,
+    /// Outstanding LLC/memory misses per core (MSHR count).
+    pub mshrs: u32,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private unified L2.
+    pub l2: CacheConfig,
+    /// Shared LLC (already sized for `cores`; the paper uses 2 MB per core).
+    pub llc: CacheConfig,
+    /// Main-memory access latency in cycles for a DRAM row-buffer miss
+    /// (precharge + activate + column access).
+    pub memory_latency: u32,
+    /// Main-memory latency for a DRAM row-buffer hit (column access only).
+    pub memory_row_hit_latency: u32,
+    /// Enable the L1 next-line and L2 prefetchers.
+    pub prefetchers: bool,
+    /// Which prefetcher runs at L2 when prefetching is enabled.
+    pub l2_prefetcher: L2PrefetcherKind,
+}
+
+impl SystemConfig {
+    /// The paper's single-core configuration: 3-issue, 256-entry ROB,
+    /// 32 KB 8-way L1s (4 cycles), 256 KB 8-way L2 (12 cycles),
+    /// 2 MB 16-way LLC (26 cycles), next-line L1 / IP-stride L2 prefetchers.
+    pub fn paper_single_core() -> Self {
+        Self {
+            cores: 1,
+            issue_width: 3,
+            rob_entries: 256,
+            mshrs: 16,
+            l1i: CacheConfig::with_capacity_kb(32, 8, 4),
+            l1d: CacheConfig::with_capacity_kb(32, 8, 4),
+            l2: CacheConfig::with_capacity_kb(256, 8, 12),
+            llc: CacheConfig::with_capacity_kb(2 * 1024, 16, 26),
+            memory_latency: 200,
+            memory_row_hit_latency: 120,
+            prefetchers: true,
+            l2_prefetcher: L2PrefetcherKind::IpStride,
+        }
+    }
+
+    /// The paper's four-core configuration: same per-core resources with an
+    /// 8 MB shared LLC (2 MB per core).
+    pub fn paper_quad_core() -> Self {
+        let mut cfg = Self::paper_single_core();
+        cfg.cores = 4;
+        cfg.llc = CacheConfig::with_capacity_kb(8 * 1024, 16, 26);
+        cfg
+    }
+
+    /// Returns a copy with prefetchers disabled (for ablations).
+    pub fn without_prefetchers(mut self) -> Self {
+        self.prefetchers = false;
+        self
+    }
+
+    /// Returns a copy with KPC-P as the L2 prefetcher (the §V-B
+    /// configuration).
+    pub fn with_kpc_prefetcher(mut self) -> Self {
+        self.l2_prefetcher = L2PrefetcherKind::KpcP;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_single_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_llc_geometry_matches_table_iii() {
+        let cfg = SystemConfig::paper_single_core();
+        assert_eq!(cfg.llc.sets, 2048);
+        assert_eq!(cfg.llc.ways, 16);
+        assert_eq!(cfg.llc.capacity_bytes(), 2 << 20);
+        assert_eq!(cfg.l2.capacity_bytes(), 256 << 10);
+        assert_eq!(cfg.l1d.capacity_bytes(), 32 << 10);
+    }
+
+    #[test]
+    fn quad_core_llc_is_8mb() {
+        let cfg = SystemConfig::paper_quad_core();
+        assert_eq!(cfg.llc.capacity_bytes(), 8 << 20);
+        assert_eq!(cfg.cores, 4);
+    }
+
+    #[test]
+    fn set_indexing_masks_line_address() {
+        let cfg = CacheConfig::with_capacity_kb(2048, 16, 26);
+        assert_eq!(cfg.set_of(0), 0);
+        assert_eq!(cfg.set_of(64), 1);
+        assert_eq!(cfg.set_of(64 * 2048), 0);
+    }
+
+    #[test]
+    fn way_bits() {
+        assert_eq!(CacheConfig::with_capacity_kb(2048, 16, 1).way_bits(), 4);
+        assert_eq!(CacheConfig::with_capacity_kb(32, 8, 1).way_bits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_panics() {
+        let _ = CacheConfig::with_capacity_kb(96, 8, 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! A bank/row-buffer main-memory model.
+//!
+//! Each DRAM bank keeps one row open; an access to the open row is a *row
+//! hit* (column access only), while any other access must precharge and
+//! activate first (*row miss*). The model is functional — it tracks which
+//! row each bank has open and classifies accesses — and feeds the timing
+//! model two latency classes instead of one flat memory latency. Streams
+//! (which walk rows sequentially) therefore see cheaper memory than
+//! pointer chasing, as on real hardware.
+
+/// The bank/row-buffer state of main memory.
+#[derive(Clone, Debug)]
+pub struct DramModel {
+    /// Open row per bank (`u64::MAX` = closed).
+    open_rows: Vec<u64>,
+    row_lines: u64,
+    row_hits: u64,
+    row_misses: u64,
+}
+
+impl DramModel {
+    /// Creates a model with `banks` banks and `row_lines` cache lines per
+    /// row (rounded up to powers of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(banks: u32, row_lines: u32) -> Self {
+        assert!(banks > 0 && row_lines > 0, "DRAM geometry must be positive");
+        Self {
+            open_rows: vec![u64::MAX; banks.next_power_of_two() as usize],
+            row_lines: u64::from(row_lines.next_power_of_two()),
+            row_hits: 0,
+            row_misses: 0,
+        }
+    }
+
+    /// Performs one access for the cache line at `line` (byte address
+    /// >> 6); returns `true` on a row-buffer hit.
+    ///
+    /// Rows are interleaved across banks (`bank = row % banks`), the
+    /// standard mapping that spreads sequential rows over the chip.
+    pub fn access(&mut self, line: u64) -> bool {
+        let row = line / self.row_lines;
+        let bank = (row % self.open_rows.len() as u64) as usize;
+        let hit = self.open_rows[bank] == row;
+        self.open_rows[bank] = row;
+        if hit {
+            self.row_hits += 1;
+        } else {
+            self.row_misses += 1;
+        }
+        hit
+    }
+
+    /// Row-buffer hits so far.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Row-buffer misses so far.
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Zeroes the statistics (open-row state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.row_hits = 0;
+        self.row_misses = 0;
+    }
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        // 16 banks, 8 KB rows (128 lines): a typical DDR4 single-rank shape.
+        Self::new(16, 128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_lines_hit_the_open_row() {
+        let mut d = DramModel::new(4, 128);
+        assert!(!d.access(0), "first touch activates the row");
+        for line in 1..128 {
+            assert!(d.access(line), "line {line} is in the open row");
+        }
+        assert!(!d.access(128), "next row must activate");
+        assert_eq!(d.row_misses(), 2);
+        assert_eq!(d.row_hits(), 127);
+    }
+
+    #[test]
+    fn random_rows_mostly_miss() {
+        let mut d = DramModel::new(16, 128);
+        let mut hits = 0;
+        for i in 0..1000u64 {
+            // Jump a row every access.
+            if d.access(i * 131 * 128) {
+                hits += 1;
+            }
+        }
+        assert!(hits < 50, "row-jumping traffic should rarely hit: {hits}");
+    }
+
+    #[test]
+    fn banks_hold_independent_rows() {
+        let mut d = DramModel::new(2, 1);
+        // Rows 0 and 1 map to banks 0 and 1; alternating stays open.
+        assert!(!d.access(0));
+        assert!(!d.access(1));
+        assert!(d.access(0));
+        assert!(d.access(1));
+    }
+
+    #[test]
+    fn stats_reset_preserves_open_rows() {
+        let mut d = DramModel::new(4, 128);
+        let _ = d.access(0);
+        d.reset_stats();
+        assert_eq!(d.row_misses(), 0);
+        assert!(d.access(1), "row stayed open across the stats reset");
+    }
+}

@@ -1,0 +1,53 @@
+//! ChampSim-style cache hierarchy simulator.
+//!
+//! This crate is the substrate the RLR paper's evaluation runs on: a
+//! three-level cache hierarchy (private L1I/L1D and L2 per core, shared
+//! last-level cache) with pluggable LLC replacement policies, hardware
+//! prefetchers (next-line at L1, IP-stride at L2, none at the LLC), and a
+//! simplified out-of-order core timing model (3-issue, 256-entry ROB,
+//! MSHR-limited memory-level parallelism) that converts cache behaviour into
+//! IPC — mirroring Table III of the paper.
+//!
+//! The design deliberately separates *function* from *time*: caches are
+//! simulated functionally in program order, so the LLC access stream is
+//! identical for every LLC replacement policy. That invariant is what makes
+//! the offline Belady oracle (and the RL agent's reward) exact.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cache_sim::{SingleCoreSystem, SystemConfig, TrueLru};
+//! use workloads::spec2006;
+//!
+//! let config = SystemConfig::paper_single_core();
+//! let mut system = SingleCoreSystem::new(&config, Box::new(TrueLru::new(&config.llc)));
+//! let stats = system.run(spec2006("429.mcf").unwrap().stream(), 50_000);
+//! assert!(stats.ipc() > 0.0);
+//! ```
+
+mod access;
+mod cache;
+mod capture;
+mod config;
+mod dram;
+mod hierarchy;
+mod prefetch;
+mod replacement;
+mod stats;
+mod system;
+mod timing;
+
+pub use access::{Access, AccessKind};
+pub use cache::{AccessOutcome, SetAssocCache};
+pub use capture::{LlcRecord, LlcTrace};
+pub use dram::DramModel;
+pub use config::{CacheConfig, L2PrefetcherKind, SystemConfig};
+pub use hierarchy::{CoreHierarchy, LlcOutcome, ServiceLevel, SharedLlc};
+pub use prefetch::{IpStridePrefetcher, KpcPrefetcher, NextLinePrefetcher, PrefetchRequest, Prefetcher};
+pub use replacement::{Decision, LineSnapshot, RandomLite, ReplacementPolicy, TrueLru};
+pub use stats::{CacheStats, KindCounts};
+pub use system::{MultiCoreSystem, RunStats, SingleCoreSystem};
+pub use timing::CoreTiming;
+
+/// Cache line size in bytes used throughout the simulator.
+pub const LINE_BYTES: u64 = 64;

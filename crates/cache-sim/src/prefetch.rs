@@ -1,0 +1,361 @@
+//! Hardware prefetchers: next-line (L1), IP-stride (L2), and the
+//! confidence-based KPC-P (Kim et al., 2017) evaluated in the paper's §V-B.
+
+/// One prefetch suggestion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PrefetchRequest {
+    /// Line address (byte address >> 6) to prefetch.
+    pub line: u64,
+    /// Whether to fill L2 (high confidence) or only the LLC (low
+    /// confidence) — KPC-P's pollution-avoidance mechanism; the classic
+    /// prefetchers always fill L2.
+    pub fill_l2: bool,
+}
+
+/// A hardware prefetcher attached to one cache level.
+///
+/// The prefetcher observes every access to its level and suggests lines to
+/// bring in. Suggested prefetches never trigger further prefetches (no
+/// recursive issue), matching ChampSim.
+pub trait Prefetcher: Send {
+    /// Observes an access (`pc`, `line` = byte address >> 6, and whether it
+    /// hit at this level) and appends suggestions to `out`.
+    fn on_access(&mut self, pc: u64, line: u64, hit: bool, out: &mut Vec<PrefetchRequest>);
+}
+
+/// Next-line prefetcher: on every access to line `L`, prefetch `L + 1`.
+///
+/// Used at L1 (both instruction and data sides) in the paper's
+/// configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NextLinePrefetcher;
+
+impl NextLinePrefetcher {
+    /// Creates the prefetcher.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Prefetcher for NextLinePrefetcher {
+    fn on_access(&mut self, _pc: u64, line: u64, _hit: bool, out: &mut Vec<PrefetchRequest>) {
+        out.push(PrefetchRequest { line: line + 1, fill_l2: true });
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct StrideEntry {
+    pc: u64,
+    last_line: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+/// IP-stride prefetcher: learns a per-PC line stride and, once confident,
+/// prefetches `degree` lines ahead.
+///
+/// Used at L2 in the paper's configuration. The table is direct-mapped and
+/// PC-tagged, like ChampSim's `ip_stride` reference prefetcher.
+#[derive(Clone, Debug)]
+pub struct IpStridePrefetcher {
+    table: Vec<StrideEntry>,
+    degree: u32,
+}
+
+impl IpStridePrefetcher {
+    /// Confidence needed before prefetches are issued.
+    const CONFIDENCE_THRESHOLD: u8 = 2;
+
+    /// Creates a prefetcher with `entries` table slots (rounded up to a
+    /// power of two) issuing `degree` prefetches ahead of a confident
+    /// stride.
+    pub fn new(entries: usize, degree: u32) -> Self {
+        let n = entries.next_power_of_two().max(1);
+        Self { table: vec![StrideEntry::default(); n], degree }
+    }
+}
+
+impl Default for IpStridePrefetcher {
+    fn default() -> Self {
+        Self::new(256, 2)
+    }
+}
+
+impl Prefetcher for IpStridePrefetcher {
+    fn on_access(&mut self, pc: u64, line: u64, _hit: bool, out: &mut Vec<PrefetchRequest>) {
+        let mask = self.table.len() as u64 - 1;
+        let slot = &mut self.table[(pc & mask) as usize];
+        if slot.pc != pc {
+            *slot = StrideEntry { pc, last_line: line, stride: 0, confidence: 0 };
+            return;
+        }
+        let stride = line as i64 - slot.last_line as i64;
+        slot.last_line = line;
+        if stride == 0 {
+            return;
+        }
+        if stride == slot.stride {
+            slot.confidence = slot.confidence.saturating_add(1);
+        } else {
+            slot.stride = stride;
+            slot.confidence = 0;
+        }
+        if slot.confidence >= Self::CONFIDENCE_THRESHOLD {
+            for k in 1..=i64::from(self.degree) {
+                let target = line as i64 + k * stride;
+                if target > 0 {
+                    out.push(PrefetchRequest { line: target as u64, fill_l2: true });
+                }
+            }
+        }
+    }
+}
+
+/// Lines per 4 KB page.
+const PAGE_LINES: u64 = 64;
+/// Signature width (12 bits → 4096 pattern slots).
+const SIG_MASK: u16 = 0xFFF;
+/// Confidence ceiling (2-bit counters).
+const KPC_CONF_MAX: u8 = 3;
+/// Confidence needed to issue at all.
+const KPC_ISSUE_THRESHOLD: u8 = 2;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct KpcPage {
+    valid: bool,
+    tag: u64,
+    last_offset: u8,
+    signature: u16,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct KpcPattern {
+    delta: i8,
+    confidence: u8,
+}
+
+/// KPC-P: a PC-free, page-local delta-signature prefetcher with
+/// confidence-scaled fill levels (Kim et al., "Kill the Program Counter",
+/// 2017 — simplified to its §V-B-relevant behaviour).
+///
+/// Per 4 KB page it tracks a compressed signature of recent line-offset
+/// deltas; a pattern table maps signatures to the likeliest next delta
+/// with a 2-bit confidence. Lookahead walks the signature chain, issuing
+/// prefetches while confident; only maximally-confident prefetches fill
+/// L2 — the rest fill the LLC alone, avoiding L2 pollution.
+#[derive(Clone, Debug)]
+pub struct KpcPrefetcher {
+    pages: Vec<KpcPage>,
+    patterns: Vec<KpcPattern>,
+    degree: u32,
+}
+
+impl KpcPrefetcher {
+    /// Creates the prefetcher with `pages` tracker slots (rounded up to a
+    /// power of two) and `degree` steps of signature lookahead.
+    pub fn new(pages: usize, degree: u32) -> Self {
+        Self {
+            pages: vec![KpcPage::default(); pages.next_power_of_two().max(1)],
+            patterns: vec![KpcPattern::default(); usize::from(SIG_MASK) + 1],
+            degree,
+        }
+    }
+
+    fn advance_signature(signature: u16, delta: i8) -> u16 {
+        ((signature << 3) ^ (delta as u16 & 0x3F)) & SIG_MASK
+    }
+}
+
+impl Default for KpcPrefetcher {
+    fn default() -> Self {
+        Self::new(256, 4)
+    }
+}
+
+impl Prefetcher for KpcPrefetcher {
+    fn on_access(&mut self, _pc: u64, line: u64, _hit: bool, out: &mut Vec<PrefetchRequest>) {
+        let page = line / PAGE_LINES;
+        let offset = (line % PAGE_LINES) as u8;
+        let mask = self.pages.len() as u64 - 1;
+        let slot = &mut self.pages[(page & mask) as usize];
+        if !slot.valid || slot.tag != page {
+            *slot = KpcPage { valid: true, tag: page, last_offset: offset, signature: 0 };
+            return;
+        }
+        let delta = offset as i16 - i16::from(slot.last_offset);
+        if delta == 0 {
+            return;
+        }
+        let delta = delta as i8;
+        let old_signature = slot.signature;
+        slot.last_offset = offset;
+        slot.signature = Self::advance_signature(old_signature, delta);
+        let next_signature = slot.signature;
+
+        // Train the pattern reached by the old signature toward this delta.
+        let pattern = &mut self.patterns[usize::from(old_signature)];
+        if pattern.delta == delta {
+            pattern.confidence = (pattern.confidence + 1).min(KPC_CONF_MAX);
+        } else if pattern.confidence == 0 {
+            *pattern = KpcPattern { delta, confidence: 1 };
+        } else {
+            pattern.confidence -= 1;
+        }
+
+        // Lookahead along the signature chain.
+        let mut signature = next_signature;
+        let mut current = i64::from(offset);
+        let mut path_confidence = KPC_CONF_MAX;
+        for _ in 0..self.degree {
+            let pattern = self.patterns[usize::from(signature)];
+            if pattern.confidence < KPC_ISSUE_THRESHOLD {
+                break;
+            }
+            current += i64::from(pattern.delta);
+            if !(0..PAGE_LINES as i64).contains(&current) {
+                break; // KPC-P never crosses the page
+            }
+            path_confidence = path_confidence.min(pattern.confidence);
+            out.push(PrefetchRequest {
+                line: page * PAGE_LINES + current as u64,
+                fill_l2: path_confidence >= KPC_CONF_MAX,
+            });
+            signature = Self::advance_signature(signature, pattern.delta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(out: &[PrefetchRequest]) -> Vec<u64> {
+        out.iter().map(|r| r.line).collect()
+    }
+
+    #[test]
+    fn next_line_prefetches_successor() {
+        let mut p = NextLinePrefetcher::new();
+        let mut out = Vec::new();
+        p.on_access(0x400, 100, false, &mut out);
+        assert_eq!(lines(&out), vec![101]);
+        assert!(out[0].fill_l2);
+    }
+
+    #[test]
+    fn ip_stride_learns_unit_stride() {
+        let mut p = IpStridePrefetcher::new(16, 2);
+        let mut out = Vec::new();
+        for line in [10, 11, 12, 13] {
+            out.clear();
+            p.on_access(0x400, line, false, &mut out);
+        }
+        // After 3 consistent deltas, confidence reaches the threshold.
+        assert_eq!(lines(&out), vec![14, 15]);
+    }
+
+    #[test]
+    fn ip_stride_learns_negative_stride() {
+        let mut p = IpStridePrefetcher::new(16, 1);
+        let mut out = Vec::new();
+        for line in [100, 96, 92, 88] {
+            out.clear();
+            p.on_access(0x8, line, false, &mut out);
+        }
+        assert_eq!(lines(&out), vec![84]);
+    }
+
+    #[test]
+    fn random_pattern_stays_quiet() {
+        let mut p = IpStridePrefetcher::new(16, 2);
+        let mut out = Vec::new();
+        for line in [5, 900, 3, 77, 1234, 9] {
+            p.on_access(0x10, line, false, &mut out);
+        }
+        assert!(out.is_empty(), "no confident stride should emerge: {out:?}");
+    }
+
+    #[test]
+    fn pc_collision_resets_entry() {
+        let mut p = IpStridePrefetcher::new(1, 2);
+        let mut out = Vec::new();
+        for line in [10, 11, 12] {
+            p.on_access(0x1, line, false, &mut out);
+        }
+        // A different PC maps to the same slot and must take it over.
+        p.on_access(0x2, 50, false, &mut out);
+        out.clear();
+        p.on_access(0x2, 51, false, &mut out);
+        assert!(out.is_empty(), "new PC must re-train from scratch");
+    }
+}
+
+#[cfg(test)]
+mod kpc_tests {
+    use super::*;
+
+    fn lines(out: &[PrefetchRequest]) -> Vec<u64> {
+        out.iter().map(|r| r.line).collect()
+    }
+
+    #[test]
+    fn learns_unit_stride_within_a_page() {
+        // A +1 delta stream drives the signature to a fixed point whose
+        // pattern entry saturates within one pass, so late accesses in the
+        // walk prefetch ahead with confidence.
+        let mut p = KpcPrefetcher::default();
+        let mut out = Vec::new();
+        for off in 0..16u64 {
+            out.clear();
+            p.on_access(0, 64 * 10 + off, false, &mut out);
+        }
+        assert!(
+            lines(&out).contains(&(64 * 10 + 16)),
+            "confident +1 chain must prefetch ahead: {:?}",
+            lines(&out)
+        );
+        assert!(out.iter().any(|r| r.fill_l2), "a saturated chain fills L2");
+    }
+
+    #[test]
+    fn never_crosses_the_page_boundary() {
+        let mut p = KpcPrefetcher::default();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            for off in 56..64u64 {
+                p.on_access(0, 64 * 3 + off, false, &mut out);
+            }
+            p.on_access(0, 64 * 3 + 56, false, &mut out);
+        }
+        out.clear();
+        p.on_access(0, 64 * 3 + 62, false, &mut out);
+        p.on_access(0, 64 * 3 + 63, false, &mut out);
+        for r in &out {
+            assert!(r.line < 64 * 4, "prefetch {:#x} crossed the page", r.line);
+        }
+    }
+
+    #[test]
+    fn random_deltas_stay_quiet() {
+        let mut p = KpcPrefetcher::default();
+        let mut out = Vec::new();
+        for off in [3u64, 47, 12, 60, 1, 33, 20] {
+            p.on_access(0, 64 * 9 + off, false, &mut out);
+        }
+        assert!(out.len() <= 1, "no confident pattern should emerge: {:?}", lines(&out));
+    }
+
+    #[test]
+    fn new_page_resets_tracking() {
+        let mut p = KpcPrefetcher::new(4, 2);
+        let mut out = Vec::new();
+        p.on_access(0, 64, false, &mut out);
+        p.on_access(0, 64 + 1, false, &mut out);
+        // A colliding page (same slot, 4-entry table) takes over the slot.
+        p.on_access(0, 64 * 5 + 30, false, &mut out);
+        out.clear();
+        p.on_access(0, 64 * 5 + 31, false, &mut out);
+        // Fresh signature: at most weakly trained, typically quiet.
+        assert!(out.len() <= 1);
+    }
+}

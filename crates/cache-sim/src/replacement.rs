@@ -1,0 +1,221 @@
+//! The replacement-policy interface and the built-in reference policies.
+
+use crate::access::Access;
+use crate::config::CacheConfig;
+
+/// A read-only view of one cache line handed to the policy during victim
+/// selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LineSnapshot {
+    /// Whether the way holds a valid line. The cache fills invalid ways
+    /// itself, so policies normally see only full sets, but the snapshot is
+    /// honest anyway.
+    pub valid: bool,
+    /// Line address (byte address >> 6) stored in the way.
+    pub line: u64,
+    /// Dirty bit.
+    pub dirty: bool,
+    /// Core that inserted or last touched the line.
+    pub core: u8,
+}
+
+/// A replacement decision for a fill into a full set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Evict the line in this way and fill into it.
+    Evict(u16),
+    /// Do not cache the incoming line. Only honoured for non-writeback
+    /// accesses in caches with bypass enabled; otherwise the cache falls
+    /// back to way 0.
+    Bypass,
+}
+
+/// An LLC replacement policy.
+///
+/// The cache drives the policy with three callbacks:
+///
+/// * [`select_victim`](ReplacementPolicy::select_victim) — on a miss whose
+///   set is full, pick a way to evict (or bypass).
+/// * [`on_hit`](ReplacementPolicy::on_hit) — the access hit in `way`.
+/// * [`on_fill`](ReplacementPolicy::on_fill) — the missing line was inserted
+///   into `way` (after any eviction).
+///
+/// Policies keep all their per-line metadata internally, indexed by
+/// `(set, way)`, exactly as the hardware tables they model would.
+/// [`overhead_bits`](ReplacementPolicy::overhead_bits) reports that metadata
+/// cost, reproducing Table I of the paper.
+pub trait ReplacementPolicy: Send {
+    /// Human-readable policy name (e.g. `"DRRIP"`).
+    fn name(&self) -> String;
+
+    /// Notifies the policy that `access` missed in `set`, before any victim
+    /// selection or fill. Called for every miss, including fills into
+    /// invalid ways, so policies can count set misses exactly.
+    fn on_miss(&mut self, _set: u32, _access: &Access) {}
+
+    /// Chooses a victim way for `access`, which missed in full `set`.
+    fn select_victim(&mut self, set: u32, lines: &[LineSnapshot], access: &Access) -> Decision;
+
+    /// Notifies the policy that `access` hit in `(set, way)`.
+    fn on_hit(&mut self, set: u32, way: u16, access: &Access);
+
+    /// Notifies the policy that `access` was filled into `(set, way)`.
+    fn on_fill(&mut self, set: u32, way: u16, access: &Access);
+
+    /// Metadata storage in bits for a cache of this geometry.
+    fn overhead_bits(&self, config: &CacheConfig) -> u64;
+}
+
+/// Full (true) LRU with one recency counter per line.
+///
+/// Used as the default policy for L1/L2 and as the paper's baseline at the
+/// LLC. Storage: `log2(ways)` bits per line (Table I: 16 KB for a 2 MB
+/// 16-way LLC).
+///
+/// ```
+/// use cache_sim::{CacheConfig, ReplacementPolicy, TrueLru};
+///
+/// let cfg = CacheConfig::with_capacity_kb(2048, 16, 26);
+/// let lru = TrueLru::new(&cfg);
+/// assert_eq!(lru.overhead_bits(&cfg), 16 * 8 * 1024); // 16 KB
+/// ```
+#[derive(Clone, Debug)]
+pub struct TrueLru {
+    ways: u16,
+    /// Per-line recency stamp; larger = more recent. Indexed `set*ways+way`.
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl TrueLru {
+    /// Creates an LRU policy for the given geometry.
+    pub fn new(config: &CacheConfig) -> Self {
+        Self {
+            ways: config.ways,
+            stamps: vec![0; config.lines() as usize],
+            clock: 0,
+        }
+    }
+
+    fn idx(&self, set: u32, way: u16) -> usize {
+        set as usize * self.ways as usize + way as usize
+    }
+
+    fn touch(&mut self, set: u32, way: u16) {
+        self.clock += 1;
+        let i = self.idx(set, way);
+        self.stamps[i] = self.clock;
+    }
+}
+
+impl ReplacementPolicy for TrueLru {
+    fn name(&self) -> String {
+        "LRU".to_owned()
+    }
+
+    fn select_victim(&mut self, set: u32, _lines: &[LineSnapshot], _access: &Access) -> Decision {
+        let base = self.idx(set, 0);
+        let victim = (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w as usize])
+            .expect("cache has at least one way");
+        Decision::Evict(victim)
+    }
+
+    fn on_hit(&mut self, set: u32, way: u16, _access: &Access) {
+        self.touch(set, way);
+    }
+
+    fn on_fill(&mut self, set: u32, way: u16, _access: &Access) {
+        self.touch(set, way);
+    }
+
+    fn overhead_bits(&self, config: &CacheConfig) -> u64 {
+        config.lines() * u64::from(config.way_bits())
+    }
+}
+
+/// A trivial pseudo-random policy (xorshift), useful as a floor baseline
+/// and for differential testing. Zero metadata.
+#[derive(Clone, Debug)]
+pub struct RandomLite {
+    ways: u16,
+    state: u64,
+}
+
+impl RandomLite {
+    /// Creates the policy with a fixed internal seed.
+    pub fn new(config: &CacheConfig) -> Self {
+        Self { ways: config.ways, state: 0x9E37_79B9_7F4A_7C15 }
+    }
+}
+
+impl ReplacementPolicy for RandomLite {
+    fn name(&self) -> String {
+        "Random".to_owned()
+    }
+
+    fn select_victim(&mut self, _set: u32, _lines: &[LineSnapshot], _access: &Access) -> Decision {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        Decision::Evict((self.state % u64::from(self.ways)) as u16)
+    }
+
+    fn on_hit(&mut self, _set: u32, _way: u16, _access: &Access) {}
+
+    fn on_fill(&mut self, _set: u32, _way: u16, _access: &Access) {}
+
+    fn overhead_bits(&self, _config: &CacheConfig) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessKind;
+
+    fn access(addr: u64) -> Access {
+        Access { pc: 0, addr, kind: AccessKind::Load, core: 0, seq: 0 }
+    }
+
+    fn snapshot(n: usize) -> Vec<LineSnapshot> {
+        (0..n)
+            .map(|i| LineSnapshot { valid: true, line: i as u64, dirty: false, core: 0 })
+            .collect()
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cfg = CacheConfig { sets: 1, ways: 4, latency: 1 };
+        let mut lru = TrueLru::new(&cfg);
+        for way in 0..4 {
+            lru.on_fill(0, way, &access(way as u64 * 64));
+        }
+        lru.on_hit(0, 0, &access(0)); // way 0 becomes MRU; way 1 is now LRU
+        match lru.select_victim(0, &snapshot(4), &access(999 * 64)) {
+            Decision::Evict(w) => assert_eq!(w, 1),
+            Decision::Bypass => panic!("LRU never bypasses"),
+        }
+    }
+
+    #[test]
+    fn lru_overhead_matches_table_i() {
+        let cfg = CacheConfig::with_capacity_kb(2048, 16, 26);
+        let lru = TrueLru::new(&cfg);
+        // Table I: 16 KB for LRU in a 16-way 2 MB cache.
+        assert_eq!(lru.overhead_bits(&cfg), 16 * 1024 * 8);
+    }
+
+    #[test]
+    fn random_victims_are_in_range() {
+        let cfg = CacheConfig { sets: 2, ways: 8, latency: 1 };
+        let mut r = RandomLite::new(&cfg);
+        for i in 0..100 {
+            match r.select_victim(0, &snapshot(8), &access(i * 64)) {
+                Decision::Evict(w) => assert!(w < 8),
+                Decision::Bypass => panic!("RandomLite never bypasses"),
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Black-box behavioural tests of the simulation drivers.
+
+use cache_sim::{
+    AccessKind, MultiCoreSystem, ServiceLevel, SingleCoreSystem, SystemConfig, TrueLru,
+};
+use workloads::{Recipe, TraceEntry, Workload};
+
+fn streams(n: usize, wl: &Workload) -> Vec<Box<dyn Iterator<Item = TraceEntry> + Send>> {
+    (0..n)
+        .map(|i| {
+            Box::new(wl.clone().with_seed(wl.seed() ^ i as u64).stream())
+                as Box<dyn Iterator<Item = TraceEntry> + Send>
+        })
+        .collect()
+}
+
+#[test]
+fn multicore_runs_are_deterministic() {
+    let mut config = SystemConfig::paper_quad_core();
+    config.cores = 2;
+    let wl = Workload::new("det", Recipe::Zipf { bytes: 4 << 20, skew: 0.9, store_ratio: 0.3 });
+    let run = || {
+        let mut system =
+            MultiCoreSystem::new(&config, Box::new(TrueLru::new(&config.llc)), streams(2, &wl));
+        system.run(50_000, 200_000)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn finished_cores_keep_generating_interference() {
+    // Core 0 runs a fast (cache-resident) workload; core 1 a slow one. The
+    // shared-LLC totals must include traffic from after core 0's finish
+    // (the LLC access count exceeds what both cores needed to finish).
+    let mut config = SystemConfig::paper_quad_core();
+    config.cores = 2;
+    let fast = Workload::new("fast", Recipe::Zipf { bytes: 32 << 10, skew: 0.8, store_ratio: 0.2 });
+    let slow = Workload::new("slow", Recipe::Chase { bytes: 64 << 20 }).with_compute(1, 2);
+    let s: Vec<Box<dyn Iterator<Item = TraceEntry> + Send>> =
+        vec![Box::new(fast.stream()), Box::new(slow.stream())];
+    let mut system = MultiCoreSystem::new(&config, Box::new(TrueLru::new(&config.llc)), s);
+    let per_core = system.run(10_000, 100_000);
+    assert_eq!(per_core.len(), 2);
+    // The fast core's IPC must be much higher than the chaser's.
+    assert!(per_core[0].ipc() > 4.0 * per_core[1].ipc());
+}
+
+#[test]
+fn prefetcher_toggle_changes_llc_traffic_only_when_enabled() {
+    let on = SystemConfig::paper_single_core();
+    let off = SystemConfig::paper_single_core().without_prefetchers();
+    let wl = Workload::new("s", Recipe::Cyclic { bytes: 8 << 20, stride: 64, store_ratio: 0.0 })
+        .with_local(0.3);
+    let run = |config: &SystemConfig| {
+        let mut system = SingleCoreSystem::new(config, Box::new(TrueLru::new(&config.llc)));
+        system.run(wl.stream(), 200_000)
+    };
+    let with = run(&on);
+    let without = run(&off);
+    assert!(with.llc.by_kind[AccessKind::Prefetch.index()].accesses > 0);
+    assert_eq!(without.llc.by_kind[AccessKind::Prefetch.index()].accesses, 0);
+    assert!(
+        with.ipc() > without.ipc(),
+        "prefetching a stream must help: {:.3} vs {:.3}",
+        with.ipc(),
+        without.ipc()
+    );
+}
+
+#[test]
+fn service_levels_order_by_latency() {
+    let config = SystemConfig::paper_single_core();
+    let levels = [
+        ServiceLevel::L1,
+        ServiceLevel::L2,
+        ServiceLevel::Llc,
+        ServiceLevel::MemoryRowHit,
+        ServiceLevel::Memory,
+    ];
+    for pair in levels.windows(2) {
+        assert!(
+            pair[0].latency(&config) < pair[1].latency(&config),
+            "{:?} must be cheaper than {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+    assert!(!ServiceLevel::L1.is_long());
+    assert!(!ServiceLevel::L2.is_long());
+    assert!(ServiceLevel::Llc.is_long());
+    assert!(ServiceLevel::MemoryRowHit.is_long());
+}
+
+#[test]
+fn warm_up_and_measure_split_is_respected() {
+    let config = SystemConfig::paper_single_core();
+    let wl = Workload::new("w", Recipe::Zipf { bytes: 1 << 20, skew: 1.0, store_ratio: 0.2 });
+    let mut system = SingleCoreSystem::new(&config, Box::new(TrueLru::new(&config.llc)));
+    let mut stream = wl.stream();
+    system.warm_up(&mut stream, 100_000);
+    let stats = system.run(stream, 50_000);
+    // Measured instructions only count the post-warm-up phase.
+    assert!(stats.instructions >= 50_000);
+    assert!(stats.instructions < 80_000, "warm-up instructions must not leak into the measurement");
+}

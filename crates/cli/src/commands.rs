@@ -1,0 +1,373 @@
+//! The CLI subcommands.
+
+use std::fs;
+use std::io::{BufReader, BufWriter};
+
+use cache_sim::{LlcTrace, SingleCoreSystem, SystemConfig};
+use experiments::{PolicyKind, Table};
+use rl::{Agent, AgentConfig, FeatureSet, LlcModel, Mlp, Trainer};
+use workloads::{Workload, CLOUDSUITE, SPEC2006};
+
+use crate::args::{ArgError, Args};
+
+/// Resolves a policy by (case-insensitive) name.
+pub fn policy_by_name(name: &str) -> Result<PolicyKind, ArgError> {
+    let needle = name.to_lowercase();
+    for kind in PolicyKind::ALL_ONLINE {
+        if kind.name().to_lowercase() == needle {
+            return Ok(kind);
+        }
+    }
+    match needle.as_str() {
+        "rlr-unopt" | "rlrunopt" | "rlr_unopt" => Ok(PolicyKind::RlrUnopt),
+        "rlr-mc" | "rlr-multicore" => Ok(PolicyKind::RlrMulticore),
+        "ship" => Ok(PolicyKind::Ship),
+        "ship++" | "shippp" => Ok(PolicyKind::ShipPp),
+        "belady" | "opt" | "min" => Ok(PolicyKind::Belady),
+        _ => Err(ArgError(format!(
+            "unknown policy `{name}`; try `rlr list` for the roster"
+        ))),
+    }
+}
+
+fn workload_by_name(name: &str) -> Result<Workload, ArgError> {
+    workloads::by_name(name)
+        .ok_or_else(|| ArgError(format!("unknown benchmark `{name}`; try `rlr list`")))
+}
+
+fn parse_policies(raw: &str) -> Result<Vec<PolicyKind>, ArgError> {
+    raw.split(',').map(policy_by_name).collect()
+}
+
+/// `rlr list` — available benchmarks and policies.
+pub fn list() -> Result<(), ArgError> {
+    println!("SPEC CPU 2006 benchmarks ({}):", SPEC2006.len());
+    for chunk in SPEC2006.chunks(5) {
+        println!("  {}", chunk.join("  "));
+    }
+    println!("\nCloudSuite benchmarks ({}):", CLOUDSUITE.len());
+    println!("  {}", CLOUDSUITE.join("  "));
+    println!("\nPolicies:");
+    for kind in PolicyKind::ALL_ONLINE {
+        println!(
+            "  {:12} {}",
+            kind.name(),
+            if kind.uses_pc() { "(PC-based)" } else { "" }
+        );
+    }
+    println!("  {:12} (offline optimum; replay only)", "Belady");
+    Ok(())
+}
+
+/// `rlr run <bench> [--policy P] [--instructions N] [--warmup N]
+///  [--no-prefetch]` — one single-core simulation.
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&["policy", "instructions", "warmup", "no-prefetch"])?;
+    let bench = args
+        .positional()
+        .first()
+        .ok_or_else(|| ArgError("usage: rlr run <benchmark> [--policy P]".to_owned()))?;
+    let workload = workload_by_name(bench)?;
+    let kind = policy_by_name(args.get_or("policy", "RLR"))?;
+    let instructions = args.get_num("instructions", 10_000_000u64)?;
+    let warmup = args.get_num("warmup", 2_000_000u64)?;
+    let mut config = SystemConfig::paper_single_core();
+    if args.has_flag("no-prefetch") {
+        config = config.without_prefetchers();
+    }
+
+    let mut system = SingleCoreSystem::new(&config, kind.build(&config.llc, None));
+    let mut stream = workload.stream();
+    system.warm_up(&mut stream, warmup);
+    let stats = system.run(stream, instructions);
+
+    println!("benchmark    {bench}");
+    println!("policy       {}", kind.name());
+    println!("instructions {}", stats.instructions);
+    println!("cycles       {}", stats.cycles);
+    println!("IPC          {:.4}", stats.ipc());
+    println!("L1D hit      {:.2}%", stats.l1d.hit_rate() * 100.0);
+    println!("L2 hit       {:.2}%", stats.l2.hit_rate() * 100.0);
+    println!("LLC demand   {:.2}% hit, {:.2} MPKI", stats.llc_hit_rate_pct(), stats.llc_demand_mpki());
+    println!("memory       {} reads, {} writes", stats.memory_reads, stats.memory_writes);
+    println!("DRAM         {:.1}% row-buffer hits", stats.dram_row_hit_rate() * 100.0);
+    Ok(())
+}
+
+/// `rlr compare <bench...> [--policies a,b,c] [--instructions N]
+///  [--warmup N]` — speedup-over-LRU table.
+pub fn compare(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&["policies", "instructions", "warmup"])?;
+    if args.positional().is_empty() {
+        return Err(ArgError("usage: rlr compare <benchmark...> [--policies a,b,c]".to_owned()));
+    }
+    let kinds = parse_policies(args.get_or("policies", "DRRIP,KPC-R,SHiP,RLR,Hawkeye,SHiP++"))?;
+    if kinds.contains(&PolicyKind::Belady) {
+        return Err(ArgError("Belady is replay-only; use `rlr replay`".to_owned()));
+    }
+    let instructions = args.get_num("instructions", 10_000_000u64)?;
+    let warmup = args.get_num("warmup", 2_000_000u64)?;
+    let config = SystemConfig::paper_single_core();
+
+    let mut headers = vec!["benchmark".to_owned(), "LRU IPC".to_owned()];
+    headers.extend(kinds.iter().map(|k| k.name().to_owned()));
+    let mut table = Table::new("IPC speedup over LRU (%)", headers);
+    for bench in args.positional() {
+        let workload = workload_by_name(bench)?;
+        let run_one = |kind: PolicyKind| {
+            let mut system = SingleCoreSystem::new(&config, kind.build(&config.llc, None));
+            let mut stream = workload.stream();
+            system.warm_up(&mut stream, warmup);
+            system.run(stream, instructions)
+        };
+        let lru = run_one(PolicyKind::Lru);
+        let mut row = vec![bench.clone(), format!("{:.4}", lru.ipc())];
+        for &kind in &kinds {
+            row.push(Table::fmt(run_one(kind).speedup_pct_over(&lru)));
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+/// `rlr capture <bench> --out FILE [--records N] [--warmup N]` — capture an
+/// LLC trace.
+pub fn capture(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&["out", "records", "warmup"])?;
+    let bench = args
+        .positional()
+        .first()
+        .ok_or_else(|| ArgError("usage: rlr capture <benchmark> --out trace.bin".to_owned()))?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("--out <file> is required".to_owned()))?;
+    let records = args.get_num("records", 100_000usize)?;
+    let warmup = args.get_num("warmup", 1_000_000u64)?;
+    let workload = workload_by_name(bench)?;
+
+    let config = SystemConfig::paper_single_core();
+    let mut system = SingleCoreSystem::new(&config, PolicyKind::Lru.build(&config.llc, None));
+    let mut stream = workload.stream();
+    system.warm_up(&mut stream, warmup);
+    system.llc_mut().enable_capture();
+    let mut instructions = 0u64;
+    loop {
+        instructions += 1_000_000;
+        let _ = system.run(&mut stream, instructions);
+        let trace = system.llc().accesses_seen();
+        if trace as usize >= records || instructions > 400_000_000 {
+            break;
+        }
+    }
+    let mut trace = system.llc_mut().take_capture().expect("capture enabled");
+    trace.truncate(records);
+    let file = fs::File::create(out).map_err(|e| ArgError(format!("create {out}: {e}")))?;
+    trace
+        .write_to(BufWriter::new(file))
+        .map_err(|e| ArgError(format!("write {out}: {e}")))?;
+    println!("captured {} LLC records from {bench} into {out}", trace.len());
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<LlcTrace, ArgError> {
+    let file = fs::File::open(path).map_err(|e| ArgError(format!("open {path}: {e}")))?;
+    LlcTrace::read_from(BufReader::new(file)).map_err(|e| ArgError(format!("read {path}: {e}")))
+}
+
+/// `rlr replay <trace.bin> [--policy P|belady|agent] [--agent FILE]` —
+/// trace-driven replay through the LLC-only model or a full cache.
+pub fn replay(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&["policy", "agent", "hidden"])?;
+    let path = args
+        .positional()
+        .first()
+        .ok_or_else(|| ArgError("usage: rlr replay <trace.bin> [--policy P]".to_owned()))?;
+    let trace = load_trace(path)?;
+    let config = SystemConfig::paper_single_core();
+    let name = args.get_or("policy", "belady").to_lowercase();
+
+    let stats: (String, f64, u64, u64) = if name == "belady" || name == "opt" {
+        let mut model = LlcModel::new(&config.llc, &trace);
+        let s = model.run_belady(&trace);
+        ("Belady".to_owned(), s.demand_hit_rate(), s.hits, s.accesses)
+    } else if name == "agent" {
+        let agent_path = args
+            .get("agent")
+            .ok_or_else(|| ArgError("--agent <file> required with --policy agent".to_owned()))?;
+        let file =
+            fs::File::open(agent_path).map_err(|e| ArgError(format!("open {agent_path}: {e}")))?;
+        let net = Mlp::load(BufReader::new(file))
+            .map_err(|e| ArgError(format!("load {agent_path}: {e}")))?;
+        let mut agent_config = AgentConfig::default();
+        agent_config.hidden = net.hidden();
+        let agent = Agent::from_net(agent_config, &config.llc, net);
+        let mut model = LlcModel::new(&config.llc, &trace);
+        let s = model.run(&trace, &mut |view| agent.decide_greedy(view));
+        ("RL agent".to_owned(), s.demand_hit_rate(), s.hits, s.accesses)
+    } else {
+        let kind = policy_by_name(&name)?;
+        let mut cache = cache_sim::SetAssocCache::new(
+            "LLC",
+            config.llc,
+            kind.build(&config.llc, Some(&trace)),
+        );
+        let mut hits = 0u64;
+        let mut demand = 0u64;
+        let mut demand_hits = 0u64;
+        for (i, r) in trace.records().iter().enumerate() {
+            let access = cache_sim::Access {
+                pc: r.pc,
+                addr: r.line << 6,
+                kind: r.kind,
+                core: r.core,
+                seq: i as u64,
+            };
+            let hit = cache.access(&access).hit;
+            hits += u64::from(hit);
+            if r.kind.is_demand() {
+                demand += 1;
+                demand_hits += u64::from(hit);
+            }
+        }
+        let rate = if demand == 0 { 0.0 } else { demand_hits as f64 / demand as f64 };
+        (kind.name().to_owned(), rate, hits, trace.len() as u64)
+    };
+
+    println!("trace        {path} ({} records)", trace.len());
+    println!("policy       {}", stats.0);
+    println!("demand hit   {:.2}%", stats.1 * 100.0);
+    println!("total hits   {} / {}", stats.2, stats.3);
+    Ok(())
+}
+
+/// `rlr train <bench|trace.bin> --out agent.mlp [--epochs N] [--hidden N]
+///  [--records N]` — train a DQN agent and save its network.
+pub fn train(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&["out", "epochs", "hidden", "records", "seed"])?;
+    let source = args
+        .positional()
+        .first()
+        .ok_or_else(|| ArgError("usage: rlr train <benchmark|trace.bin> --out agent.mlp".to_owned()))?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("--out <file> is required".to_owned()))?;
+    let epochs = args.get_num("epochs", 3usize)?;
+    let hidden = args.get_num("hidden", 64usize)?;
+    let records = args.get_num("records", 60_000usize)?;
+    let seed = args.get_num("seed", 0xCAFEu64)?;
+
+    let config = SystemConfig::paper_single_core();
+    let trace = if source.ends_with(".bin") || source.ends_with(".trace") {
+        load_trace(source)?
+    } else {
+        let workload = workload_by_name(source)?;
+        println!("capturing {records} LLC records from {source}...");
+        let mut system = SingleCoreSystem::new(&config, PolicyKind::Lru.build(&config.llc, None));
+        let mut stream = workload.stream();
+        system.llc_mut().enable_capture();
+        let mut instructions = 0u64;
+        loop {
+            instructions += 1_000_000;
+            let _ = system.run(&mut stream, instructions);
+            if system.llc().accesses_seen() as usize >= records || instructions > 400_000_000 {
+                break;
+            }
+        }
+        let mut t = system.llc_mut().take_capture().expect("capture enabled");
+        t.truncate(records);
+        t
+    };
+
+    let agent_config = AgentConfig {
+        hidden,
+        seed,
+        features: FeatureSet::full(),
+        ..AgentConfig::default()
+    };
+    let mut trainer = Trainer::new(agent_config, &config.llc);
+    for epoch in 0..epochs {
+        let report = trainer.train_epoch(&trace, &config.llc);
+        println!(
+            "epoch {epoch}: demand hit {:.1}%, {:.1}% Belady-optimal, TD loss {:.4}",
+            report.stats.demand_hit_rate() * 100.0,
+            report.optimal_rate() * 100.0,
+            report.mean_loss
+        );
+    }
+    let file = fs::File::create(out).map_err(|e| ArgError(format!("create {out}: {e}")))?;
+    trainer
+        .agent()
+        .net()
+        .save(BufWriter::new(file))
+        .map_err(|e| ArgError(format!("write {out}: {e}")))?;
+    println!("saved agent network to {out}");
+    Ok(())
+}
+
+/// `rlr analyze --agent agent.mlp [--top N]` — weight heat map of a trained
+/// agent.
+pub fn analyze(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&["agent", "top"])?;
+    let agent_path = args
+        .get("agent")
+        .ok_or_else(|| ArgError("--agent <file> is required".to_owned()))?;
+    let top = args.get_num("top", rl::NUM_FEATURES)?;
+    let config = SystemConfig::paper_single_core();
+    let file = fs::File::open(agent_path).map_err(|e| ArgError(format!("open {agent_path}: {e}")))?;
+    let net = Mlp::load(BufReader::new(file)).map_err(|e| ArgError(format!("load: {e}")))?;
+    let mut agent_config = AgentConfig::default();
+    agent_config.hidden = net.hidden();
+    let agent = Agent::from_net(agent_config, &config.llc, net);
+    let mut heat = rl::analysis::weight_heatmap(&agent);
+    heat.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("feature importance (mean |first-layer weight|):");
+    for (feature, weight) in heat.iter().take(top) {
+        println!("  {weight:.4}  {feature}");
+    }
+    Ok(())
+}
+
+/// `rlr characterize <bench> [--entries N]` — workload personality.
+pub fn characterize(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&["entries"])?;
+    let bench = args
+        .positional()
+        .first()
+        .ok_or_else(|| ArgError("usage: rlr characterize <benchmark>".to_owned()))?;
+    let entries = args.get_num("entries", 500_000u64)?;
+    let workload = workload_by_name(bench)?;
+    println!("benchmark        {bench}");
+    println!("{}", workloads::Characterization::measure(&workload, entries));
+    Ok(())
+}
+
+/// `rlr overhead` — Table I.
+pub fn overhead() -> Result<(), ArgError> {
+    println!("{}", experiments::tables::table1().render());
+    Ok(())
+}
+
+/// `rlr help` — usage.
+pub fn help() {
+    println!(
+        "rlr — RLR cache replacement reproduction (HPCA 2021)
+
+USAGE: rlr <command> [options]
+
+COMMANDS:
+  list                          benchmarks and policies
+  run <bench>                   one simulation       [--policy P] [--instructions N]
+                                                     [--warmup N] [--no-prefetch]
+  compare <bench...>            speedup-over-LRU     [--policies a,b,c] [--instructions N]
+  capture <bench>               record an LLC trace  --out FILE [--records N]
+  replay <trace.bin>            trace-driven replay  [--policy P|belady|agent] [--agent FILE]
+  train <bench|trace.bin>       train a DQN agent    --out FILE [--epochs N] [--hidden N]
+  analyze                       agent weight heatmap --agent FILE [--top N]
+  characterize <bench>          workload personality [--entries N]
+  overhead                      Table I (policy metadata budgets)
+  help                          this text
+
+The full per-figure evaluation lives in `cargo bench -p rlr-bench` (see README)."
+    );
+}

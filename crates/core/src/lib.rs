@@ -1,0 +1,62 @@
+//! # RLR — Reinforcement Learned Replacement
+//!
+//! The cost-effective LLC replacement policy from *"Designing a
+//! Cost-Effective Cache Replacement Policy using Machine Learning"*
+//! (Sethumurugan, Yin, Sartori — HPCA 2021), derived offline from an RL
+//! agent and implementable with 16.75 KB of metadata on a 2 MB LLC —
+//! without any program-counter plumbing.
+//!
+//! ## The policy
+//!
+//! Every line carries an **age counter**, a **hit register**, and a **type
+//! register**. On a miss, each line in the set is scored:
+//!
+//! ```text
+//! P_line = 8 · P_age + P_type + P_hit (+ P_core on multicore)
+//!
+//! P_age  = 1 if the line's age has not yet reached the predicted reuse
+//!          distance RD (the line may still be reused), else 0
+//! P_type = 0 if the line's last access was a prefetch (evict unreused
+//!          prefetched lines sooner), else 1
+//! P_hit  = 1 if the line has been hit since insertion, else 0
+//! P_core = rank of the inserting core by demand-hit frequency (multicore)
+//! ```
+//!
+//! The line with the lowest priority is evicted; ties break toward the
+//! *most recently* accessed line (insight 4 from the RL agent: evicting the
+//! youngest line lets older lines reach their predicted reuse).
+//!
+//! The reuse-distance prediction `RD` is `2 ×` the average *preuse
+//! distance* (age at hit) accumulated over the last 32 demand hits —
+//! a right-shift and a left-shift in hardware.
+//!
+//! ## Variants
+//!
+//! * [`RlrConfig::optimized`] — the 16.75 KB hardware design: 2-bit age
+//!   counters advancing once per 8 set misses (3-bit counter per set),
+//!   1-bit hit register, 1-bit type register, recency approximated by
+//!   age == 0 (ties to the lowest way index).
+//! * [`RlrConfig::unoptimized`] — `RLR(unopt)` from the paper's figures:
+//!   5-bit ages counting set accesses, 2-bit hit counter, exact
+//!   log2(assoc)-bit recency.
+//! * [`RlrConfig::multicore`] — adds the per-core demand-hit priority of
+//!   §IV-D, re-ranked every 2000 LLC accesses.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cache_sim::{SingleCoreSystem, SystemConfig};
+//! use rlr::RlrPolicy;
+//! use workloads::spec2006;
+//!
+//! let cfg = SystemConfig::paper_single_core();
+//! let mut system = SingleCoreSystem::new(&cfg, Box::new(RlrPolicy::optimized(&cfg.llc)));
+//! let stats = system.run(spec2006("450.soplex").unwrap().stream(), 50_000);
+//! assert!(stats.ipc() > 0.0);
+//! ```
+
+mod config;
+mod policy;
+
+pub use config::{AgeUnit, RecencyMode, RlrConfig};
+pub use policy::RlrPolicy;

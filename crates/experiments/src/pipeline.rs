@@ -1,0 +1,144 @@
+//! The shared RL pipeline: captured traces and trained agents per training
+//! benchmark, cached on disk so the five RL-driven figures don't retrain.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cache_sim::{CacheConfig, LlcTrace, SystemConfig};
+use rl::{Agent, AgentConfig, FeatureSet, Mlp, Trainer};
+use workloads::{spec2006, TRAINING_SET};
+
+use crate::report::results_dir;
+use crate::runner::capture_llc_trace;
+use crate::scale::Scale;
+
+/// One benchmark's trace and trained agent.
+pub struct TrainedBenchmark {
+    /// Benchmark name (e.g. `"429.mcf"`).
+    pub name: &'static str,
+    /// The captured LLC access trace.
+    pub trace: LlcTrace,
+    /// The trained agent.
+    pub agent: Agent,
+}
+
+/// The full trained pipeline over the paper's eight training benchmarks.
+pub struct TrainedPipeline {
+    /// LLC geometry the agents were trained for.
+    pub cache: CacheConfig,
+    /// Per-benchmark artifacts, in [`TRAINING_SET`] order.
+    pub benchmarks: Vec<TrainedBenchmark>,
+}
+
+/// The agent configuration used by the pipeline at a given scale.
+pub fn agent_config(scale: Scale) -> AgentConfig {
+    AgentConfig {
+        hidden: scale.rl_hidden(),
+        features: FeatureSet::full(),
+        seed: 0x524C_5231, // "RLR1"
+        ..AgentConfig::default()
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    results_dir().join("cache")
+}
+
+fn trace_path(name: &str, scale: Scale) -> PathBuf {
+    cache_dir().join(format!("{}_{}.trace", name.replace('.', "_"), scale))
+}
+
+fn net_path(name: &str, scale: Scale) -> PathBuf {
+    cache_dir().join(format!("{}_{}.mlp", name.replace('.', "_"), scale))
+}
+
+/// Captures (or loads from cache) the LLC traces of the eight training
+/// benchmarks without training agents — enough for the trace-only
+/// statistics (Fig. 4).
+pub fn training_traces(scale: Scale) -> Vec<(&'static str, LlcTrace)> {
+    let _ = fs::create_dir_all(cache_dir());
+    let retrain = std::env::var("RLR_RETRAIN").is_ok();
+    TRAINING_SET
+        .iter()
+        .map(|&name| (name, TrainedPipeline::load_or_capture_trace(name, scale, retrain)))
+        .collect()
+}
+
+impl TrainedPipeline {
+    /// Builds (or loads from the on-disk cache) the traces and trained
+    /// agents for all eight training benchmarks. Progress is logged to
+    /// stderr; set `RLR_RETRAIN=1` to ignore the cache.
+    pub fn build(scale: Scale) -> Self {
+        let system = SystemConfig::paper_single_core();
+        let cache = system.llc;
+        let retrain = std::env::var("RLR_RETRAIN").is_ok();
+        let _ = fs::create_dir_all(cache_dir());
+
+        let benchmarks = TRAINING_SET
+            .iter()
+            .map(|&name| {
+                let trace = Self::load_or_capture_trace(name, scale, retrain);
+                let agent = Self::load_or_train_agent(name, scale, &cache, &trace, retrain);
+                TrainedBenchmark { name, trace, agent }
+            })
+            .collect();
+        Self { cache, benchmarks }
+    }
+
+    fn load_or_capture_trace(name: &'static str, scale: Scale, retrain: bool) -> LlcTrace {
+        let path = trace_path(name, scale);
+        if !retrain {
+            if let Ok(f) = fs::File::open(&path) {
+                if let Ok(trace) = LlcTrace::read_from(std::io::BufReader::new(f)) {
+                    if trace.len() >= scale.rl_trace_len() / 2 {
+                        eprintln!("[pipeline] {name}: loaded cached trace ({} records)", trace.len());
+                        return trace;
+                    }
+                }
+            }
+        }
+        eprintln!("[pipeline] {name}: capturing LLC trace...");
+        let workload = spec2006(name).expect("training benchmarks are in SPEC2006");
+        let trace = capture_llc_trace(&workload, scale, scale.rl_trace_len());
+        if let Ok(f) = fs::File::create(&path) {
+            let _ = trace.write_to(std::io::BufWriter::new(f));
+        }
+        trace
+    }
+
+    fn load_or_train_agent(
+        name: &'static str,
+        scale: Scale,
+        cache: &CacheConfig,
+        trace: &LlcTrace,
+        retrain: bool,
+    ) -> Agent {
+        let config = agent_config(scale);
+        let path = net_path(name, scale);
+        if !retrain {
+            if let Ok(f) = fs::File::open(&path) {
+                if let Ok(net) = Mlp::load(std::io::BufReader::new(f)) {
+                    if net.hidden() == config.hidden && net.outputs() == cache.ways as usize {
+                        eprintln!("[pipeline] {name}: loaded cached agent");
+                        return Agent::from_net(config, cache, net);
+                    }
+                }
+            }
+        }
+        eprintln!("[pipeline] {name}: training agent ({} epochs)...", scale.rl_epochs());
+        let mut trainer = Trainer::new(config, cache);
+        for epoch in 0..scale.rl_epochs() {
+            let report = trainer.train_epoch(trace, cache);
+            eprintln!(
+                "[pipeline] {name}: epoch {epoch}: hit rate {:.1}%, {:.1}% Belady-optimal decisions",
+                report.stats.demand_hit_rate() * 100.0,
+                report.optimal_rate() * 100.0,
+            );
+        }
+        let agent = trainer.into_agent();
+        if let Ok(f) = fs::File::create(&path) {
+            let _ = agent.net().save(std::io::BufWriter::new(f));
+        }
+        agent
+    }
+}

@@ -1,0 +1,192 @@
+//! Table rendering: aligned text to stdout, CSV to `results/`.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A rendered experiment result: a titled grid of cells.
+///
+/// ```
+/// use experiments::Table;
+///
+/// let mut t = Table::new("demo", vec!["bench".into(), "ipc".into()]);
+/// t.push_row(vec!["429.mcf".into(), "0.16".into()]);
+/// let text = t.render();
+/// assert!(text.contains("429.mcf"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Self { title: title.into(), headers, rows: Vec::new(), notes: Vec::new() }
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The header cells.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The body rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Appends a footnote printed under the table.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Formats a float with 2 decimal places (the convention used across
+    /// all reports).
+    pub fn fmt(v: f64) -> String {
+        format!("{v:.2}")
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Writes the table as CSV into `dir`, deriving the file name from the
+    /// title. Returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn write_csv(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        fs::create_dir_all(&dir)?;
+        let slug: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.as_ref().join(format!("{}.csv", slug.trim_matches('_')));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", escape_csv_row(&self.headers))?;
+        for row in &self.rows {
+            writeln!(f, "{}", escape_csv_row(row))?;
+        }
+        Ok(path)
+    }
+
+    /// Prints the table and saves it as CSV under `results/` (relative to
+    /// the workspace root when run via cargo, else the current directory).
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        let dir = results_dir();
+        match self.write_csv(&dir) {
+            Ok(path) => println!("[csv] {}\n", path.display()),
+            Err(e) => eprintln!("[csv] failed to write {}: {e}\n", dir.display()),
+        }
+    }
+}
+
+fn escape_csv_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The output directory for CSV artifacts.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR points at the invoking crate; hop to the
+    // workspace root's results/ directory.
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(dir);
+        if let Some(ws) = p.ancestors().find(|a| a.join("Cargo.toml").exists() && a.join("crates").exists()) {
+            return ws.join("results");
+        }
+    }
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t", vec!["a".into(), "long-header".into()]);
+        t.push_row(vec!["xxxxxxx".into(), "1".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines[1].ends_with("long-header"));
+        assert!(lines[3].ends_with("1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("csv test", vec!["a,b".into()]);
+        t.push_row(vec!["x\"y".into()]);
+        let dir = std::env::temp_dir().join("rlr_csv_test");
+        let path = t.write_csv(&dir).expect("csv written");
+        let content = std::fs::read_to_string(path).expect("readable");
+        assert!(content.contains("\"a,b\""));
+        assert!(content.contains("\"x\"\"y\""));
+    }
+}

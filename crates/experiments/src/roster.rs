@@ -1,0 +1,209 @@
+//! The policy roster: every replacement policy the paper evaluates,
+//! constructible by name.
+
+use cache_sim::{CacheConfig, LlcTrace, RandomLite, ReplacementPolicy, TrueLru};
+use policies::{
+    Belady, Brrip, CounterBased, Drrip, Eva, Fifo, Glider, Hawkeye, KpcR, Mpppb, Pdp, Ship,
+    ShipPp, Srrip,
+};
+use rlr::RlrPolicy;
+
+/// A replacement policy selectable by the harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// True LRU (the baseline all speedups are relative to).
+    Lru,
+    /// First-in first-out.
+    Fifo,
+    /// Pseudo-random.
+    Random,
+    /// Static RRIP.
+    Srrip,
+    /// Bimodal RRIP.
+    Brrip,
+    /// Dynamic RRIP (set dueling).
+    Drrip,
+    /// KPC-R (non-PC adaptive insertion).
+    KpcR,
+    /// SHiP (PC-based).
+    Ship,
+    /// SHiP++ (PC-based).
+    ShipPp,
+    /// Hawkeye (PC-based, OPTgen).
+    Hawkeye,
+    /// Glider (PC-based, integer SVM over PC history).
+    Glider,
+    /// MPPPB (PC-based, multiperspective perceptron).
+    Mpppb,
+    /// Counter-based AIP (PC-indexed interval prediction).
+    CounterBased,
+    /// Protecting Distance based Policy.
+    Pdp,
+    /// Economic Value Added.
+    Eva,
+    /// RLR, optimized hardware variant (the paper's contribution).
+    Rlr,
+    /// RLR without the §IV-C overhead optimizations.
+    RlrUnopt,
+    /// RLR with the §IV-D multicore extension (4 cores).
+    RlrMulticore,
+    /// Belady's optimal (needs a captured trace).
+    Belady,
+}
+
+impl PolicyKind {
+    /// The policies of the paper's single-core comparison (Figs. 10–12),
+    /// excluding the LRU baseline.
+    pub const SINGLE_CORE: [PolicyKind; 7] = [
+        PolicyKind::Drrip,
+        PolicyKind::KpcR,
+        PolicyKind::Ship,
+        PolicyKind::Rlr,
+        PolicyKind::RlrUnopt,
+        PolicyKind::Hawkeye,
+        PolicyKind::ShipPp,
+    ];
+
+    /// The policies of the 4-core comparison (Fig. 13), excluding LRU;
+    /// RLR runs with its multicore extension.
+    pub const MULTI_CORE: [PolicyKind; 6] = [
+        PolicyKind::Drrip,
+        PolicyKind::KpcR,
+        PolicyKind::Ship,
+        PolicyKind::RlrMulticore,
+        PolicyKind::Hawkeye,
+        PolicyKind::ShipPp,
+    ];
+
+    /// Every implementable policy (excludes Belady's oracle).
+    pub const ALL_ONLINE: [PolicyKind; 18] = [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Random,
+        PolicyKind::Srrip,
+        PolicyKind::Brrip,
+        PolicyKind::Drrip,
+        PolicyKind::KpcR,
+        PolicyKind::Ship,
+        PolicyKind::ShipPp,
+        PolicyKind::Hawkeye,
+        PolicyKind::Glider,
+        PolicyKind::Mpppb,
+        PolicyKind::CounterBased,
+        PolicyKind::Pdp,
+        PolicyKind::Eva,
+        PolicyKind::Rlr,
+        PolicyKind::RlrUnopt,
+        PolicyKind::RlrMulticore,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Random => "Random",
+            PolicyKind::Srrip => "SRRIP",
+            PolicyKind::Brrip => "BRRIP",
+            PolicyKind::Drrip => "DRRIP",
+            PolicyKind::KpcR => "KPC-R",
+            PolicyKind::Ship => "SHiP",
+            PolicyKind::ShipPp => "SHiP++",
+            PolicyKind::Hawkeye => "Hawkeye",
+            PolicyKind::Glider => "Glider",
+            PolicyKind::Mpppb => "MPPPB",
+            PolicyKind::CounterBased => "Counter(AIP)",
+            PolicyKind::Pdp => "PDP",
+            PolicyKind::Eva => "EVA",
+            PolicyKind::Rlr => "RLR",
+            PolicyKind::RlrUnopt => "RLR(unopt)",
+            PolicyKind::RlrMulticore => "RLR",
+            PolicyKind::Belady => "Belady",
+        }
+    }
+
+    /// Whether the policy requires PC information at the LLC (Table I's
+    /// "Uses PC" column).
+    pub fn uses_pc(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Ship
+                | PolicyKind::ShipPp
+                | PolicyKind::Hawkeye
+                | PolicyKind::Glider
+                | PolicyKind::Mpppb
+                | PolicyKind::CounterBased
+        )
+    }
+
+    /// Builds the policy for a cache geometry. `trace` is required only for
+    /// [`PolicyKind::Belady`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if Belady is requested without a trace.
+    pub fn build(self, config: &CacheConfig, trace: Option<&LlcTrace>) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(TrueLru::new(config)),
+            PolicyKind::Fifo => Box::new(Fifo::new(config)),
+            PolicyKind::Random => Box::new(RandomLite::new(config)),
+            PolicyKind::Srrip => Box::new(Srrip::new(config)),
+            PolicyKind::Brrip => Box::new(Brrip::new(config)),
+            PolicyKind::Drrip => Box::new(Drrip::new(config)),
+            PolicyKind::KpcR => Box::new(KpcR::new(config)),
+            PolicyKind::Ship => Box::new(Ship::new(config)),
+            PolicyKind::ShipPp => Box::new(ShipPp::new(config)),
+            PolicyKind::Hawkeye => Box::new(Hawkeye::new(config)),
+            PolicyKind::Glider => Box::new(Glider::new(config)),
+            PolicyKind::Mpppb => Box::new(Mpppb::new(config)),
+            PolicyKind::CounterBased => Box::new(CounterBased::new(config)),
+            PolicyKind::Pdp => Box::new(Pdp::new(config)),
+            PolicyKind::Eva => Box::new(Eva::new(config)),
+            PolicyKind::Rlr => Box::new(RlrPolicy::optimized(config)),
+            PolicyKind::RlrUnopt => Box::new(RlrPolicy::unoptimized(config)),
+            PolicyKind::RlrMulticore => Box::new(RlrPolicy::multicore(4, config)),
+            PolicyKind::Belady => Box::new(Belady::from_trace(
+                trace.expect("Belady needs a captured LLC trace"),
+                config,
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_online_policy_builds() {
+        let cfg = CacheConfig { sets: 64, ways: 8, latency: 1 };
+        for kind in PolicyKind::ALL_ONLINE {
+            let p = kind.build(&cfg, None);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn pc_flags_match_table_i() {
+        assert!(!PolicyKind::Lru.uses_pc());
+        assert!(!PolicyKind::Drrip.uses_pc());
+        assert!(!PolicyKind::KpcR.uses_pc());
+        assert!(!PolicyKind::Rlr.uses_pc());
+        assert!(PolicyKind::Ship.uses_pc());
+        assert!(PolicyKind::ShipPp.uses_pc());
+        assert!(PolicyKind::Hawkeye.uses_pc());
+    }
+
+    #[test]
+    #[should_panic(expected = "captured LLC trace")]
+    fn belady_without_trace_panics() {
+        let cfg = CacheConfig { sets: 4, ways: 2, latency: 1 };
+        let _ = PolicyKind::Belady.build(&cfg, None);
+    }
+}

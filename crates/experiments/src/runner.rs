@@ -1,0 +1,106 @@
+//! Simulation drivers shared by every experiment.
+
+use cache_sim::{LlcTrace, MultiCoreSystem, RunStats, SingleCoreSystem, SystemConfig};
+use workloads::{Workload, WorkloadMix};
+
+use crate::roster::PolicyKind;
+use crate::scale::Scale;
+
+/// Runs one workload on the paper's single-core system with the given LLC
+/// policy, honouring the scale's warm-up/measure split.
+pub fn run_single(workload: &Workload, policy: PolicyKind, scale: Scale) -> RunStats {
+    let config = SystemConfig::paper_single_core();
+    let mut system = SingleCoreSystem::new(&config, policy.build(&config.llc, None));
+    let mut stream = workload.stream();
+    system.warm_up(&mut stream, scale.warmup());
+    system.run(stream, scale.instructions())
+}
+
+/// Runs a workload once with LRU and captures its LLC access trace
+/// (`max_records` records, collected after warm-up), for the trace-driven
+/// pipeline (RL training, Belady, Figs. 1 and 3–7).
+///
+/// The capture is policy-invariant: the LLC access stream does not depend
+/// on the LLC replacement policy in this simulator.
+pub fn capture_llc_trace(workload: &Workload, scale: Scale, max_records: usize) -> LlcTrace {
+    let config = SystemConfig::paper_single_core();
+    let mut system = SingleCoreSystem::new(&config, PolicyKind::Lru.build(&config.llc, None));
+    let mut stream = workload.stream();
+    system.warm_up(&mut stream, scale.warmup() / 2);
+    let base = system.llc().accesses_seen();
+    system.llc_mut().enable_capture();
+    // Run in slices until enough LLC records accumulate (memory-bound
+    // workloads need far fewer instructions than cache-friendly ones).
+    let mut instructions = 0u64;
+    loop {
+        instructions += 1_000_000;
+        let _ = system.run(&mut stream, instructions);
+        let captured = system.llc().accesses_seen() - base;
+        if captured as usize >= max_records || instructions >= 40 * scale.instructions() {
+            break;
+        }
+    }
+    let mut trace = system.llc_mut().take_capture().expect("capture enabled");
+    trace.truncate(max_records);
+    trace
+}
+
+/// Runs a 4-core mix on the paper's quad-core system; returns per-core
+/// statistics.
+pub fn run_mix(mix: &WorkloadMix, policy: PolicyKind, scale: Scale) -> Vec<RunStats> {
+    let config = SystemConfig::paper_quad_core();
+    let streams = mix
+        .workloads()
+        .iter()
+        .enumerate()
+        .map(|(core, wl)| {
+            // Distinct per-core seeds keep identical benchmarks from
+            // running in lockstep; a per-core PC salt models distinct
+            // binaries/address spaces (without it, every synthetic
+            // workload allocates PCs from the same base and cross-core
+            // collisions poison shared PC-indexed predictors).
+            let seeded = wl.clone().with_seed(wl.seed() ^ (core as u64 + 1).wrapping_mul(0x9E37));
+            let pc_salt = (core as u64 + 1) << 44;
+            Box::new(seeded.stream().map(move |mut e| {
+                e.pc ^= pc_salt;
+                e
+            })) as Box<dyn Iterator<Item = workloads::TraceEntry> + Send>
+        })
+        .collect();
+    let mut system = MultiCoreSystem::new(&config, policy.build(&config.llc, None), streams);
+    system.run(scale.mc_warmup(), scale.mc_instructions())
+}
+
+/// The paper's multicore per-mix metric: the geometric mean over cores of
+/// each core's IPC speedup versus the same core under LRU.
+pub fn mix_speedup_pct(policy_runs: &[RunStats], lru_runs: &[RunStats]) -> f64 {
+    assert_eq!(policy_runs.len(), lru_runs.len(), "core counts must match");
+    let mut log_sum = 0.0;
+    for (p, l) in policy_runs.iter().zip(lru_runs) {
+        log_sum += (p.ipc() / l.ipc()).ln();
+    }
+    ((log_sum / policy_runs.len() as f64).exp() - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::spec2006;
+
+    /// A scale smaller than `Scale::Small` is not exposed publicly; tests
+    /// use Small but with the cheapest benchmark.
+    #[test]
+    fn capture_produces_bounded_trace() {
+        let wl = spec2006("429.mcf").expect("known benchmark");
+        let trace = capture_llc_trace(&wl, Scale::Small, 5_000);
+        assert!(trace.len() <= 5_000);
+        assert!(trace.len() >= 4_000, "mcf floods the LLC: got {}", trace.len());
+    }
+
+    #[test]
+    fn mix_speedup_is_zero_against_itself() {
+        let stats = RunStats { instructions: 100, cycles: 50, ..RunStats::default() };
+        let s = mix_speedup_pct(&[stats, stats], &[stats, stats]);
+        assert!(s.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Tables I and IV of the paper.
+
+use cache_sim::{CacheConfig, ReplacementPolicy};
+use workloads::{cloudsuite, random_spec_mixes, CLOUDSUITE, SPEC2006};
+
+use crate::figures::single_core_sweep;
+use crate::report::Table;
+use crate::roster::PolicyKind;
+use crate::runner::{mix_speedup_pct, run_mix};
+use crate::scale::Scale;
+use crate::geomean_speedup_pct;
+
+/// Table I: hardware overhead per policy in a 16-way 2 MB LLC. Implemented
+/// policies report their actual metadata accounting; MPPPB and Glider are
+/// quoted from the literature (the paper compares against them only here).
+pub fn table1() -> Table {
+    let llc = CacheConfig::with_capacity_kb(2048, 16, 26);
+    let mut table = Table::new(
+        "Table I: hardware overhead (16-way 2MB LLC)",
+        vec!["policy".into(), "uses PC".into(), "overhead (KB)".into(), "paper (KB)".into()],
+    );
+    let kb = |p: &dyn ReplacementPolicy| p.overhead_bits(&llc) as f64 / 8.0 / 1024.0;
+    let rows: Vec<(PolicyKind, &str)> = vec![
+        (PolicyKind::Lru, "16"),
+        (PolicyKind::Drrip, "8"),
+        (PolicyKind::KpcR, "8.57"),
+        (PolicyKind::Mpppb, "28"),
+        (PolicyKind::Ship, "14"),
+        (PolicyKind::ShipPp, "20"),
+        (PolicyKind::Hawkeye, "28"),
+        (PolicyKind::Glider, "61.6"),
+        (PolicyKind::Rlr, "16.75"),
+        (PolicyKind::RlrUnopt, "40"),
+        (PolicyKind::CounterBased, "-"),
+        (PolicyKind::Srrip, "-"),
+        (PolicyKind::Brrip, "-"),
+        (PolicyKind::Fifo, "-"),
+        (PolicyKind::Pdp, "-"),
+        (PolicyKind::Eva, "-"),
+        (PolicyKind::Random, "-"),
+    ];
+    for (kind, paper) in rows {
+        let policy = kind.build(&llc, None);
+        table.push_row(vec![
+            kind.name().to_owned(),
+            if kind.uses_pc() { "yes" } else { "no" }.to_owned(),
+            format!("{:.2}", kb(policy.as_ref())),
+            paper.to_owned(),
+        ]);
+    }
+    table.push_note(
+        "Glider's paper budget (61.6 KB) includes larger tables than this implementation's; \
+         rows marked '-' have no Table I entry in the paper.",
+    );
+    table
+}
+
+/// Table IV: overall geometric-mean IPC speedup over LRU for 1-core
+/// (2 MB LLC) and 4-core (8 MB LLC) systems, on SPEC CPU 2006 and
+/// CloudSuite.
+pub fn table4(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Table IV: overall speedup over LRU (%)",
+        vec![
+            "policy".into(),
+            "1-core SPEC".into(),
+            "1-core Cloud".into(),
+            "4-core SPEC".into(),
+            "4-core Cloud".into(),
+        ],
+    );
+
+    // Single-core sweeps.
+    let spec = single_core_sweep(&SPEC2006, scale);
+    let cloud = single_core_sweep(&CLOUDSUITE, scale);
+    let overall_1c = |sweep: &[(String, Vec<(PolicyKind, cache_sim::RunStats)>)], kind: PolicyKind| {
+        geomean_speedup_pct(sweep.iter().map(|(_, runs)| {
+            let lru = &runs[0].1;
+            runs.iter()
+                .find(|(p, _)| *p == kind)
+                .map(|(_, s)| s.speedup_pct_over(lru))
+                .expect("policy in sweep")
+        }))
+    };
+
+    // Multi-core: random SPEC mixes + homogeneous CloudSuite mixes.
+    let spec_mixes = random_spec_mixes(scale.mix_count(), 4, 2021);
+    let cloud_mixes: Vec<workloads::WorkloadMix> = CLOUDSUITE
+        .iter()
+        .map(|name| {
+            let wl = cloudsuite(name).expect("cloud benchmark");
+            workloads::WorkloadMix::new(
+                format!("cloud-{name}"),
+                (0..4).map(|i| wl.clone().with_seed(wl.seed() ^ i)).collect(),
+            )
+        })
+        .collect();
+
+    let mc_speedups = |mixes: &[workloads::WorkloadMix], kind: PolicyKind| {
+        geomean_speedup_pct(mixes.iter().map(|mix| {
+            let lru = run_mix(mix, PolicyKind::Lru, scale);
+            let runs = run_mix(mix, kind, scale);
+            mix_speedup_pct(&runs, &lru)
+        }))
+    };
+
+    // The paper's Table IV rows.
+    let rows: Vec<(PolicyKind, PolicyKind)> = vec![
+        // (single-core variant, multicore variant)
+        (PolicyKind::Drrip, PolicyKind::Drrip),
+        (PolicyKind::KpcR, PolicyKind::KpcR),
+        (PolicyKind::Rlr, PolicyKind::RlrMulticore),
+        (PolicyKind::RlrUnopt, PolicyKind::RlrUnopt),
+        (PolicyKind::Ship, PolicyKind::Ship),
+        (PolicyKind::Hawkeye, PolicyKind::Hawkeye),
+        (PolicyKind::ShipPp, PolicyKind::ShipPp),
+    ];
+    for (single, multi) in rows {
+        eprintln!("[table4] {}", single.name());
+        table.push_row(vec![
+            if single == PolicyKind::RlrUnopt { "RLR(unopt)".to_owned() } else { single.name().to_owned() },
+            Table::fmt(overall_1c(&spec, single)),
+            Table::fmt(overall_1c(&cloud, single)),
+            Table::fmt(mc_speedups(&spec_mixes, multi)),
+            Table::fmt(mc_speedups(&cloud_mixes, multi)),
+        ]);
+    }
+    table
+}

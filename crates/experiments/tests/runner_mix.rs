@@ -1,0 +1,74 @@
+//! Multicore runner invariants.
+
+use experiments::runner::{mix_speedup_pct, run_mix};
+use experiments::{PolicyKind, Scale};
+use workloads::{spec2006, WorkloadMix};
+
+/// Scale::Small multicore budgets are too slow for a test; drive run_mix's
+/// building blocks at test size instead.
+#[test]
+fn per_core_pc_salting_separates_identical_workloads() {
+    // Two cores running the SAME benchmark must not present identical PCs
+    // to the shared LLC (distinct address spaces in reality).
+    use cache_sim::{MultiCoreSystem, SystemConfig, TrueLru};
+    use workloads::TraceEntry;
+
+    let mut config = SystemConfig::paper_quad_core();
+    config.cores = 2;
+    // Reuse the salting logic indirectly: replicate what run_mix does.
+    let wl = spec2006("450.soplex").expect("known benchmark");
+    let streams: Vec<Box<dyn Iterator<Item = TraceEntry> + Send>> = (0..2)
+        .map(|core| {
+            let seeded = wl.clone().with_seed(wl.seed() ^ (core as u64 + 1));
+            let salt = (core as u64 + 1) << 44;
+            Box::new(seeded.stream().map(move |mut e| {
+                e.pc ^= salt;
+                e
+            })) as Box<dyn Iterator<Item = TraceEntry> + Send>
+        })
+        .collect();
+    let mut system = MultiCoreSystem::new(&config, Box::new(TrueLru::new(&config.llc)), streams);
+    system.llc_mut().enable_capture();
+    let _ = system.run(0, 150_000);
+    let trace = system.llc_mut().take_capture().expect("capture enabled");
+    let mut pcs0 = std::collections::HashSet::new();
+    let mut pcs1 = std::collections::HashSet::new();
+    for r in trace.records() {
+        if r.pc == 0 {
+            continue; // writebacks carry no PC
+        }
+        if r.core == 0 {
+            pcs0.insert(r.pc);
+        } else {
+            pcs1.insert(r.pc);
+        }
+    }
+    assert!(!pcs0.is_empty() && !pcs1.is_empty());
+    assert!(
+        pcs0.is_disjoint(&pcs1),
+        "per-core PC salting must prevent cross-core collisions"
+    );
+}
+
+#[test]
+fn mix_speedup_requires_matching_core_counts() {
+    let stats = cache_sim::RunStats { instructions: 10, cycles: 10, ..Default::default() };
+    let result = std::panic::catch_unwind(|| mix_speedup_pct(&[stats], &[stats, stats]));
+    assert!(result.is_err(), "mismatched core counts must panic");
+}
+
+#[test]
+#[ignore = "slow: full Scale::Small multicore run; exercised by the fig13 bench"]
+fn run_mix_produces_stats_for_every_core() {
+    let mix = WorkloadMix::new(
+        "t",
+        vec![
+            spec2006("416.gamess").expect("known"),
+            spec2006("450.soplex").expect("known"),
+            spec2006("470.lbm").expect("known"),
+            spec2006("429.mcf").expect("known"),
+        ],
+    );
+    let stats = run_mix(&mix, PolicyKind::Rlr, Scale::Small);
+    assert_eq!(stats.len(), 4);
+}

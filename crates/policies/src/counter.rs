@@ -1,0 +1,215 @@
+//! Counter-based replacement (Kharbutli & Solihin, IEEE TC 2008): the AIP
+//! (Access Interval Predictor) variant discussed in the paper's §II.
+//!
+//! Each line carries an event counter (set accesses since its last access)
+//! and a learned expiration threshold; once the counter passes the
+//! threshold the line is considered dead and becomes eligible for
+//! replacement. Thresholds are learned per PC: when a line is evicted or
+//! re-accessed, its observed maximal access interval updates a PC-indexed
+//! prediction table, which seeds the threshold of future lines inserted by
+//! the same PC.
+
+use cache_sim::{Access, CacheConfig, Decision, LineSnapshot, ReplacementPolicy};
+
+use crate::pc_signature;
+
+/// Prediction-table index width.
+const TABLE_BITS: u32 = 12;
+/// Counter/threshold saturation (6-bit counters in the original).
+const COUNTER_MAX: u64 = 63;
+/// Threshold slack: a line expires once its interval exceeds the learned
+/// maximum interval plus this margin (the original uses a small constant).
+const SLACK: u64 = 2;
+
+/// The counter-based (AIP) replacement policy.
+#[derive(Clone, Debug)]
+pub struct CounterBased {
+    ways: u16,
+    /// Per-set access clock (intervals are derived from stamps).
+    set_clock: Vec<u64>,
+    /// Per-line stamp at last access.
+    stamp: Vec<u64>,
+    /// Per-line largest access interval observed during residency.
+    max_interval: Vec<u64>,
+    /// Per-line learned expiration threshold.
+    threshold: Vec<u64>,
+    /// Per-line owning PC signature (to update the table on eviction).
+    line_sig: Vec<u16>,
+    /// PC-indexed predicted thresholds.
+    table: Vec<u8>,
+}
+
+impl CounterBased {
+    /// Creates the policy for the geometry.
+    pub fn new(config: &CacheConfig) -> Self {
+        let lines = config.lines() as usize;
+        Self {
+            ways: config.ways,
+            set_clock: vec![0; config.sets as usize],
+            stamp: vec![0; lines],
+            max_interval: vec![0; lines],
+            threshold: vec![COUNTER_MAX; lines],
+            line_sig: vec![0; lines],
+            table: vec![COUNTER_MAX as u8; 1 << TABLE_BITS],
+        }
+    }
+
+    fn idx(&self, set: u32, way: u16) -> usize {
+        set as usize * self.ways as usize + way as usize
+    }
+
+    fn interval(&self, set: u32, way: u16) -> u64 {
+        (self.set_clock[set as usize] - self.stamp[self.idx(set, way)]).min(COUNTER_MAX)
+    }
+
+    /// Folds an observed interval into the PC table (max-with-decay, so
+    /// phase changes are eventually forgotten).
+    fn learn(&mut self, sig: u16, observed: u64) {
+        let entry = &mut self.table[usize::from(sig)];
+        let observed = observed.min(COUNTER_MAX) as u8;
+        if observed > *entry {
+            *entry = observed;
+        } else {
+            // Exponential-ish decay toward the observation.
+            *entry -= (*entry - observed) / 4;
+        }
+    }
+}
+
+impl ReplacementPolicy for CounterBased {
+    fn name(&self) -> String {
+        "Counter(AIP)".to_owned()
+    }
+
+    fn on_miss(&mut self, set: u32, _access: &Access) {
+        self.set_clock[set as usize] += 1;
+    }
+
+    fn select_victim(&mut self, set: u32, _lines: &[LineSnapshot], _access: &Access) -> Decision {
+        // Prefer an expired line (counter past threshold); fall back to the
+        // line closest past / nearest to expiration (largest interval).
+        let mut expired: Option<(u16, u64)> = None;
+        let mut oldest: (u16, u64) = (0, 0);
+        for w in 0..self.ways {
+            let interval = self.interval(set, w);
+            let i = self.idx(set, w);
+            if interval > self.threshold[i] + SLACK && expired.is_none_or(|(_, v)| interval > v) {
+                expired = Some((w, interval));
+            }
+            if interval >= oldest.1 {
+                oldest = (w, interval);
+            }
+        }
+        let victim = expired.map_or(oldest.0, |(w, _)| w);
+        // The evicted line's lifetime knowledge flows back into the table.
+        let i = self.idx(set, victim);
+        let sig = self.line_sig[i];
+        let observed = self.max_interval[i].max(self.interval(set, victim));
+        self.learn(sig, observed);
+        Decision::Evict(victim)
+    }
+
+    fn on_hit(&mut self, set: u32, way: u16, access: &Access) {
+        self.set_clock[set as usize] += 1;
+        let interval = self.interval(set, way);
+        let i = self.idx(set, way);
+        self.max_interval[i] = self.max_interval[i].max(interval);
+        // Re-access also refreshes the learned threshold for this line.
+        self.threshold[i] = self.threshold[i].max(interval + SLACK).min(COUNTER_MAX);
+        self.stamp[i] = self.set_clock[set as usize];
+        self.line_sig[i] = pc_signature(access.pc, TABLE_BITS) as u16;
+    }
+
+    fn on_fill(&mut self, set: u32, way: u16, access: &Access) {
+        let i = self.idx(set, way);
+        let sig = pc_signature(access.pc, TABLE_BITS) as u16;
+        self.stamp[i] = self.set_clock[set as usize];
+        self.max_interval[i] = 0;
+        self.line_sig[i] = sig;
+        self.threshold[i] = u64::from(self.table[usize::from(sig)]);
+    }
+
+    fn overhead_bits(&self, config: &CacheConfig) -> u64 {
+        // 6-bit counter + 6-bit threshold + PC signature per line, plus the
+        // prediction table.
+        config.lines() * (6 + 6 + u64::from(TABLE_BITS)) + (1 << TABLE_BITS) * 6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::AccessKind;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig { sets: 2, ways: 4, latency: 1 }
+    }
+
+    fn access(pc: u64, addr: u64) -> Access {
+        Access { pc, addr, kind: AccessKind::Load, core: 0, seq: 0 }
+    }
+
+    fn lines() -> Vec<LineSnapshot> {
+        vec![LineSnapshot { valid: true, line: 0, dirty: false, core: 0 }; 4]
+    }
+
+    #[test]
+    fn expired_lines_are_preferred() {
+        let mut p = CounterBased::new(&cfg());
+        for w in 0..4 {
+            p.on_fill(0, w, &access(0x400, u64::from(w) * 64));
+        }
+        // Tighten way 1's threshold, then age the set far past it.
+        let i = p.idx(0, 1);
+        p.threshold[i] = 1;
+        for _ in 0..20 {
+            p.on_miss(0, &access(0x400, 999));
+        }
+        // Refresh every other way so only way 1 is expired.
+        for w in [0u16, 2, 3] {
+            p.on_hit(0, w, &access(0x400, u64::from(w) * 64));
+        }
+        match p.select_victim(0, &lines(), &access(0x1, 4096)) {
+            Decision::Evict(w) => assert_eq!(w, 1),
+            Decision::Bypass => panic!("counter-based never bypasses"),
+        }
+    }
+
+    #[test]
+    fn eviction_feeds_the_pc_table() {
+        let mut p = CounterBased::new(&cfg());
+        let pc = 0x777;
+        let sig = pc_signature(pc, TABLE_BITS) as usize;
+        p.on_fill(0, 0, &access(pc, 0));
+        // Age a little, then force the eviction of way 0.
+        for _ in 0..5 {
+            p.on_miss(0, &access(0x1, 64));
+        }
+        let before = p.table[sig];
+        let _ = p.select_victim(0, &lines(), &access(0x1, 4096));
+        assert!(p.table[sig] <= before, "short lifetime must pull the prediction down");
+    }
+
+    #[test]
+    fn new_lines_inherit_the_learned_threshold() {
+        let mut p = CounterBased::new(&cfg());
+        let pc = 0x123;
+        let sig = pc_signature(pc, TABLE_BITS) as usize;
+        p.table[sig] = 7;
+        p.on_fill(1, 2, &access(pc, 64 * 3));
+        assert_eq!(p.threshold[p.idx(1, 2)], 7);
+    }
+
+    #[test]
+    fn hits_extend_the_threshold() {
+        let mut p = CounterBased::new(&cfg());
+        p.on_fill(0, 0, &access(0x1, 0));
+        let i = p.idx(0, 0);
+        p.threshold[i] = 1;
+        for _ in 0..6 {
+            p.on_miss(0, &access(0x2, 64));
+        }
+        p.on_hit(0, 0, &access(0x1, 0));
+        assert!(p.threshold[i] >= 6, "a long observed interval must extend protection");
+    }
+}

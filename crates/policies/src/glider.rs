@@ -1,0 +1,339 @@
+//! Glider (Shi, Huang, Jain, Lin — MICRO 2019): an Integer Support Vector
+//! Machine over an unordered PC history register, trained online with
+//! OPTgen labels.
+//!
+//! Glider is the most hardware-expensive policy in the paper's Table I
+//! (61.6 KB). Its offline LSTM analysis showed that an *unordered* set of
+//! the last few PCs suffices to predict reuse; the hardware distills this
+//! into a per-PC table of integer weights indexed by the history PCs.
+
+use std::collections::HashMap;
+
+use cache_sim::{Access, AccessKind, CacheConfig, Decision, LineSnapshot, ReplacementPolicy};
+
+use crate::pc_signature;
+
+/// 3-bit RRIP values, as in Hawkeye; 7 marks cache-averse lines.
+const MAX_RRPV: u8 = 7;
+/// Tracked history length (the paper's PCHR holds 5 PCs).
+const HISTORY: usize = 5;
+/// Hash width selecting the ISVM row (one row per current PC).
+const ROW_BITS: u32 = 11;
+/// Weights per row; each history PC selects one.
+const WEIGHTS_PER_ROW: usize = 16;
+/// Integer weight saturation (6-bit signed in the paper's budget).
+const WEIGHT_MAX: i16 = 31;
+/// Prediction sum for a high-confidence friendly insertion.
+const CONFIDENT: i32 = 30;
+/// Training margin: update until the sum clears this magnitude.
+const MARGIN: i32 = 30;
+/// One of every `SAMPLE_PERIOD` sets feeds OPTgen.
+const SAMPLE_PERIOD: u32 = 32;
+
+/// Per-sampled-set OPTgen, storing the PC history snapshot alongside each
+/// access so training reconstructs the exact SVM inputs.
+#[derive(Clone, Debug)]
+struct OptGenSet {
+    time: u64,
+    window: usize,
+    occupancy: Vec<u8>,
+    last_access: HashMap<u64, (u64, u64, [u16; HISTORY])>,
+}
+
+impl OptGenSet {
+    fn new(window: usize) -> Self {
+        Self { time: 0, window, occupancy: vec![0; window], last_access: HashMap::new() }
+    }
+
+    /// Returns `Some((pc, history_snapshot, opt_hit))` when a label for the
+    /// previous access to `line` is available.
+    fn access(
+        &mut self,
+        line: u64,
+        pc: u64,
+        history: [u16; HISTORY],
+        ways: u16,
+    ) -> Option<(u64, [u16; HISTORY], bool)> {
+        let now = self.time;
+        self.time += 1;
+        self.occupancy[(now % self.window as u64) as usize] = 0;
+        let label = self.last_access.get(&line).copied().map(|(prev_t, prev_pc, prev_hist)| {
+            let age = now - prev_t;
+            if age == 0 || age >= self.window as u64 {
+                (prev_pc, prev_hist, false)
+            } else {
+                let fits = (prev_t..now)
+                    .all(|t| self.occupancy[(t % self.window as u64) as usize] < ways as u8);
+                if fits {
+                    for t in prev_t..now {
+                        self.occupancy[(t % self.window as u64) as usize] += 1;
+                    }
+                }
+                (prev_pc, prev_hist, fits)
+            }
+        });
+        self.last_access.insert(line, (now, pc, history));
+        if self.last_access.len() > 4 * self.window {
+            let horizon = now.saturating_sub(self.window as u64);
+            self.last_access.retain(|_, &mut (t, _, _)| t >= horizon);
+        }
+        label
+    }
+}
+
+/// The Glider replacement policy.
+#[derive(Clone, Debug)]
+pub struct Glider {
+    ways: u16,
+    rrpv: Vec<u8>,
+    /// Per line: the (row, selected weight indices) used at insertion, for
+    /// eviction-time detraining.
+    line_row: Vec<u16>,
+    line_hist: Vec<[u16; HISTORY]>,
+    /// ISVM: `weights[row * WEIGHTS_PER_ROW + k]`.
+    weights: Vec<i16>,
+    /// The PC history register: the last `HISTORY` hashed PCs (unordered
+    /// use, ordered storage).
+    history: [u16; HISTORY],
+    optgen: Vec<OptGenSet>,
+}
+
+impl Glider {
+    /// Creates Glider for the geometry.
+    pub fn new(config: &CacheConfig) -> Self {
+        let sampled = (config.sets as usize).div_ceil(SAMPLE_PERIOD as usize);
+        let window = 8 * config.ways as usize;
+        Self {
+            ways: config.ways,
+            rrpv: vec![MAX_RRPV; config.lines() as usize],
+            line_row: vec![0; config.lines() as usize],
+            line_hist: vec![[0; HISTORY]; config.lines() as usize],
+            weights: vec![0; (1 << ROW_BITS) * WEIGHTS_PER_ROW],
+            history: [0; HISTORY],
+            optgen: (0..sampled).map(|_| OptGenSet::new(window)).collect(),
+        }
+    }
+
+    fn row_of(pc: u64) -> u16 {
+        pc_signature(pc, ROW_BITS) as u16
+    }
+
+    fn weight_index(row: u16, hist_pc: u16) -> usize {
+        usize::from(row) * WEIGHTS_PER_ROW + usize::from(hist_pc) % WEIGHTS_PER_ROW
+    }
+
+    fn predict(&self, row: u16, history: &[u16; HISTORY]) -> i32 {
+        history
+            .iter()
+            .map(|&h| i32::from(self.weights[Self::weight_index(row, h)]))
+            .sum()
+    }
+
+    fn train(&mut self, row: u16, history: &[u16; HISTORY], friendly: bool) {
+        let sum = self.predict(row, history);
+        // Integer-SVM update rule: adjust only while inside the margin or
+        // mispredicting.
+        let update = if friendly { sum < MARGIN } else { sum > -MARGIN };
+        if !update {
+            return;
+        }
+        for &h in history {
+            let w = &mut self.weights[Self::weight_index(row, h)];
+            if friendly {
+                *w = (*w + 1).min(WEIGHT_MAX);
+            } else {
+                *w = (*w - 1).max(-WEIGHT_MAX);
+            }
+        }
+    }
+
+    fn push_history(&mut self, pc: u64) {
+        let hashed = pc_signature(pc, ROW_BITS) as u16;
+        self.history.rotate_right(1);
+        self.history[0] = hashed;
+    }
+
+    fn idx(&self, set: u32, way: u16) -> usize {
+        set as usize * self.ways as usize + way as usize
+    }
+
+    fn observe_and_place(&mut self, set: u32, way: u16, access: &Access, is_fill: bool) {
+        if access.kind != AccessKind::Writeback {
+            // OPTgen training on sampled sets.
+            if set.is_multiple_of(SAMPLE_PERIOD) {
+                let slot = (set / SAMPLE_PERIOD) as usize;
+                let ways = self.ways;
+                let history = self.history;
+                if let Some((prev_pc, prev_hist, opt_hit)) =
+                    self.optgen[slot].access(access.line(), access.pc, history, ways)
+                {
+                    self.train(Self::row_of(prev_pc), &prev_hist, opt_hit);
+                }
+            }
+            self.push_history(access.pc);
+        }
+
+        let row = Self::row_of(access.pc);
+        let i = self.idx(set, way);
+        self.line_row[i] = row;
+        self.line_hist[i] = self.history;
+        if access.kind == AccessKind::Writeback {
+            self.rrpv[i] = MAX_RRPV;
+            return;
+        }
+        let sum = self.predict(row, &self.history);
+        self.rrpv[i] = if sum >= CONFIDENT {
+            0
+        } else if sum >= 0 {
+            if is_fill {
+                2
+            } else {
+                0
+            }
+        } else {
+            MAX_RRPV
+        };
+    }
+}
+
+impl ReplacementPolicy for Glider {
+    fn name(&self) -> String {
+        "Glider".to_owned()
+    }
+
+    fn select_victim(&mut self, set: u32, _lines: &[LineSnapshot], _access: &Access) -> Decision {
+        let base = set as usize * self.ways as usize;
+        for w in 0..self.ways as usize {
+            if self.rrpv[base + w] == MAX_RRPV {
+                return Decision::Evict(w as u16);
+            }
+        }
+        let victim = (0..self.ways as usize)
+            .max_by_key(|&w| self.rrpv[base + w])
+            .expect("at least one way");
+        // Evicting a predicted-friendly line: detrain its insertion inputs.
+        let row = self.line_row[base + victim];
+        let hist = self.line_hist[base + victim];
+        self.train(row, &hist, false);
+        Decision::Evict(victim as u16)
+    }
+
+    fn on_hit(&mut self, set: u32, way: u16, access: &Access) {
+        self.observe_and_place(set, way, access, false);
+    }
+
+    fn on_fill(&mut self, set: u32, way: u16, access: &Access) {
+        self.observe_and_place(set, way, access, true);
+    }
+
+    fn overhead_bits(&self, config: &CacheConfig) -> u64 {
+        let rrpv = config.lines() * 3;
+        // ISVM weights (6-bit) + PCHR + sampled OPTgen (as in Hawkeye) +
+        // per-line history hashes in the sampler.
+        let isvm = (1u64 << ROW_BITS) * WEIGHTS_PER_ROW as u64 * 6;
+        let pchr = HISTORY as u64 * u64::from(ROW_BITS);
+        let window = 8 * u64::from(config.ways);
+        let sampled = u64::from(config.sets.div_ceil(SAMPLE_PERIOD));
+        let optgen = sampled
+            * (window * 4
+                + 2 * u64::from(config.ways) * (u64::from(ROW_BITS) * (1 + HISTORY as u64) + 8 + 8));
+        rrpv + isvm + pchr + optgen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig { sets: 64, ways: 4, latency: 1 }
+    }
+
+    fn access(pc: u64, addr: u64) -> Access {
+        Access { pc, addr, kind: AccessKind::Load, core: 0, seq: 0 }
+    }
+
+    fn lines() -> Vec<LineSnapshot> {
+        vec![LineSnapshot { valid: true, line: 0, dirty: false, core: 0 }; 4]
+    }
+
+    #[test]
+    fn positive_weights_insert_friendly() {
+        let mut g = Glider::new(&cfg());
+        // Pre-train: every weight of this PC's row strongly positive.
+        let row = Glider::row_of(0x400);
+        for k in 0..WEIGHTS_PER_ROW {
+            g.weights[usize::from(row) * WEIGHTS_PER_ROW + k] = WEIGHT_MAX;
+        }
+        g.on_fill(1, 0, &access(0x400, 64));
+        assert_eq!(g.rrpv[4], 0, "confident friendly PCs insert at MRU");
+    }
+
+    #[test]
+    fn negative_weights_insert_averse() {
+        let mut g = Glider::new(&cfg());
+        let row = Glider::row_of(0x900);
+        for k in 0..WEIGHTS_PER_ROW {
+            g.weights[usize::from(row) * WEIGHTS_PER_ROW + k] = -WEIGHT_MAX;
+        }
+        g.on_fill(1, 2, &access(0x900, 128));
+        assert_eq!(g.rrpv[6], MAX_RRPV);
+        match g.select_victim(1, &lines(), &access(0x1, 999 * 64)) {
+            Decision::Evict(w) => assert_eq!(w, 0, "first averse way wins (way 0 is averse-initialized)"),
+            Decision::Bypass => panic!("Glider never bypasses"),
+        }
+    }
+
+    #[test]
+    fn optgen_labels_train_the_svm() {
+        let mut g = Glider::new(&cfg());
+        let pc = 0x400;
+        // Short reuse in sampled set 0 must push the PC's weights up.
+        g.on_fill(0, 0, &access(pc, 0));
+        g.on_hit(0, 0, &access(pc, 0));
+        let row = Glider::row_of(pc);
+        let sum: i32 = (0..WEIGHTS_PER_ROW)
+            .map(|k| i32::from(g.weights[usize::from(row) * WEIGHTS_PER_ROW + k]))
+            .sum();
+        assert!(sum > 0, "reuse must train weights positive, sum={sum}");
+    }
+
+    #[test]
+    fn training_respects_the_margin() {
+        // All five history slots select the same weight, so training stops
+        // once 5·w clears the margin (the integer-SVM fixed-margin rule).
+        let mut g = Glider::new(&cfg());
+        let hist = [3u16; HISTORY];
+        for _ in 0..100 {
+            g.train(7, &hist, true);
+        }
+        let w = g.weights[Glider::weight_index(7, 3)];
+        assert!(i32::from(w) * HISTORY as i32 >= MARGIN, "w = {w}");
+        assert!(w <= WEIGHT_MAX);
+        for _ in 0..300 {
+            g.train(7, &hist, false);
+        }
+        let w = g.weights[Glider::weight_index(7, 3)];
+        assert!(i32::from(w) * HISTORY as i32 <= -MARGIN, "w = {w}");
+        assert!(w >= -WEIGHT_MAX);
+    }
+
+    #[test]
+    fn history_register_shifts() {
+        let mut g = Glider::new(&cfg());
+        for pc in [0x10u64, 0x20, 0x30, 0x40, 0x50, 0x60] {
+            g.push_history(pc);
+        }
+        assert_eq!(g.history[0], pc_signature(0x60, ROW_BITS) as u16);
+        assert_eq!(g.history[HISTORY - 1], pc_signature(0x20, ROW_BITS) as u16);
+    }
+
+    #[test]
+    fn overhead_is_in_gliders_class() {
+        let cfg = CacheConfig::with_capacity_kb(2048, 16, 26);
+        let g = Glider::new(&cfg);
+        let kb = g.overhead_bits(&cfg) as f64 / 8.0 / 1024.0;
+        // Table I reports 61.6 KB; our accounting lands in the tens of KB.
+        assert!((25.0..70.0).contains(&kb), "Glider overhead {kb:.2} KB");
+    }
+}

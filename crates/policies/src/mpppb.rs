@@ -1,0 +1,257 @@
+//! MPPPB: Multiperspective Placement, Promotion, and Bypass (Jiménez &
+//! Teran, MICRO 2017).
+//!
+//! A perceptron-style reuse predictor: several independent feature tables
+//! (each a different "perspective" on the access — the PC, older PCs from
+//! the path history, address bits, and the offset) are indexed by hashed
+//! feature values; the sum of the selected weights predicts whether the
+//! line will be reused. Predicted-dead lines are placed at distant RRPV
+//! and evicted first; sampled sets train the weights on observed reuse.
+
+use cache_sim::{Access, AccessKind, CacheConfig, Decision, LineSnapshot, ReplacementPolicy};
+
+use crate::pc_signature;
+use crate::rrip::{RrpvTable, LONG_RRPV, MAX_RRPV};
+
+/// Number of feature tables (perspectives).
+const TABLES: usize = 6;
+/// Entries per feature table.
+const TABLE_BITS: u32 = 8;
+/// Signed weight saturation (6-bit).
+const WEIGHT_MAX: i16 = 31;
+/// Prediction threshold: sum below this predicts "dead on arrival".
+const DEAD_THRESHOLD: i32 = -12;
+/// Training margin.
+const MARGIN: i32 = 24;
+/// One of every `SAMPLE_PERIOD` sets trains the predictor.
+const SAMPLE_PERIOD: u32 = 32;
+/// Path-history length feeding the older-PC perspectives.
+const PATH: usize = 3;
+
+/// The MPPPB replacement policy (placement + promotion; bypass requires a
+/// bypass-capable cache and is therefore optional).
+#[derive(Clone, Debug)]
+pub struct Mpppb {
+    table: RrpvTable,
+    ways: u16,
+    /// `weights[t][i]`: weight `i` of perspective `t`.
+    weights: Vec<i16>,
+    /// Recent PC path (hashed), newest first.
+    path: [u64; PATH],
+    /// Sampled-set training state: feature indices used at insertion and
+    /// whether the line has been reused.
+    sampler_features: Vec<[u16; TABLES]>,
+    sampler_reused: Vec<bool>,
+    sampler_valid: Vec<bool>,
+}
+
+impl Mpppb {
+    /// Creates MPPPB for the geometry.
+    pub fn new(config: &CacheConfig) -> Self {
+        let sampled_lines =
+            (config.sets as usize).div_ceil(SAMPLE_PERIOD as usize) * config.ways as usize;
+        Self {
+            table: RrpvTable::new(config),
+            ways: config.ways,
+            weights: vec![0; TABLES << TABLE_BITS],
+            path: [0; PATH],
+            sampler_features: vec![[0; TABLES]; sampled_lines],
+            sampler_reused: vec![false; sampled_lines],
+            sampler_valid: vec![false; sampled_lines],
+        }
+    }
+
+    /// The six perspectives: current PC, the three most recent path PCs
+    /// (each xor-folded with its depth), the line address tag bits, and the
+    /// page-offset bits.
+    fn features(&self, access: &Access) -> [u16; TABLES] {
+        let mask = (1u64 << TABLE_BITS) - 1;
+        let mut out = [0u16; TABLES];
+        out[0] = (pc_signature(access.pc, TABLE_BITS)) as u16;
+        for (depth, slot) in self.path.iter().enumerate() {
+            out[1 + depth] = (pc_signature(slot ^ ((depth as u64 + 1) << 20), TABLE_BITS)) as u16;
+        }
+        out[4] = ((access.line() >> 10) & mask) as u16;
+        out[5] = (access.line() & mask) as u16;
+        out
+    }
+
+    fn weight_index(table: usize, feature: u16) -> usize {
+        (table << TABLE_BITS) + usize::from(feature)
+    }
+
+    fn predict(&self, features: &[u16; TABLES]) -> i32 {
+        features
+            .iter()
+            .enumerate()
+            .map(|(t, &f)| i32::from(self.weights[Self::weight_index(t, f)]))
+            .sum()
+    }
+
+    fn train(&mut self, features: &[u16; TABLES], reused: bool) {
+        let sum = self.predict(features);
+        let update = if reused { sum < MARGIN } else { sum > -MARGIN };
+        if !update {
+            return;
+        }
+        for (t, &f) in features.iter().enumerate() {
+            let w = &mut self.weights[Self::weight_index(t, f)];
+            if reused {
+                *w = (*w + 1).min(WEIGHT_MAX);
+            } else {
+                *w = (*w - 1).max(-WEIGHT_MAX);
+            }
+        }
+    }
+
+    fn push_path(&mut self, pc: u64) {
+        self.path.rotate_right(1);
+        self.path[0] = pc;
+    }
+
+    fn sampler_slot(&self, set: u32, way: u16) -> Option<usize> {
+        set.is_multiple_of(SAMPLE_PERIOD)
+            .then(|| (set / SAMPLE_PERIOD) as usize * self.ways as usize + way as usize)
+    }
+}
+
+impl ReplacementPolicy for Mpppb {
+    fn name(&self) -> String {
+        "MPPPB".to_owned()
+    }
+
+    fn select_victim(&mut self, set: u32, _lines: &[LineSnapshot], _access: &Access) -> Decision {
+        Decision::Evict(self.table.find_victim(set))
+    }
+
+    fn on_hit(&mut self, set: u32, way: u16, access: &Access) {
+        // Promotion is prediction-gated: predicted-dead re-references only
+        // reach the middle of the stack.
+        let features = self.features(access);
+        let promote_to = if self.predict(&features) < DEAD_THRESHOLD { LONG_RRPV } else { 0 };
+        let current = self.table.get(set, way);
+        self.table.set(set, way, promote_to.min(current));
+        if access.kind.is_demand() {
+            self.push_path(access.pc);
+        }
+        if let Some(slot) = self.sampler_slot(set, way) {
+            if self.sampler_valid[slot] && !self.sampler_reused[slot] {
+                self.sampler_reused[slot] = true;
+                let feats = self.sampler_features[slot];
+                self.train(&feats, true);
+            }
+        }
+    }
+
+    fn on_fill(&mut self, set: u32, way: u16, access: &Access) {
+        let features = self.features(access);
+        if let Some(slot) = self.sampler_slot(set, way) {
+            if self.sampler_valid[slot] && !self.sampler_reused[slot] {
+                let feats = self.sampler_features[slot];
+                self.train(&feats, false);
+            }
+            self.sampler_features[slot] = features;
+            self.sampler_reused[slot] = false;
+            self.sampler_valid[slot] = true;
+        }
+        let rrpv = if access.kind == AccessKind::Writeback {
+            MAX_RRPV
+        } else {
+            let sum = self.predict(&features);
+            if sum < DEAD_THRESHOLD {
+                MAX_RRPV
+            } else if sum < MARGIN {
+                LONG_RRPV
+            } else {
+                0
+            }
+        };
+        self.table.set(set, way, rrpv);
+        if access.kind.is_demand() {
+            self.push_path(access.pc);
+        }
+    }
+
+    fn overhead_bits(&self, config: &CacheConfig) -> u64 {
+        let rrpv = RrpvTable::overhead_bits(config);
+        let weights = (TABLES as u64) * (1 << TABLE_BITS) * 6;
+        let sampled_lines =
+            u64::from(config.sets.div_ceil(SAMPLE_PERIOD)) * u64::from(config.ways);
+        // Stored feature indices + reuse bit per sampled line.
+        rrpv + weights + sampled_lines * (TABLES as u64 * u64::from(TABLE_BITS) + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig { sets: 64, ways: 4, latency: 1 }
+    }
+
+    fn access(pc: u64, addr: u64) -> Access {
+        Access { pc, addr, kind: AccessKind::Load, core: 0, seq: 0 }
+    }
+
+    #[test]
+    fn reuse_in_sampled_sets_trains_toward_keep() {
+        let mut p = Mpppb::new(&cfg());
+        let a = access(0x400, 0);
+        let before = p.predict(&p.features(&a));
+        p.on_fill(0, 0, &a);
+        p.on_hit(0, 0, &a);
+        let after = p.predict(&p.features(&a));
+        assert!(after > before, "reuse must raise the prediction: {before} -> {after}");
+    }
+
+    #[test]
+    fn dead_lines_train_toward_evict() {
+        let mut p = Mpppb::new(&cfg());
+        let a = access(0x500, 64);
+        p.on_fill(0, 1, &a);
+        // Replaced without any hit: the insertion features train negative.
+        let b = access(0x500, 128);
+        p.on_fill(0, 1, &b);
+        assert!(p.predict(&p.features(&a)) < 0);
+    }
+
+    #[test]
+    fn trained_dead_predictor_inserts_distant() {
+        let mut p = Mpppb::new(&cfg());
+        let a = access(0x700, 0);
+        let feats = p.features(&a);
+        for _ in 0..40 {
+            p.train(&feats, false);
+        }
+        p.on_fill(3, 2, &a);
+        assert_eq!(p.table.get(3, 2), MAX_RRPV);
+    }
+
+    #[test]
+    fn writebacks_insert_distant() {
+        let mut p = Mpppb::new(&cfg());
+        let wb = Access { pc: 0, addr: 0, kind: AccessKind::Writeback, core: 0, seq: 0 };
+        p.on_fill(2, 0, &wb);
+        assert_eq!(p.table.get(2, 0), MAX_RRPV);
+    }
+
+    #[test]
+    fn perspectives_differ_across_features() {
+        let p = Mpppb::new(&cfg());
+        let a = p.features(&access(0x400, 0x1234_5678));
+        let b = p.features(&access(0x404, 0x1234_5678));
+        let c = p.features(&access(0x400, 0x9999_0000));
+        assert_ne!(a[0], b[0], "PC perspective must react to the PC");
+        assert_ne!(a[4..], c[4..], "address perspectives must react to the address");
+    }
+
+    #[test]
+    fn overhead_is_in_mpppbs_class() {
+        let cfg = CacheConfig::with_capacity_kb(2048, 16, 26);
+        let p = Mpppb::new(&cfg);
+        let kb = p.overhead_bits(&cfg) as f64 / 8.0 / 1024.0;
+        // Table I reports 28 KB.
+        assert!((9.0..32.0).contains(&kb), "MPPPB overhead {kb:.2} KB");
+    }
+}

@@ -1,0 +1,445 @@
+//! The DQN agent and its trainer (paper §III-A).
+
+use cache_sim::{CacheConfig, LlcTrace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cachemodel::{LlcModel, ModelStats, StepOutcome};
+use crate::features::{DecisionView, FeatureSet, StateEncoder};
+use crate::mlp::Mlp;
+use crate::replay::{ReplayBuffer, Transition};
+
+/// Hyperparameters of the agent, defaulting to the paper's choices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AgentConfig {
+    /// Observed feature subset (default: all of Table II).
+    pub features: FeatureSet,
+    /// Hidden-layer width (paper: 175).
+    pub hidden: usize,
+    /// ε for ε-greedy exploration (paper: 0.1).
+    pub epsilon: f32,
+    /// Discount factor for the DQN target.
+    pub gamma: f32,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Replay-memory capacity.
+    pub replay_capacity: usize,
+    /// Minibatch size per training round.
+    pub batch_size: usize,
+    /// Train once per this many decisions.
+    pub train_every: u32,
+    /// Sync a frozen target network every this many updates (the Mnih et
+    /// al. stabilization the DQN method the paper trains with is built on);
+    /// 0 disables the target network and bootstraps from the live network.
+    pub target_sync: u32,
+    /// RNG seed (exploration + initialization).
+    pub seed: u64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        Self {
+            features: FeatureSet::full(),
+            hidden: 175,
+            epsilon: 0.1,
+            gamma: 0.5,
+            learning_rate: 5e-3,
+            momentum: 0.9,
+            replay_capacity: 8192,
+            batch_size: 32,
+            train_every: 4,
+            target_sync: 0,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+impl AgentConfig {
+    /// A reduced configuration for fast exploration (hill climbing, tests):
+    /// a small hidden layer and lighter replay traffic.
+    pub fn small(features: FeatureSet, seed: u64) -> Self {
+        Self {
+            features,
+            hidden: 24,
+            replay_capacity: 2048,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// The victim-selection agent: an MLP estimating per-way eviction quality.
+#[derive(Clone, Debug)]
+pub struct Agent {
+    net: Mlp,
+    /// Frozen copy used for bootstrap targets when `target_sync > 0`.
+    target_net: Option<Mlp>,
+    updates_since_sync: u32,
+    encoder: StateEncoder,
+    config: AgentConfig,
+    rng: SmallRng,
+}
+
+impl Agent {
+    /// Creates an agent for a cache geometry.
+    pub fn new(config: AgentConfig, cache: &CacheConfig) -> Self {
+        let encoder = StateEncoder::new(config.features, cache.ways as usize, cache.sets);
+        let net = Mlp::new(encoder.dims(), config.hidden, cache.ways as usize, config.seed);
+        let target_net = (config.target_sync > 0).then(|| net.clone());
+        Self {
+            net,
+            target_net,
+            updates_since_sync: 0,
+            encoder,
+            config,
+            rng: SmallRng::seed_from_u64(config.seed ^ 0x5EED),
+        }
+    }
+
+    /// Reconstructs an agent around a previously trained network (e.g. one
+    /// loaded via [`Mlp::load`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's dimensions do not match the configuration
+    /// and cache geometry.
+    pub fn from_net(config: AgentConfig, cache: &CacheConfig, net: Mlp) -> Self {
+        let encoder = StateEncoder::new(config.features, cache.ways as usize, cache.sets);
+        assert_eq!(net.inputs(), encoder.dims(), "network inputs must match the encoder");
+        assert_eq!(net.outputs(), cache.ways as usize, "network outputs must match ways");
+        let target_net = (config.target_sync > 0).then(|| net.clone());
+        Self {
+            net,
+            target_net,
+            updates_since_sync: 0,
+            encoder,
+            config,
+            rng: SmallRng::seed_from_u64(config.seed ^ 0x5EED),
+        }
+    }
+
+    /// The state encoder in use.
+    pub fn encoder(&self) -> &StateEncoder {
+        &self.encoder
+    }
+
+    /// The underlying network (e.g. for weight analysis).
+    pub fn net(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
+    /// ε-greedy decision: the encoded state and the chosen way.
+    pub fn decide(&mut self, view: &DecisionView) -> (Vec<f32>, u16) {
+        let state = self.encoder.encode(view);
+        let ways = self.net.outputs() as u16;
+        let action = if self.rng.gen::<f32>() < self.config.epsilon {
+            self.rng.gen_range(0..ways)
+        } else {
+            self.greedy_from_state(&state)
+        };
+        (state, action)
+    }
+
+    /// Greedy (exploitation-only) decision.
+    pub fn decide_greedy(&self, view: &DecisionView) -> u16 {
+        self.greedy_from_state(&self.encoder.encode(view))
+    }
+
+    fn greedy_from_state(&self, state: &[f32]) -> u16 {
+        let q = self.net.predict(state);
+        let mut best = 0usize;
+        for (i, &v) in q.iter().enumerate() {
+            if v > q[best] {
+                best = i;
+            }
+        }
+        best as u16
+    }
+
+    /// One DQN update on a single transition (shared with the multi-agent
+    /// trainer).
+    pub(crate) fn learn_public(&mut self, t: &Transition) -> f32 {
+        self.learn(t)
+    }
+
+    /// One DQN update on a single transition.
+    fn learn(&mut self, t: &Transition) -> f32 {
+        if let Some(target) = &mut self.target_net {
+            self.updates_since_sync += 1;
+            if self.updates_since_sync >= self.config.target_sync {
+                *target = self.net.clone();
+                self.updates_since_sync = 0;
+            }
+        }
+        let future = if t.next_state.is_empty() {
+            0.0
+        } else {
+            let bootstrap_net = self.target_net.as_ref().unwrap_or(&self.net);
+            let q_next = bootstrap_net.predict(&t.next_state);
+            q_next.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        };
+        // Rewards are in [-1, 1], so the true Q-value is bounded by the
+        // geometric series 1/(1-γ); clamping the bootstrapped target to
+        // that range prevents divergence.
+        let q_max = 1.0 / (1.0 - self.config.gamma.min(0.99));
+        let target = (t.reward + self.config.gamma * future).clamp(-q_max, q_max);
+        self.net.train_action(
+            &t.state,
+            t.action as usize,
+            target,
+            self.config.learning_rate,
+            self.config.momentum,
+        )
+    }
+}
+
+/// Summary of one training run over a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TrainingReport {
+    /// Model statistics of the (exploring) training run.
+    pub stats: ModelStats,
+    /// Decisions that earned the +1 (Belady-agreeing) reward.
+    pub optimal_decisions: u64,
+    /// Decisions that earned the −1 (harmful) reward.
+    pub harmful_decisions: u64,
+    /// Mean squared TD error over the run's updates.
+    pub mean_loss: f64,
+}
+
+impl TrainingReport {
+    /// Fraction of decisions that matched Belady's choice.
+    pub fn optimal_rate(&self) -> f64 {
+        if self.stats.decisions == 0 {
+            0.0
+        } else {
+            self.optimal_decisions as f64 / self.stats.decisions as f64
+        }
+    }
+}
+
+/// Drives agent training over captured LLC traces (Fig. 2's loop).
+#[derive(Clone, Debug)]
+pub struct Trainer {
+    agent: Agent,
+    replay: ReplayBuffer,
+    rng: SmallRng,
+}
+
+impl Trainer {
+    /// Creates a trainer around a fresh agent.
+    pub fn new(config: AgentConfig, cache: &CacheConfig) -> Self {
+        Self {
+            replay: ReplayBuffer::new(config.replay_capacity),
+            rng: SmallRng::seed_from_u64(config.seed ^ 0x7EA1),
+            agent: Agent::new(config, cache),
+        }
+    }
+
+    /// The trained agent.
+    pub fn agent(&self) -> &Agent {
+        &self.agent
+    }
+
+    /// Consumes the trainer, returning the agent.
+    pub fn into_agent(self) -> Agent {
+        self.agent
+    }
+
+    /// Runs one training epoch over `trace` (ε-greedy decisions, rewards
+    /// from the Belady oracle, experience replay updates).
+    pub fn train_epoch(&mut self, trace: &LlcTrace, cache: &CacheConfig) -> TrainingReport {
+        let mut model = LlcModel::new(cache, trace);
+        let mut report = TrainingReport::default();
+        let mut pending: Option<(Vec<f32>, u16, f32)> = None;
+        let mut losses = 0.0f64;
+        let mut updates = 0u64;
+        let train_every = self.agent.config().train_every.max(1);
+        let batch = self.agent.config().batch_size;
+        let mut decision_count = 0u32;
+
+        for record in trace.records() {
+            let agent = &mut self.agent;
+            let mut decided: Option<(Vec<f32>, u16)> = None;
+            let outcome = model.step(record, &mut |view| {
+                let (state, action) = agent.decide(view);
+                let a = action;
+                decided = Some((state, action));
+                a
+            });
+            if let StepOutcome::Evicted {
+                victim_next_use,
+                farthest_next_use,
+                inserted_next_use,
+                ..
+            } = outcome
+            {
+                let (state, action) = decided.expect("chooser ran");
+                // Paper reward: +1 for evicting the farthest-reuse line,
+                // −1 for evicting a line that would be reused before the
+                // inserted one, 0 otherwise.
+                let reward = if victim_next_use == farthest_next_use {
+                    report.optimal_decisions += 1;
+                    1.0
+                } else if victim_next_use < inserted_next_use {
+                    report.harmful_decisions += 1;
+                    -1.0
+                } else {
+                    0.0
+                };
+                // Complete the previous transition with this decision's
+                // state as its successor.
+                if let Some((ps, pa, pr)) = pending.take() {
+                    self.replay.push(Transition {
+                        state: ps,
+                        action: pa,
+                        reward: pr,
+                        next_state: state.clone(),
+                    });
+                }
+                pending = Some((state, action, reward));
+
+                decision_count += 1;
+                if decision_count.is_multiple_of(train_every) && !self.replay.is_empty() {
+                    for _ in 0..batch {
+                        let t = self
+                            .replay
+                            .sample(&mut self.rng)
+                            .expect("buffer checked non-empty")
+                            .clone();
+                        losses += f64::from(self.agent.learn(&t));
+                        updates += 1;
+                    }
+                }
+            }
+        }
+        // Flush the final decision as a terminal transition.
+        if let Some((ps, pa, pr)) = pending {
+            self.replay.push(Transition { state: ps, action: pa, reward: pr, next_state: Vec::new() });
+        }
+        report.stats = *model.stats();
+        report.mean_loss = if updates == 0 { 0.0 } else { losses / updates as f64 };
+        report
+    }
+
+    /// Evaluates the current agent greedily (no exploration, no learning).
+    pub fn evaluate(&self, trace: &LlcTrace, cache: &CacheConfig) -> ModelStats {
+        let mut model = LlcModel::new(cache, trace);
+        let agent = &self.agent;
+        model.run(trace, &mut |view| agent.decide_greedy(view))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{AccessKind, LlcRecord};
+
+    fn thrash_trace(lines: u64, len: usize) -> LlcTrace {
+        (0..len)
+            .map(|i| LlcRecord {
+                pc: 0x400 + (i as u64 % lines) * 4,
+                line: i as u64 % lines,
+                kind: AccessKind::Load,
+                core: 0,
+            })
+            .collect()
+    }
+
+    fn small_cache() -> CacheConfig {
+        CacheConfig { sets: 2, ways: 4, latency: 1 }
+    }
+
+    #[test]
+    fn training_improves_over_random_on_thrash() {
+        // Cyclic pattern over 12 lines in a 2x4 cache: optimal keeps a
+        // subset; a random/untrained agent churns.
+        let cache = small_cache();
+        let trace = thrash_trace(12, 6000);
+        let features = FeatureSet::full();
+        let mut trainer = Trainer::new(AgentConfig::small(features, 7), &cache);
+        let before = trainer.evaluate(&trace, &cache);
+        for _ in 0..6 {
+            let _ = trainer.train_epoch(&trace, &cache);
+        }
+        let after = trainer.evaluate(&trace, &cache);
+        assert!(
+            after.hits > before.hits,
+            "training must help: {} → {} hits",
+            before.hits,
+            after.hits
+        );
+        // And it should close most of the gap to Belady.
+        let mut opt = LlcModel::new(&cache, &trace);
+        let opt_stats = opt.run_belady(&trace);
+        assert!(
+            after.hits as f64 >= 0.5 * opt_stats.hits as f64,
+            "trained agent ({}) should approach Belady ({})",
+            after.hits,
+            opt_stats.hits
+        );
+    }
+
+    #[test]
+    fn rewards_follow_the_paper_rules() {
+        let cache = CacheConfig { sets: 1, ways: 2, latency: 1 };
+        // 1, 2, 3, 1: evicting 1 at the decision is harmful (reused before
+        // the never-reused 3); evicting 2 is optimal.
+        let t: LlcTrace = [1u64, 2, 3, 1]
+            .into_iter()
+            .map(|l| LlcRecord { pc: 0, line: l, kind: AccessKind::Load, core: 0 })
+            .collect();
+        let mut cfg = AgentConfig::small(FeatureSet::full(), 1);
+        cfg.epsilon = 0.0;
+        let mut trainer = Trainer::new(cfg, &cache);
+        let report = trainer.train_epoch(&t, &cache);
+        assert_eq!(report.stats.decisions, 1);
+        assert_eq!(
+            report.optimal_decisions + report.harmful_decisions,
+            if report.optimal_decisions == 1 { 1 } else { 1 },
+            "the single decision is either optimal (evict 2) or harmful (evict 1)"
+        );
+    }
+
+    #[test]
+    fn target_network_training_converges_too() {
+        let cache = small_cache();
+        let trace = thrash_trace(12, 5000);
+        let mut config = AgentConfig::small(FeatureSet::full(), 7);
+        config.target_sync = 256;
+        let mut trainer = Trainer::new(config, &cache);
+        let mut random_model = crate::cachemodel::LlcModel::new(&cache, &trace);
+        let mut state = 99u64;
+        let random = random_model.run(&trace, &mut |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 4) as u16
+        });
+        for _ in 0..6 {
+            let _ = trainer.train_epoch(&trace, &cache);
+        }
+        let trained = trainer.evaluate(&trace, &cache);
+        assert!(
+            trained.hits > random.hits,
+            "target-network DQN must beat random: {} vs {}",
+            trained.hits,
+            random.hits
+        );
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let cache = small_cache();
+        let trace = thrash_trace(10, 2000);
+        let mut trainer = Trainer::new(AgentConfig::small(FeatureSet::full(), 3), &cache);
+        let _ = trainer.train_epoch(&trace, &cache);
+        let a = trainer.evaluate(&trace, &cache);
+        let b = trainer.evaluate(&trace, &cache);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,176 @@
+//! Interpreting the trained agent: the weight heat map (Fig. 3) and
+//! hill-climbing feature selection (§III-B).
+
+use cache_sim::{CacheConfig, LlcTrace};
+
+use crate::agent::{Agent, AgentConfig, Trainer};
+use crate::features::{Feature, FeatureSet};
+
+/// Aggregates the first-layer weights into one importance score per
+/// feature: the mean absolute weight over all hidden neurons and over the
+/// feature's dimensions (averaged across ways for per-line features) —
+/// exactly the aggregation behind the Fig. 3 heat map.
+///
+/// Returns `(feature, mean |weight|)` pairs in Table II order, restricted
+/// to the features the agent actually observes.
+pub fn weight_heatmap(agent: &Agent) -> Vec<(Feature, f64)> {
+    let net = agent.net();
+    let dims = net.inputs();
+    let hidden = net.hidden();
+    let w1 = net.first_layer_weights();
+    let dim_features = agent.encoder().dim_features();
+    debug_assert_eq!(dim_features.len(), dims);
+
+    // Mean |w| per input dimension over all hidden neurons.
+    let mut per_dim = vec![0.0f64; dims];
+    for h in 0..hidden {
+        let row = &w1[h * dims..(h + 1) * dims];
+        for (i, &w) in row.iter().enumerate() {
+            per_dim[i] += f64::from(w.abs());
+        }
+    }
+    for v in &mut per_dim {
+        *v /= hidden as f64;
+    }
+
+    agent
+        .encoder()
+        .features()
+        .iter()
+        .map(|f| {
+            let (sum, n) = per_dim
+                .iter()
+                .zip(&dim_features)
+                .filter(|(_, df)| **df == f)
+                .fold((0.0, 0usize), |(s, n), (v, _)| (s + v, n + 1));
+            (f, if n == 0 { 0.0 } else { sum / n as f64 })
+        })
+        .collect()
+}
+
+/// One round of the hill-climbing log.
+#[derive(Clone, Debug)]
+pub struct HillClimbRound {
+    /// The feature added in this round.
+    pub added: Feature,
+    /// The resulting feature set.
+    pub set: FeatureSet,
+    /// Demand hit rate achieved by the set, averaged over the traces.
+    pub score: f64,
+}
+
+/// Greedy forward feature selection (§III-B): starting from the empty set,
+/// repeatedly add the feature whose addition maximizes the trained agent's
+/// demand hit rate, stopping when no candidate improves the score or when
+/// `max_features` is reached.
+///
+/// `epochs` training epochs are run per candidate evaluation; scores are
+/// averaged across `traces`. Deterministic for a fixed `seed`.
+pub fn hill_climb(
+    traces: &[(&str, &LlcTrace)],
+    cache: &CacheConfig,
+    max_features: usize,
+    epochs: usize,
+    seed: u64,
+) -> Vec<HillClimbRound> {
+    assert!(!traces.is_empty(), "hill climbing needs at least one trace");
+    let mut chosen = FeatureSet::empty();
+    let mut rounds = Vec::new();
+    let mut best_score = f64::NEG_INFINITY;
+
+    while chosen.len() < max_features.min(crate::features::NUM_FEATURES) {
+        let mut round_best: Option<(Feature, f64)> = None;
+        // The paper's hill climb searches Table II only (PC features are
+        // deliberately excluded from the final design).
+        for candidate in Feature::ALL.into_iter().take(crate::features::NUM_FEATURES) {
+            if chosen.contains(candidate) {
+                continue;
+            }
+            let set = chosen.with(candidate);
+            let score = score_feature_set(set, traces, cache, epochs, seed);
+            if round_best.is_none_or(|(_, s)| score > s) {
+                round_best = Some((candidate, score));
+            }
+        }
+        let (feature, score) = round_best.expect("at least one candidate remains");
+        if score <= best_score {
+            break; // no further improvement
+        }
+        best_score = score;
+        chosen = chosen.with(feature);
+        rounds.push(HillClimbRound { added: feature, set: chosen, score });
+    }
+    rounds
+}
+
+/// Trains a small agent on each trace with the given feature subset and
+/// returns the mean demand hit rate.
+pub fn score_feature_set(
+    set: FeatureSet,
+    traces: &[(&str, &LlcTrace)],
+    cache: &CacheConfig,
+    epochs: usize,
+    seed: u64,
+) -> f64 {
+    let mut total = 0.0;
+    for (i, (_, trace)) in traces.iter().enumerate() {
+        let mut trainer = Trainer::new(AgentConfig::small(set, seed ^ (i as u64) << 8), cache);
+        for _ in 0..epochs {
+            let _ = trainer.train_epoch(trace, cache);
+        }
+        total += trainer.evaluate(trace, cache).demand_hit_rate();
+    }
+    total / traces.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{AccessKind, LlcRecord};
+
+    fn cache() -> CacheConfig {
+        CacheConfig { sets: 2, ways: 4, latency: 1 }
+    }
+
+    fn thrash_trace(len: usize) -> LlcTrace {
+        (0..len)
+            .map(|i| LlcRecord {
+                pc: 0x400,
+                line: (i % 12) as u64,
+                kind: AccessKind::Load,
+                core: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn heatmap_covers_all_observed_features() {
+        let agent = Agent::new(AgentConfig::small(FeatureSet::full(), 1), &cache());
+        let map = weight_heatmap(&agent);
+        assert_eq!(map.len(), crate::features::NUM_FEATURES);
+        for (_, v) in &map {
+            assert!(*v > 0.0, "fresh Xavier weights have non-zero magnitude");
+        }
+    }
+
+    #[test]
+    fn heatmap_respects_feature_subsets() {
+        let set = FeatureSet::empty().with(Feature::LinePreuse).with(Feature::LineRecency);
+        let agent = Agent::new(AgentConfig::small(set, 1), &cache());
+        let map = weight_heatmap(&agent);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[0].0, Feature::LinePreuse);
+        assert_eq!(map[1].0, Feature::LineRecency);
+    }
+
+    #[test]
+    fn hill_climb_returns_improving_rounds() {
+        let trace = thrash_trace(1500);
+        let rounds = hill_climb(&[("thrash", &trace)], &cache(), 2, 1, 11);
+        assert!(!rounds.is_empty());
+        for pair in rounds.windows(2) {
+            assert!(pair[1].score >= pair[0].score, "scores must be non-decreasing");
+            assert_eq!(pair[1].set.len(), pair[0].set.len() + 1);
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The trace-driven, LLC-only functional simulator (the paper's
+//! "Python-based cache simulator", Fig. 2).
+//!
+//! Replays a captured LLC access trace, maintains the full Table II feature
+//! state per set and line, and on every non-compulsory miss asks a victim
+//! chooser (the RL agent, Belady, or any heuristic) which way to evict.
+
+use std::collections::HashMap;
+
+use cache_sim::{AccessKind, CacheConfig, LlcRecord, LlcTrace};
+
+use crate::features::{DecisionView, LineView};
+
+/// Folds a PC into the 8-bit hash used by the PC extension features.
+fn pc_hash8(pc: u64) -> u8 {
+    let h = (pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 56) as u8
+}
+
+#[derive(Clone, Debug)]
+struct ModelLine {
+    valid: bool,
+    line: u64,
+    dirty: bool,
+    /// Set-access stamp at insertion.
+    insert_stamp: u64,
+    /// Set-access stamp at last access.
+    last_stamp: u64,
+    /// Set accesses between the last two accesses.
+    preuse: u64,
+    last_type: AccessKind,
+    /// Saturating per-kind access counts (LD, RFO, PF, WB).
+    counts: [u8; 4],
+    hits: u64,
+    /// Hashed PC of the last access (PC extension feature).
+    last_pc_hash: u8,
+    /// Oracle: sequence number of this line's next reference (training).
+    next_use: u64,
+}
+
+impl ModelLine {
+    fn invalid() -> Self {
+        Self {
+            valid: false,
+            line: 0,
+            dirty: false,
+            insert_stamp: 0,
+            last_stamp: 0,
+            preuse: 0,
+            last_type: AccessKind::Load,
+            counts: [0; 4],
+            hits: 0,
+            last_pc_hash: 0,
+            next_use: u64::MAX,
+        }
+    }
+}
+
+/// Aggregate statistics of a model run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Total accesses replayed.
+    pub accesses: u64,
+    /// Total hits.
+    pub hits: u64,
+    /// Demand (LD+RFO) accesses.
+    pub demand_accesses: u64,
+    /// Demand hits.
+    pub demand_hits: u64,
+    /// Victim decisions made (non-compulsory misses).
+    pub decisions: u64,
+}
+
+impl ModelStats {
+    /// Overall hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Demand hit rate in `[0, 1]` (the Fig. 1 metric).
+    pub fn demand_hit_rate(&self) -> f64 {
+        if self.demand_accesses == 0 {
+            0.0
+        } else {
+            self.demand_hits as f64 / self.demand_accesses as f64
+        }
+    }
+}
+
+/// What happened for one replayed record.
+#[derive(Clone, Debug)]
+pub enum StepOutcome {
+    /// The access hit.
+    Hit,
+    /// Compulsory fill into an invalid way — no decision needed.
+    FilledFree,
+    /// A victim was chosen and evicted.
+    Evicted {
+        /// The chosen way.
+        way: u16,
+        /// Snapshot of the victim line at eviction (for Figs. 5–7).
+        victim: LineView,
+        /// Oracle next use of the victim.
+        victim_next_use: u64,
+        /// Farthest next use among all lines in the set (incl. the victim).
+        farthest_next_use: u64,
+        /// Oracle next use of the line being inserted.
+        inserted_next_use: u64,
+    },
+}
+
+/// The trace-driven LLC model.
+///
+/// ```
+/// use cache_sim::{AccessKind, CacheConfig, LlcRecord, LlcTrace};
+/// use rl::LlcModel;
+///
+/// let cfg = CacheConfig { sets: 2, ways: 2, latency: 1 };
+/// let trace: LlcTrace = (0..8u64)
+///     .map(|i| LlcRecord { pc: 0, line: i % 3, kind: AccessKind::Load, core: 0 })
+///     .collect();
+/// let mut model = LlcModel::new(&cfg, &trace);
+/// let stats = model.run(&trace, &mut |view| (view.lines.len() - 1) as u16);
+/// assert!(stats.hits > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LlcModel {
+    sets: u32,
+    ways: u16,
+    lines: Vec<ModelLine>,
+    set_accesses: Vec<u64>,
+    set_since_miss: Vec<u64>,
+    /// Per-address: set-access stamp of its last access (access preuse).
+    addr_last: HashMap<u64, u64>,
+    /// Oracle next-use table for the trace being replayed.
+    next_use: Vec<u64>,
+    seq: u64,
+    stats: ModelStats,
+}
+
+impl LlcModel {
+    /// Builds a model for `config`, with the oracle derived from `trace`.
+    pub fn new(config: &CacheConfig, trace: &LlcTrace) -> Self {
+        Self {
+            sets: config.sets,
+            ways: config.ways,
+            lines: vec![ModelLine::invalid(); config.lines() as usize],
+            set_accesses: vec![0; config.sets as usize],
+            set_since_miss: vec![0; config.sets as usize],
+            addr_last: HashMap::new(),
+            next_use: trace.next_use_table(),
+            seq: 0,
+            stats: ModelStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &ModelStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics while keeping cache contents — used to
+    /// exclude the model's cold-start from measured replay windows.
+    pub fn reset_stats(&mut self) {
+        self.stats = ModelStats::default();
+    }
+
+    fn set_of(&self, line: u64) -> u32 {
+        (line & u64::from(self.sets - 1)) as u32
+    }
+
+    fn base(&self, set: u32) -> usize {
+        set as usize * self.ways as usize
+    }
+
+    /// Builds the decision view for `set` under the incoming `record`.
+    fn view(&self, set: u32, record: &LlcRecord, access_preuse: u64) -> DecisionView {
+        let base = self.base(set);
+        let now = self.set_accesses[set as usize];
+        // Recency ranks from last-access stamps: 0 = LRU.
+        let mut order: Vec<u16> = (0..self.ways).collect();
+        order.sort_by_key(|&w| self.lines[base + w as usize].last_stamp);
+        let mut recency = vec![0u16; self.ways as usize];
+        for (rank, &w) in order.iter().enumerate() {
+            recency[w as usize] = rank as u16;
+        }
+        let lines = (0..self.ways)
+            .map(|w| {
+                let l = &self.lines[base + w as usize];
+                LineView {
+                    valid: l.valid,
+                    offset6: (l.line & 0x3F) as u8,
+                    dirty: l.dirty,
+                    preuse: l.preuse,
+                    age_since_insertion: now.saturating_sub(l.insert_stamp),
+                    age_since_last_access: now.saturating_sub(l.last_stamp),
+                    last_type: l.last_type,
+                    counts: l.counts,
+                    hits: l.hits,
+                    recency: recency[w as usize],
+                    pc_hash: l.last_pc_hash,
+                }
+            })
+            .collect();
+        DecisionView {
+            access_offset6: (record.line & 0x3F) as u8,
+            access_preuse,
+            access_kind: record.kind,
+            set_number: set,
+            set_accesses: now,
+            set_accesses_since_miss: self.set_since_miss[set as usize],
+            lines,
+            access_pc_hash: pc_hash8(record.pc),
+        }
+    }
+
+    /// Replays one record; `chooser` is consulted on non-compulsory misses
+    /// with the decision view and must return the victim way.
+    pub fn step(
+        &mut self,
+        record: &LlcRecord,
+        chooser: &mut dyn FnMut(&DecisionView) -> u16,
+    ) -> StepOutcome {
+        let seq = self.seq;
+        self.seq += 1;
+        let set = self.set_of(record.line);
+        let si = set as usize;
+        self.set_accesses[si] += 1;
+        let now = self.set_accesses[si];
+        let access_preuse = self
+            .addr_last
+            .get(&record.line)
+            .map_or(u64::MAX, |&t| now - 1 - t);
+        self.addr_last.insert(record.line, now);
+
+        self.stats.accesses += 1;
+        if record.kind.is_demand() {
+            self.stats.demand_accesses += 1;
+        }
+
+        let base = self.base(set);
+        let hit_way =
+            (0..self.ways).find(|&w| {
+                let l = &self.lines[base + w as usize];
+                l.valid && l.line == record.line
+            });
+
+        if let Some(way) = hit_way {
+            self.stats.hits += 1;
+            if record.kind.is_demand() {
+                self.stats.demand_hits += 1;
+            }
+            self.set_since_miss[si] += 1;
+            let next = self.oracle(seq);
+            let l = &mut self.lines[base + way as usize];
+            l.preuse = (now - 1).saturating_sub(l.last_stamp);
+            l.last_stamp = now;
+            l.hits += 1;
+            l.last_type = record.kind;
+            l.counts[record.kind.index()] = l.counts[record.kind.index()].saturating_add(1);
+            if record.kind == AccessKind::Writeback {
+                l.dirty = true;
+            }
+            l.last_pc_hash = pc_hash8(record.pc);
+            l.next_use = next;
+            return StepOutcome::Hit;
+        }
+
+        // Miss.
+        self.set_since_miss[si] = 0;
+        if let Some(free) = (0..self.ways).find(|&w| !self.lines[base + w as usize].valid) {
+            self.fill(set, free, record, seq, now);
+            return StepOutcome::FilledFree;
+        }
+
+        let view = self.view(set, record, access_preuse);
+        let way = chooser(&view);
+        assert!(way < self.ways, "chooser returned way {way} of {}", self.ways);
+        self.stats.decisions += 1;
+
+        let farthest = (0..self.ways)
+            .map(|w| self.lines[base + w as usize].next_use)
+            .max()
+            .expect("non-empty set");
+        let victim_line = &self.lines[base + way as usize];
+        let outcome = StepOutcome::Evicted {
+            way,
+            victim: view.lines[way as usize],
+            victim_next_use: victim_line.next_use,
+            farthest_next_use: farthest,
+            inserted_next_use: self.oracle(seq),
+        };
+        self.fill(set, way, record, seq, now);
+        outcome
+    }
+
+    fn oracle(&self, seq: u64) -> u64 {
+        self.next_use.get(seq as usize).copied().unwrap_or(u64::MAX)
+    }
+
+    fn fill(&mut self, set: u32, way: u16, record: &LlcRecord, seq: u64, now: u64) {
+        let next = self.oracle(seq);
+        let idx = self.base(set) + way as usize;
+        let l = &mut self.lines[idx];
+        *l = ModelLine {
+            valid: true,
+            line: record.line,
+            dirty: record.kind == AccessKind::Writeback,
+            insert_stamp: now,
+            last_stamp: now,
+            preuse: 0,
+            last_type: record.kind,
+            counts: {
+                let mut c = [0u8; 4];
+                c[record.kind.index()] = 1;
+                c
+            },
+            hits: 0,
+            last_pc_hash: pc_hash8(record.pc),
+            next_use: next,
+        };
+    }
+
+    /// Replays an entire trace, returning the final statistics.
+    pub fn run(
+        &mut self,
+        trace: &LlcTrace,
+        chooser: &mut dyn FnMut(&DecisionView) -> u16,
+    ) -> ModelStats {
+        for record in trace.records() {
+            let _ = self.step(record, chooser);
+        }
+        *self.stats()
+    }
+}
+
+/// Decision views don't carry oracle next uses, so Belady's decisions are
+/// made from the model's internal state instead of through a chooser.
+impl LlcModel {
+    /// Replays one record with Belady's optimal decision: on a full-set
+    /// miss, the line with the farthest oracle next use is evicted.
+    pub fn step_belady(&mut self, record: &LlcRecord) -> StepOutcome {
+        let set = self.set_of(record.line);
+        let base = self.base(set);
+        let ways = self.ways;
+        let mut best = 0u16;
+        for w in 0..ways {
+            if self.lines[base + w as usize].next_use > self.lines[base + best as usize].next_use {
+                best = w;
+            }
+        }
+        self.step(record, &mut |_| best)
+    }
+
+    /// Replays the trace with Belady's optimal decisions (used for the
+    /// Fig. 1 `BELADY` series and for reward verification in tests).
+    pub fn run_belady(&mut self, trace: &LlcTrace) -> ModelStats {
+        for record in trace.records() {
+            let _ = self.step_belady(record);
+        }
+        *self.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig { sets: 1, ways: 2, latency: 1 }
+    }
+
+    fn trace(lines: &[u64]) -> LlcTrace {
+        lines
+            .iter()
+            .map(|&l| LlcRecord { pc: 0, line: l, kind: AccessKind::Load, core: 0 })
+            .collect()
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let t = trace(&[1, 2, 1, 2]);
+        let mut m = LlcModel::new(&cfg(), &t);
+        let stats = m.run(&t, &mut |_| 0);
+        assert_eq!(stats.accesses, 4);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.decisions, 0, "everything fit");
+    }
+
+    #[test]
+    fn chooser_is_consulted_on_full_sets_only() {
+        let t = trace(&[1, 2, 3]);
+        let mut m = LlcModel::new(&cfg(), &t);
+        let mut calls = 0;
+        m.run(&t, &mut |_| {
+            calls += 1;
+            0
+        });
+        assert_eq!(calls, 1, "only the third access needs a decision");
+    }
+
+    #[test]
+    fn eviction_outcome_reports_oracle_values() {
+        // Trace: 1, 2, 3, 1 — at the decision (access 3), line 1 is reused
+        // at index 3, line 2 never, incoming 3 never.
+        let t = trace(&[1, 2, 3, 1]);
+        let mut m = LlcModel::new(&cfg(), &t);
+        let mut outcome = None;
+        for r in t.records() {
+            if let StepOutcome::Evicted { victim_next_use, farthest_next_use, inserted_next_use, way, .. } =
+                m.step(r, &mut |_| 1)
+            {
+                outcome = Some((way, victim_next_use, farthest_next_use, inserted_next_use));
+            }
+        }
+        let (way, victim_nu, farthest, inserted_nu) = outcome.expect("one decision");
+        assert_eq!(way, 1);
+        assert_eq!(victim_nu, u64::MAX, "line 2 is never reused");
+        assert_eq!(farthest, u64::MAX);
+        assert_eq!(inserted_nu, u64::MAX, "line 3 is never reused");
+    }
+
+    #[test]
+    fn belady_mode_beats_a_bad_chooser() {
+        // Thrash pattern: cyclic over 3 lines in 2 ways.
+        let pattern: Vec<u64> = (0..60).map(|i| i % 3).collect();
+        let t = trace(&pattern);
+        let mut opt = LlcModel::new(&cfg(), &t);
+        let opt_stats = opt.run_belady(&t);
+        let mut bad = LlcModel::new(&cfg(), &t);
+        // Always evict the line that is needed soonest (anti-Belady): a
+        // worst-case chooser.
+        let bad_stats = bad.run(&t, &mut |_| 0);
+        assert!(opt_stats.hits > bad_stats.hits);
+    }
+
+    #[test]
+    fn feature_state_tracks_hits_and_types() {
+        let mut records = vec![
+            LlcRecord { pc: 0, line: 1, kind: AccessKind::Prefetch, core: 0 },
+            LlcRecord { pc: 0, line: 1, kind: AccessKind::Load, core: 0 },
+            LlcRecord { pc: 0, line: 2, kind: AccessKind::Load, core: 0 },
+        ];
+        records.push(LlcRecord { pc: 0, line: 3, kind: AccessKind::Load, core: 0 });
+        let t: LlcTrace = records.into_iter().collect();
+        let mut m = LlcModel::new(&cfg(), &t);
+        let mut seen = None;
+        for r in t.records() {
+            if let StepOutcome::Evicted { victim, .. } = m.step(r, &mut |view| {
+                // Verify the view before evicting way 0 (line 1).
+                assert!(view.lines[0].valid);
+                0
+            }) {
+                seen = Some(victim);
+            }
+        }
+        let victim = seen.expect("one eviction");
+        assert_eq!(victim.hits, 1, "line 1 was hit once");
+        assert_eq!(victim.last_type, AccessKind::Load);
+        assert_eq!(victim.counts[AccessKind::Prefetch.index()], 1);
+        assert_eq!(victim.counts[AccessKind::Load.index()], 1);
+    }
+
+    #[test]
+    fn access_preuse_measures_set_access_gap() {
+        let t = trace(&[1, 2, 1]);
+        let mut m = LlcModel::new(&cfg(), &t);
+        // No decision happens, so inspect via a view built at the end.
+        m.run(&t, &mut |_| 0);
+        // Third access to line 1: one intervening set access (line 2).
+        // Internal check via addr_last: the stamp gap behaves as expected.
+        assert_eq!(m.addr_last[&1], 3);
+        assert_eq!(m.addr_last[&2], 2);
+    }
+}

@@ -1,0 +1,560 @@
+//! The LLC state features of Table II and the 334-dimensional state
+//! encoder.
+
+use cache_sim::AccessKind;
+
+/// Normalization ceiling for unbounded counters (ages, preuse distances,
+/// access counts), mirroring the paper's "normalized by their respective
+/// maximum values" with 8-bit saturating counters.
+const NORM_CAP: f32 = 255.0;
+
+/// One of the 18 features the RL agent may observe (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Feature {
+    /// Lower-order 6 bits of the accessed address (binary encoded).
+    AccessOffset,
+    /// Set accesses since the last access to the accessed address.
+    AccessPreuse,
+    /// Type of the current access (one-hot LD/RFO/PF/WB).
+    AccessType,
+    /// Which set is being accessed (normalized index).
+    SetNumber,
+    /// Total accesses to the set.
+    SetAccesses,
+    /// Set accesses since the last miss to the set.
+    SetAccessesSinceMiss,
+    /// Lower-order 6 bits of each cache line's address (binary encoded).
+    LineOffset,
+    /// Each line's dirty bit.
+    LineDirty,
+    /// Set accesses between the last two accesses of each line.
+    LinePreuse,
+    /// Set accesses since each line's insertion.
+    LineAgeSinceInsertion,
+    /// Set accesses since each line's last access.
+    LineAgeSinceLastAccess,
+    /// Type of each line's last access (one-hot).
+    LineLastAccessType,
+    /// Load accesses to each line.
+    LineLdCount,
+    /// RFO accesses to each line.
+    LineRfoCount,
+    /// Prefetch accesses to each line.
+    LinePfCount,
+    /// Writeback accesses to each line.
+    LineWbCount,
+    /// Hits to each line since insertion.
+    LineHitsSinceInsertion,
+    /// Relative access order of each line within its set.
+    LineRecency,
+    /// EXTENSION (not in Table II): hashed PC of the current access,
+    /// binary-encoded. The paper deliberately excludes PC from its final
+    /// feature set but notes that "RL performance can be improved by
+    /// including PC-based features"; this feature reproduces that claim.
+    AccessPcHash,
+    /// EXTENSION (not in Table II): hashed PC of each line's last access.
+    LinePcHash,
+}
+
+/// Number of Table II features (the paper's 334-dimensional state).
+pub const NUM_FEATURES: usize = 18;
+/// Total features including the PC extensions.
+pub const NUM_FEATURES_EXTENDED: usize = 20;
+
+impl Feature {
+    /// All features: Table II order, then the PC extensions.
+    pub const ALL: [Feature; NUM_FEATURES_EXTENDED] = [
+        Feature::AccessOffset,
+        Feature::AccessPreuse,
+        Feature::AccessType,
+        Feature::SetNumber,
+        Feature::SetAccesses,
+        Feature::SetAccessesSinceMiss,
+        Feature::LineOffset,
+        Feature::LineDirty,
+        Feature::LinePreuse,
+        Feature::LineAgeSinceInsertion,
+        Feature::LineAgeSinceLastAccess,
+        Feature::LineLastAccessType,
+        Feature::LineLdCount,
+        Feature::LineRfoCount,
+        Feature::LinePfCount,
+        Feature::LineWbCount,
+        Feature::LineHitsSinceInsertion,
+        Feature::LineRecency,
+        Feature::AccessPcHash,
+        Feature::LinePcHash,
+    ];
+
+    /// Dense index in [`Feature::ALL`].
+    pub fn index(self) -> usize {
+        Feature::ALL.iter().position(|&f| f == self).expect("feature is in ALL")
+    }
+
+    /// `true` if the feature is replicated per cache way.
+    pub fn is_per_line(self) -> bool {
+        self.index() >= Feature::LineOffset.index() && self != Feature::AccessPcHash
+    }
+
+    /// Dimensions contributed per instance (per access/set, or per way for
+    /// per-line features).
+    pub fn width(self) -> usize {
+        match self {
+            Feature::AccessOffset | Feature::LineOffset => 6,
+            Feature::AccessType | Feature::LineLastAccessType => 4,
+            Feature::AccessPcHash => 8,
+            Feature::LinePcHash => 4,
+            _ => 1,
+        }
+    }
+
+    /// Total dimensions contributed for a cache with `ways` ways.
+    pub fn dims(self, ways: usize) -> usize {
+        if self.is_per_line() {
+            self.width() * ways
+        } else {
+            self.width()
+        }
+    }
+
+    /// Short display name (matches the Fig. 3 axis labels).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Feature::AccessOffset => "access offset",
+            Feature::AccessPreuse => "access preuse",
+            Feature::AccessType => "access type",
+            Feature::SetNumber => "set number",
+            Feature::SetAccesses => "set accesses",
+            Feature::SetAccessesSinceMiss => "set accesses since miss",
+            Feature::LineOffset => "line offset",
+            Feature::LineDirty => "line dirty",
+            Feature::LinePreuse => "line preuse",
+            Feature::LineAgeSinceInsertion => "line age since insertion",
+            Feature::LineAgeSinceLastAccess => "line age since last access",
+            Feature::LineLastAccessType => "line last access type",
+            Feature::LineLdCount => "line LD access count",
+            Feature::LineRfoCount => "line RFO access count",
+            Feature::LinePfCount => "line PF access count",
+            Feature::LineWbCount => "line WB access count",
+            Feature::LineHitsSinceInsertion => "line hits since insertion",
+            Feature::LineRecency => "line recency",
+            Feature::AccessPcHash => "access PC hash (ext)",
+            Feature::LinePcHash => "line PC hash (ext)",
+        }
+    }
+}
+
+impl std::fmt::Display for Feature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A subset of features, as a bitmask.
+///
+/// ```
+/// use rl::{Feature, FeatureSet};
+///
+/// let set = FeatureSet::empty().with(Feature::LinePreuse).with(Feature::LineRecency);
+/// assert!(set.contains(Feature::LinePreuse));
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(FeatureSet::full().len(), rl::NUM_FEATURES);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FeatureSet(u32);
+
+impl FeatureSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        Self(0)
+    }
+
+    /// All 18 Table II features (the paper's full 334-dimensional state).
+    pub fn full() -> Self {
+        Self((1 << NUM_FEATURES) - 1)
+    }
+
+    /// Table II plus the PC extension features (the "PC-based features"
+    /// the paper says would improve the RL agent).
+    pub fn full_with_pc() -> Self {
+        Self((1 << NUM_FEATURES_EXTENDED) - 1)
+    }
+
+    /// Returns the set plus `feature`.
+    #[must_use]
+    pub fn with(self, feature: Feature) -> Self {
+        Self(self.0 | (1 << feature.index()))
+    }
+
+    /// Returns the set minus `feature`.
+    #[must_use]
+    pub fn without(self, feature: Feature) -> Self {
+        Self(self.0 & !(1 << feature.index()))
+    }
+
+    /// Membership test.
+    pub fn contains(self, feature: Feature) -> bool {
+        self.0 & (1 << feature.index()) != 0
+    }
+
+    /// Number of features in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` if no feature is selected.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the contained features in Table II order.
+    pub fn iter(self) -> impl Iterator<Item = Feature> {
+        Feature::ALL.into_iter().filter(move |f| self.contains(*f))
+    }
+
+    /// State-vector dimensionality for a cache with `ways` ways.
+    pub fn dims(self, ways: usize) -> usize {
+        self.iter().map(|f| f.dims(ways)).sum()
+    }
+}
+
+/// A snapshot of one cache line for encoding.
+#[derive(Clone, Copy, Debug)]
+pub struct LineView {
+    /// Line is valid (invalid lines encode as zeros).
+    pub valid: bool,
+    /// Lower 6 bits of the line address.
+    pub offset6: u8,
+    /// Dirty bit.
+    pub dirty: bool,
+    /// Set accesses between the line's last two accesses.
+    pub preuse: u64,
+    /// Set accesses since insertion.
+    pub age_since_insertion: u64,
+    /// Set accesses since last access.
+    pub age_since_last_access: u64,
+    /// Last access type.
+    pub last_type: AccessKind,
+    /// Per-kind access counts (LD, RFO, PF, WB), saturating.
+    pub counts: [u8; 4],
+    /// Hits since insertion.
+    pub hits: u64,
+    /// Recency rank: 0 = least recently used, `ways-1` = most recent.
+    pub recency: u16,
+    /// Hashed PC of the line's last access (PC extension feature).
+    pub pc_hash: u8,
+}
+
+impl Default for LineView {
+    fn default() -> Self {
+        Self {
+            valid: false,
+            offset6: 0,
+            dirty: false,
+            preuse: 0,
+            age_since_insertion: 0,
+            age_since_last_access: 0,
+            last_type: AccessKind::Load,
+            counts: [0; 4],
+            hits: 0,
+            recency: 0,
+            pc_hash: 0,
+        }
+    }
+}
+
+/// The full decision-time view handed to the encoder (and to victim
+/// choosers): the current access, its set, and all lines in the set.
+#[derive(Clone, Debug)]
+pub struct DecisionView {
+    /// Lower 6 bits of the accessed address.
+    pub access_offset6: u8,
+    /// Set accesses since the last access to this address (`u64::MAX` if
+    /// never seen).
+    pub access_preuse: u64,
+    /// Kind of the access triggering the decision.
+    pub access_kind: AccessKind,
+    /// Index of the accessed set.
+    pub set_number: u32,
+    /// Total accesses to the set.
+    pub set_accesses: u64,
+    /// Accesses to the set since its last miss.
+    pub set_accesses_since_miss: u64,
+    /// One view per way.
+    pub lines: Vec<LineView>,
+    /// Hashed PC of the current access (PC extension feature).
+    pub access_pc_hash: u8,
+}
+
+/// Encodes [`DecisionView`]s into fixed-size state vectors for a feature
+/// subset.
+///
+/// ```
+/// use rl::{FeatureSet, StateEncoder};
+///
+/// // The paper's full state for a 16-way, 2048-set LLC is 334-dimensional.
+/// let enc = StateEncoder::new(FeatureSet::full(), 16, 2048);
+/// assert_eq!(enc.dims(), 334);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StateEncoder {
+    features: FeatureSet,
+    ways: usize,
+    sets: u32,
+    dims: usize,
+}
+
+impl StateEncoder {
+    /// Creates an encoder for the feature subset and cache geometry.
+    pub fn new(features: FeatureSet, ways: usize, sets: u32) -> Self {
+        let dims = features.dims(ways);
+        Self { features, ways, sets, dims }
+    }
+
+    /// State-vector dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The encoded feature subset.
+    pub fn features(&self) -> FeatureSet {
+        self.features
+    }
+
+    /// Ways covered by per-line features.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// For each state-vector dimension, the feature it belongs to (used by
+    /// the Fig. 3 heat-map aggregation).
+    pub fn dim_features(&self) -> Vec<Feature> {
+        let mut out = Vec::with_capacity(self.dims);
+        for f in self.features.iter() {
+            for _ in 0..f.dims(self.ways) {
+                out.push(f);
+            }
+        }
+        out
+    }
+
+    fn norm(v: u64) -> f32 {
+        (v.min(255) as f32) / NORM_CAP
+    }
+
+    fn push_bits6(out: &mut Vec<f32>, v: u8) {
+        for b in 0..6 {
+            out.push(f32::from((v >> b) & 1));
+        }
+    }
+
+    fn push_onehot4(out: &mut Vec<f32>, kind: AccessKind) {
+        for k in AccessKind::ALL {
+            out.push(f32::from(u8::from(k == kind)));
+        }
+    }
+
+    /// Encodes `view` into a fresh state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view.lines.len()` differs from the encoder's way count.
+    pub fn encode(&self, view: &DecisionView) -> Vec<f32> {
+        assert_eq!(view.lines.len(), self.ways, "line count mismatch");
+        let mut out = Vec::with_capacity(self.dims);
+        for f in self.features.iter() {
+            match f {
+                Feature::AccessOffset => Self::push_bits6(&mut out, view.access_offset6),
+                Feature::AccessPreuse => {
+                    let v = if view.access_preuse == u64::MAX { 255 } else { view.access_preuse };
+                    out.push(Self::norm(v));
+                }
+                Feature::AccessType => Self::push_onehot4(&mut out, view.access_kind),
+                Feature::SetNumber => {
+                    out.push(view.set_number as f32 / (self.sets.max(2) - 1) as f32)
+                }
+                Feature::SetAccesses => out.push(Self::norm(view.set_accesses)),
+                Feature::SetAccessesSinceMiss => {
+                    out.push(Self::norm(view.set_accesses_since_miss))
+                }
+                Feature::LineOffset => {
+                    for l in &view.lines {
+                        Self::push_bits6(&mut out, l.offset6);
+                    }
+                }
+                Feature::LineDirty => {
+                    for l in &view.lines {
+                        out.push(f32::from(u8::from(l.dirty)));
+                    }
+                }
+                Feature::LinePreuse => {
+                    for l in &view.lines {
+                        out.push(Self::norm(l.preuse));
+                    }
+                }
+                Feature::LineAgeSinceInsertion => {
+                    for l in &view.lines {
+                        out.push(Self::norm(l.age_since_insertion));
+                    }
+                }
+                Feature::LineAgeSinceLastAccess => {
+                    for l in &view.lines {
+                        out.push(Self::norm(l.age_since_last_access));
+                    }
+                }
+                Feature::LineLastAccessType => {
+                    for l in &view.lines {
+                        Self::push_onehot4(&mut out, l.last_type);
+                    }
+                }
+                Feature::LineLdCount => {
+                    for l in &view.lines {
+                        out.push(Self::norm(u64::from(l.counts[0])));
+                    }
+                }
+                Feature::LineRfoCount => {
+                    for l in &view.lines {
+                        out.push(Self::norm(u64::from(l.counts[1])));
+                    }
+                }
+                Feature::LinePfCount => {
+                    for l in &view.lines {
+                        out.push(Self::norm(u64::from(l.counts[2])));
+                    }
+                }
+                Feature::LineWbCount => {
+                    for l in &view.lines {
+                        out.push(Self::norm(u64::from(l.counts[3])));
+                    }
+                }
+                Feature::LineHitsSinceInsertion => {
+                    for l in &view.lines {
+                        out.push(Self::norm(l.hits));
+                    }
+                }
+                Feature::LineRecency => {
+                    for l in &view.lines {
+                        out.push(f32::from(l.recency) / (self.ways.max(2) - 1) as f32);
+                    }
+                }
+                Feature::AccessPcHash => {
+                    for b in 0..8 {
+                        out.push(f32::from((view.access_pc_hash >> b) & 1));
+                    }
+                }
+                Feature::LinePcHash => {
+                    for l in &view.lines {
+                        for b in 0..4 {
+                            out.push(f32::from((l.pc_hash >> b) & 1));
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.dims);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(ways: usize) -> DecisionView {
+        DecisionView {
+            access_offset6: 0b101010,
+            access_preuse: 10,
+            access_kind: AccessKind::Load,
+            set_number: 5,
+            set_accesses: 100,
+            set_accesses_since_miss: 3,
+            lines: (0..ways)
+                .map(|i| LineView {
+                    valid: true,
+                    offset6: i as u8,
+                    dirty: i % 2 == 0,
+                    preuse: i as u64,
+                    age_since_insertion: 2 * i as u64,
+                    age_since_last_access: i as u64,
+                    last_type: AccessKind::ALL[i % 4],
+                    counts: [1, 2, 3, 4],
+                    hits: i as u64,
+                    recency: i as u16,
+                    pc_hash: i as u8,
+                })
+                .collect(),
+            access_pc_hash: 0b1010_1010,
+        }
+    }
+
+    #[test]
+    fn full_feature_set_is_334_dimensional_for_16_ways() {
+        // The paper's headline number: 11 access + 3 set + 20x16 line dims.
+        assert_eq!(FeatureSet::full().dims(16), 334);
+    }
+
+    #[test]
+    fn encoder_produces_exactly_dims_values() {
+        for ways in [4usize, 8, 16] {
+            let enc = StateEncoder::new(FeatureSet::full(), ways, 64);
+            let v = enc.encode(&view(ways));
+            assert_eq!(v.len(), enc.dims());
+        }
+    }
+
+    #[test]
+    fn values_are_bounded() {
+        let enc = StateEncoder::new(FeatureSet::full(), 16, 2048);
+        for x in enc.encode(&view(16)) {
+            assert!((0.0..=1.0).contains(&x), "feature value {x} out of [0,1]");
+        }
+    }
+
+    #[test]
+    fn subset_encoding_selects_only_requested_features() {
+        let set = FeatureSet::empty().with(Feature::LinePreuse);
+        let enc = StateEncoder::new(set, 8, 64);
+        assert_eq!(enc.dims(), 8);
+        let v = enc.encode(&view(8));
+        let expected: Vec<f32> = (0..8).map(|i| i as f32 / 255.0).collect();
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn offset_bits_are_binary_encoded() {
+        let set = FeatureSet::empty().with(Feature::AccessOffset);
+        let enc = StateEncoder::new(set, 4, 64);
+        let v = enc.encode(&view(4));
+        assert_eq!(v, vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0]); // 0b101010, LSB first
+    }
+
+    #[test]
+    fn dim_features_aligns_with_layout() {
+        let enc = StateEncoder::new(FeatureSet::full(), 16, 2048);
+        let map = enc.dim_features();
+        assert_eq!(map.len(), 334);
+        assert_eq!(map[0], Feature::AccessOffset);
+        assert_eq!(map[333], Feature::LineRecency);
+    }
+
+    #[test]
+    fn pc_extension_adds_dimensions_beyond_table_ii() {
+        // 334 + 8 (access PC hash) + 4x16 (line PC hashes) = 406.
+        assert_eq!(FeatureSet::full_with_pc().dims(16), 406);
+        let enc = StateEncoder::new(FeatureSet::full_with_pc(), 16, 2048);
+        let v = enc.encode(&view(16));
+        assert_eq!(v.len(), 406);
+        for x in v {
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn never_seen_access_preuse_saturates() {
+        let set = FeatureSet::empty().with(Feature::AccessPreuse);
+        let enc = StateEncoder::new(set, 4, 64);
+        let mut v = view(4);
+        v.access_preuse = u64::MAX;
+        assert_eq!(enc.encode(&v), vec![1.0]);
+    }
+}

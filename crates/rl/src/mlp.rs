@@ -1,0 +1,385 @@
+//! A from-scratch multi-layer perceptron.
+//!
+//! One hidden layer with tanh activation and a linear output layer — the
+//! architecture the paper settled on after its hyperparameter exploration
+//! ("simple enough for interpretation but performs almost as well as
+//! denser networks"). Trained with SGD plus momentum.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-layer perceptron: `inputs → hidden (tanh) → outputs (linear)`.
+///
+/// ```
+/// use rl::Mlp;
+///
+/// let mut net = Mlp::new(4, 8, 2, 42);
+/// let out = net.forward(&[0.1, -0.2, 0.3, 0.0]);
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    inputs: usize,
+    hidden: usize,
+    outputs: usize,
+    /// `w1[h * inputs + i]`: input `i` → hidden `h`.
+    w1: Vec<f32>,
+    b1: Vec<f32>,
+    /// `w2[o * hidden + h]`: hidden `h` → output `o`.
+    w2: Vec<f32>,
+    b2: Vec<f32>,
+    // Momentum buffers.
+    m_w1: Vec<f32>,
+    m_b1: Vec<f32>,
+    m_w2: Vec<f32>,
+    m_b2: Vec<f32>,
+    // Scratch from the last forward pass (for backprop).
+    last_input: Vec<f32>,
+    last_hidden: Vec<f32>,
+}
+
+impl Mlp {
+    /// Creates a network with Xavier-style initialization from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(inputs: usize, hidden: usize, outputs: usize, seed: u64) -> Self {
+        assert!(inputs > 0 && hidden > 0 && outputs > 0, "dimensions must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let s1 = (6.0 / (inputs + hidden) as f32).sqrt();
+        let s2 = (6.0 / (hidden + outputs) as f32).sqrt();
+        let w1 = (0..inputs * hidden).map(|_| rng.gen_range(-s1..s1)).collect();
+        let w2 = (0..hidden * outputs).map(|_| rng.gen_range(-s2..s2)).collect();
+        Self {
+            inputs,
+            hidden,
+            outputs,
+            w1,
+            b1: vec![0.0; hidden],
+            w2,
+            b2: vec![0.0; outputs],
+            m_w1: vec![0.0; inputs * hidden],
+            m_b1: vec![0.0; hidden],
+            m_w2: vec![0.0; hidden * outputs],
+            m_b2: vec![0.0; outputs],
+            last_input: vec![0.0; inputs],
+            last_hidden: vec![0.0; hidden],
+        }
+    }
+
+    /// Input dimension.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Output dimension.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// First-layer weights, laid out `[hidden][inputs]` row-major — the
+    /// matrix the Fig. 3 heat map aggregates.
+    pub fn first_layer_weights(&self) -> &[f32] {
+        &self.w1
+    }
+
+    /// Runs a forward pass, caching activations for a subsequent
+    /// [`Mlp::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the input dimension.
+    pub fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.inputs, "input dimension mismatch");
+        self.last_input.copy_from_slice(input);
+        for h in 0..self.hidden {
+            let row = &self.w1[h * self.inputs..(h + 1) * self.inputs];
+            let mut acc = self.b1[h];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            self.last_hidden[h] = acc.tanh();
+        }
+        let mut out = vec![0.0; self.outputs];
+        for o in 0..self.outputs {
+            let row = &self.w2[o * self.hidden..(o + 1) * self.hidden];
+            let mut acc = self.b2[o];
+            for (w, x) in row.iter().zip(&self.last_hidden) {
+                acc += w * x;
+            }
+            out[o] = acc;
+        }
+        out
+    }
+
+    /// Inference without touching the backprop scratch state.
+    pub fn predict(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.inputs, "input dimension mismatch");
+        let mut hidden = vec![0.0f32; self.hidden];
+        for h in 0..self.hidden {
+            let row = &self.w1[h * self.inputs..(h + 1) * self.inputs];
+            let mut acc = self.b1[h];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            hidden[h] = acc.tanh();
+        }
+        (0..self.outputs)
+            .map(|o| {
+                let row = &self.w2[o * self.hidden..(o + 1) * self.hidden];
+                row.iter().zip(&hidden).fold(self.b2[o], |acc, (w, x)| acc + w * x)
+            })
+            .collect()
+    }
+
+    /// Backpropagates `d_out` (∂loss/∂output) from the activations cached
+    /// by the last [`Mlp::forward`], applying one SGD-with-momentum update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_out.len()` differs from the output dimension.
+    pub fn backward(&mut self, d_out: &[f32], learning_rate: f32, momentum: f32) {
+        assert_eq!(d_out.len(), self.outputs, "gradient dimension mismatch");
+        // Hidden-layer error: δh = (Σo w2[o,h]·δo) · (1 − tanh²).
+        let mut d_hidden = vec![0.0f32; self.hidden];
+        for o in 0..self.outputs {
+            let row = &self.w2[o * self.hidden..(o + 1) * self.hidden];
+            for (h, w) in row.iter().enumerate() {
+                d_hidden[h] += w * d_out[o];
+            }
+        }
+        for h in 0..self.hidden {
+            let a = self.last_hidden[h];
+            d_hidden[h] *= 1.0 - a * a;
+        }
+
+        // Output layer update.
+        for o in 0..self.outputs {
+            let g_b = d_out[o];
+            let m = &mut self.m_b2[o];
+            *m = momentum * *m - learning_rate * g_b;
+            self.b2[o] += *m;
+            for h in 0..self.hidden {
+                let g = d_out[o] * self.last_hidden[h];
+                let idx = o * self.hidden + h;
+                let m = &mut self.m_w2[idx];
+                *m = momentum * *m - learning_rate * g;
+                self.w2[idx] += *m;
+            }
+        }
+        // Hidden layer update.
+        for h in 0..self.hidden {
+            let g_b = d_hidden[h];
+            let m = &mut self.m_b1[h];
+            *m = momentum * *m - learning_rate * g_b;
+            self.b1[h] += *m;
+            for i in 0..self.inputs {
+                let g = d_hidden[h] * self.last_input[i];
+                let idx = h * self.inputs + i;
+                let m = &mut self.m_w1[idx];
+                *m = momentum * *m - learning_rate * g;
+                self.w1[idx] += *m;
+            }
+        }
+    }
+
+    /// Serializes the network (dimensions and weights; optimizer state is
+    /// not persisted).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn save<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        w.write_all(b"MLP1")?;
+        for dim in [self.inputs as u64, self.hidden as u64, self.outputs as u64] {
+            w.write_all(&dim.to_le_bytes())?;
+        }
+        for buf in [&self.w1, &self.b1, &self.w2, &self.b2] {
+            for v in buf.iter() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a network written by [`Mlp::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or malformed input.
+    pub fn load<R: std::io::Read>(mut r: R) -> std::io::Result<Self> {
+        use std::io::{Error, ErrorKind};
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"MLP1" {
+            return Err(Error::new(ErrorKind::InvalidData, "bad MLP magic"));
+        }
+        let mut dims = [0u64; 3];
+        for d in &mut dims {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            *d = u64::from_le_bytes(b);
+        }
+        let (inputs, hidden, outputs) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+        if inputs == 0 || hidden == 0 || outputs == 0 || inputs * hidden > (1 << 28) {
+            return Err(Error::new(ErrorKind::InvalidData, "implausible MLP dimensions"));
+        }
+        let mut read_f32s = |n: usize| -> std::io::Result<Vec<f32>> {
+            let mut out = Vec::with_capacity(n);
+            let mut b = [0u8; 4];
+            for _ in 0..n {
+                r.read_exact(&mut b)?;
+                out.push(f32::from_le_bytes(b));
+            }
+            Ok(out)
+        };
+        let w1 = read_f32s(inputs * hidden)?;
+        let b1 = read_f32s(hidden)?;
+        let w2 = read_f32s(hidden * outputs)?;
+        let b2 = read_f32s(outputs)?;
+        let mut net = Mlp::new(inputs, hidden, outputs, 0);
+        net.w1 = w1;
+        net.b1 = b1;
+        net.w2 = w2;
+        net.b2 = b2;
+        Ok(net)
+    }
+
+    /// Mean-squared-error convenience: forward on `input`, backward against
+    /// `target` on the selected `action` output only (other outputs receive
+    /// zero gradient, as in DQN), returning the squared error.
+    pub fn train_action(
+        &mut self,
+        input: &[f32],
+        action: usize,
+        target: f32,
+        learning_rate: f32,
+        momentum: f32,
+    ) -> f32 {
+        let out = self.forward(input);
+        let mut d_out = vec![0.0f32; self.outputs];
+        let err = out[action] - target;
+        // Huber-style gradient clipping keeps large TD errors from blowing
+        // up the weights (the standard DQN stabilization).
+        d_out[action] = err.clamp(-1.0, 1.0);
+        self.backward(&d_out, learning_rate, momentum);
+        err * err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_is_deterministic_per_seed() {
+        let mut a = Mlp::new(6, 5, 3, 7);
+        let mut b = Mlp::new(6, 5, 3, 7);
+        let x = [0.5, -0.5, 0.25, 0.0, 1.0, -1.0];
+        assert_eq!(a.forward(&x), b.forward(&x));
+        let mut c = Mlp::new(6, 5, 3, 8);
+        assert_ne!(a.forward(&x), c.forward(&x));
+    }
+
+    #[test]
+    fn predict_matches_forward() {
+        let mut net = Mlp::new(4, 6, 2, 1);
+        let x = [0.1, 0.2, 0.3, 0.4];
+        assert_eq!(net.forward(&x), net.predict(&x));
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut net = Mlp::new(3, 4, 2, 9);
+        let x = [0.3, -0.7, 0.2];
+        let action = 1;
+        let target = 0.5f32;
+
+        // Analytic gradient for one first-layer weight via a probe update.
+        let eps = 1e-3f32;
+        let loss = |n: &Mlp| {
+            let y = n.predict(&x)[action];
+            0.5 * (y - target) * (y - target)
+        };
+        for &idx in &[0usize, 5, 11] {
+            let mut plus = net.clone();
+            plus.w1[idx] += eps;
+            let mut minus = net.clone();
+            minus.w1[idx] -= eps;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+
+            // Analytic: δ = (y−t); backprop by hand through the probe.
+            let mut probe = net.clone();
+            let y = probe.forward(&x)[action];
+            let mut d_out = vec![0.0; 2];
+            d_out[action] = y - target;
+            // Use learning rate 1, momentum 0: weight delta = -gradient.
+            let before = probe.w1[idx];
+            probe.backward(&d_out, 1.0, 0.0);
+            let analytic = before - probe.w1[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-3,
+                "w1[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        let _ = net.forward(&x); // keep net "used"
+    }
+
+    #[test]
+    fn training_reduces_error_on_a_fixed_target() {
+        let mut net = Mlp::new(5, 12, 4, 3);
+        let x = [0.2, -0.1, 0.7, -0.6, 0.05];
+        let first = net.train_action(&x, 2, 1.0, 0.05, 0.9);
+        for _ in 0..200 {
+            net.train_action(&x, 2, 1.0, 0.05, 0.9);
+        }
+        let last = net.train_action(&x, 2, 1.0, 0.05, 0.9);
+        assert!(last < first / 10.0, "error must shrink: {first} → {last}");
+    }
+
+    #[test]
+    fn learns_a_simple_function() {
+        use rand::{Rng, SeedableRng};
+        // Teach output 0 to be the sign-ish of x[0].
+        let mut net = Mlp::new(2, 8, 1, 5);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        for _ in 0..4000 {
+            let x: f32 = rng.gen_range(-1.0..1.0);
+            let target = if x > 0.0 { 1.0 } else { -1.0 };
+            let _ = net.train_action(&[x, 1.0 - x.abs()], 0, target, 0.02, 0.8);
+        }
+        assert!(net.predict(&[0.8, 0.2])[0] > 0.4);
+        assert!(net.predict(&[-0.8, 0.2])[0] < -0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_size_panics() {
+        let mut net = Mlp::new(3, 3, 3, 0);
+        let _ = net.forward(&[1.0]);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let mut net = Mlp::new(7, 5, 3, 21);
+        for i in 0..50 {
+            net.train_action(&[0.1; 7], i % 3, 0.5, 0.01, 0.9);
+        }
+        let mut buf = Vec::new();
+        net.save(&mut buf).expect("in-memory save");
+        let back = Mlp::load(buf.as_slice()).expect("load");
+        let x = [0.3, -0.1, 0.2, 0.9, -0.9, 0.0, 0.4];
+        assert_eq!(net.predict(&x), back.predict(&x));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(Mlp::load(&b"NOT A NET"[..]).is_err());
+    }
+}

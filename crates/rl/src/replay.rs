@@ -1,0 +1,129 @@
+//! Experience replay (Mnih et al., 2015), as used by the paper's trainer.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One stored transition `⟨state, action, reward, next state⟩`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transition {
+    /// Encoded state at decision time.
+    pub state: Vec<f32>,
+    /// Chosen victim way.
+    pub action: u16,
+    /// Reward for the decision (+1 Belady-optimal, −1 harmful, 0 neutral).
+    pub reward: f32,
+    /// Encoded state at the next decision.
+    pub next_state: Vec<f32>,
+}
+
+/// A bounded circular buffer of transitions with uniform random sampling.
+///
+/// Sampling random past transitions "breaks the similarity of subsequent
+/// training samples", preventing the network from chasing its own tail
+/// (paper §III-A, *Training*).
+///
+/// ```
+/// use rl::{ReplayBuffer, Transition};
+///
+/// let mut buf = ReplayBuffer::new(2);
+/// for i in 0..3 {
+///     buf.push(Transition {
+///         state: vec![i as f32],
+///         action: 0,
+///         reward: 0.0,
+///         next_state: vec![],
+///     });
+/// }
+/// assert_eq!(buf.len(), 2); // oldest entry was overwritten
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer {
+    entries: Vec<Transition>,
+    capacity: usize,
+    head: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer needs capacity");
+        Self { entries: Vec::with_capacity(capacity.min(1 << 20)), capacity, head: 0 }
+    }
+
+    /// Stores a transition, overwriting the oldest once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(t);
+        } else {
+            self.entries[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Samples one uniformly random stored transition.
+    pub fn sample<'a>(&'a self, rng: &mut SmallRng) -> Option<&'a Transition> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(&self.entries[rng.gen_range(0..self.entries.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(tag: f32) -> Transition {
+        Transition { state: vec![tag], action: 0, reward: 0.0, next_state: vec![] }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        let tags: Vec<f32> = buf.entries.iter().map(|e| e.state[0]).collect();
+        // Entries 0 and 1 were overwritten by 3 and 4.
+        assert!(tags.contains(&2.0) && tags.contains(&3.0) && tags.contains(&4.0));
+        assert!(!tags.contains(&0.0));
+    }
+
+    #[test]
+    fn sample_covers_the_buffer() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..8 {
+            buf.push(t(i as f32));
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(buf.sample(&mut rng).expect("non-empty").state[0] as i64);
+        }
+        assert_eq!(seen.len(), 8, "uniform sampling should reach every slot");
+    }
+
+    #[test]
+    fn empty_buffer_samples_none() {
+        let buf = ReplayBuffer::new(4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(buf.sample(&mut rng).is_none());
+    }
+}

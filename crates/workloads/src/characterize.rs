@@ -1,0 +1,179 @@
+//! Workload characterization: measure a stream's memory personality.
+//!
+//! These are the axes the synthetic recipes are tuned on (footprint, reuse
+//! profile, store ratio, compute density), so this module both validates
+//! the recipes against their intended personalities and lets downstream
+//! users understand a workload before simulating it.
+
+use std::collections::HashMap;
+
+use crate::workload::Workload;
+
+/// Reuse-distance histogram buckets (in distinct-access gaps, line
+/// granularity): `<64`, `<4K` (L1-class), `<64K` (L2/LLC-class), `>=64K`,
+/// and never-reused.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReuseBuckets {
+    /// Reuse gap below 64 accesses (register/L1 class).
+    pub under_64: u64,
+    /// Gap in `64..4096` (L1/L2 class).
+    pub under_4k: u64,
+    /// Gap in `4096..65536` (LLC class).
+    pub under_64k: u64,
+    /// Gap of 65536 or more (memory class).
+    pub over_64k: u64,
+}
+
+/// Measured personality of a workload sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Characterization {
+    /// Entries sampled.
+    pub entries: u64,
+    /// Distinct 64-byte lines touched.
+    pub unique_lines: u64,
+    /// Fraction of memory operations that are stores.
+    pub store_ratio: f64,
+    /// Mean non-memory instructions per memory operation.
+    pub mean_leading: f64,
+    /// Fraction of serially-dependent (pointer-chase) accesses.
+    pub dependent_ratio: f64,
+    /// Line-reuse gap distribution.
+    pub reuse: ReuseBuckets,
+    /// Accesses to a line seen before (any gap).
+    pub reused: u64,
+}
+
+impl Characterization {
+    /// Measures the first `entries` entries of the workload's stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn measure(workload: &Workload, entries: u64) -> Self {
+        assert!(entries > 0, "need a non-empty sample");
+        let mut last_touch: HashMap<u64, u64> = HashMap::new();
+        let mut stores = 0u64;
+        let mut leading = 0u64;
+        let mut dependent = 0u64;
+        let mut reuse = ReuseBuckets::default();
+        let mut reused = 0u64;
+
+        for (i, e) in workload.stream().take(entries as usize).enumerate() {
+            let line = e.addr >> 6;
+            stores += u64::from(e.is_store);
+            dependent += u64::from(e.dependent);
+            leading += u64::from(e.leading);
+            if let Some(&prev) = last_touch.get(&line) {
+                reused += 1;
+                match i as u64 - prev {
+                    0..=63 => reuse.under_64 += 1,
+                    64..=4095 => reuse.under_4k += 1,
+                    4096..=65535 => reuse.under_64k += 1,
+                    _ => reuse.over_64k += 1,
+                }
+            }
+            last_touch.insert(line, i as u64);
+        }
+        Self {
+            entries,
+            unique_lines: last_touch.len() as u64,
+            store_ratio: stores as f64 / entries as f64,
+            mean_leading: leading as f64 / entries as f64,
+            dependent_ratio: dependent as f64 / entries as f64,
+            reuse,
+            reused,
+        }
+    }
+
+    /// Approximate data footprint in bytes (unique lines × 64).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.unique_lines * 64
+    }
+
+    /// Fraction of accesses that re-touch a previously seen line.
+    pub fn reuse_ratio(&self) -> f64 {
+        self.reused as f64 / self.entries as f64
+    }
+}
+
+impl std::fmt::Display for Characterization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "entries          {}", self.entries)?;
+        writeln!(
+            f,
+            "footprint        {:.2} MB ({} lines)",
+            self.footprint_bytes() as f64 / (1 << 20) as f64,
+            self.unique_lines
+        )?;
+        writeln!(f, "store ratio      {:.1}%", self.store_ratio * 100.0)?;
+        writeln!(f, "compute density  {:.1} instr/access", self.mean_leading)?;
+        writeln!(f, "dependent        {:.1}%", self.dependent_ratio * 100.0)?;
+        writeln!(f, "reuse ratio      {:.1}%", self.reuse_ratio() * 100.0)?;
+        let total = self.reused.max(1) as f64;
+        write!(
+            f,
+            "reuse gaps       <64: {:.0}%  <4K: {:.0}%  <64K: {:.0}%  >=64K: {:.0}%",
+            self.reuse.under_64 as f64 * 100.0 / total,
+            self.reuse.under_4k as f64 * 100.0 / total,
+            self.reuse.under_64k as f64 * 100.0 / total,
+            self.reuse.over_64k as f64 * 100.0 / total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::Recipe;
+
+    #[test]
+    fn cyclic_scan_has_periodic_reuse() {
+        // 64 KB cyclic scan = 1024 lines, re-touched every 1024 accesses.
+        let wl = Workload::new("c", Recipe::Cyclic { bytes: 64 << 10, stride: 64, store_ratio: 0.0 })
+            .with_local(0.0);
+        let c = Characterization::measure(&wl, 5_000);
+        assert_eq!(c.unique_lines, 1024);
+        assert!(c.reuse_ratio() > 0.7, "after one lap everything is reuse");
+        assert!(c.reuse.under_4k > c.reuse.under_64, "gap is exactly 1024 accesses");
+    }
+
+    #[test]
+    fn random_junk_never_reuses() {
+        let wl = Workload::new("r", Recipe::Random { bytes: 512 << 20, store_ratio: 0.5 })
+            .with_local(0.0);
+        let c = Characterization::measure(&wl, 5_000);
+        assert!(c.reuse_ratio() < 0.01, "512 MB uniform random barely reuses");
+        assert!((c.store_ratio - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn chase_is_fully_dependent() {
+        let wl = Workload::new("ch", Recipe::Chase { bytes: 1 << 20 }).with_local(0.0);
+        let c = Characterization::measure(&wl, 2_000);
+        assert!(c.dependent_ratio > 0.99);
+    }
+
+    #[test]
+    fn local_traffic_shrinks_the_measured_pattern_share() {
+        let base = Workload::new("l", Recipe::Random { bytes: 64 << 20, store_ratio: 0.0 });
+        let with_local = Characterization::measure(&base.clone().with_local(0.8), 4_000);
+        let without = Characterization::measure(&base.with_local(0.0), 4_000);
+        assert!(with_local.unique_lines < without.unique_lines / 2);
+    }
+
+    #[test]
+    fn display_mentions_footprint() {
+        let wl = Workload::new("d", Recipe::Chase { bytes: 1 << 16 });
+        let c = Characterization::measure(&wl, 500);
+        let text = c.to_string();
+        assert!(text.contains("footprint"));
+        assert!(text.contains("reuse gaps"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_sample_panics() {
+        let wl = Workload::new("z", Recipe::Chase { bytes: 1 << 16 });
+        let _ = Characterization::measure(&wl, 0);
+    }
+}

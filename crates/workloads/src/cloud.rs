@@ -1,0 +1,130 @@
+//! CloudSuite workload analogues.
+//!
+//! Scale-out cloud services are characterized by large instruction
+//! footprints (modelled with [`crate::Recipe::CodeWalk`]), data working sets far
+//! beyond the LLC with mild skew, and many concurrent request streams.
+
+use crate::recipe::Recipe;
+use crate::workload::Workload;
+
+const KB: u64 = 1 << 10;
+const MB: u64 = 1 << 20;
+
+/// The five CloudSuite benchmarks evaluated in Figure 11 of the paper.
+pub const CLOUDSUITE: [&str; 5] =
+    ["cassandra", "classification", "cloud9", "nutch", "streaming"];
+
+/// Builds the synthetic analogue of a CloudSuite benchmark, or `None` if the
+/// name is unknown.
+///
+/// ```
+/// let wl = workloads::cloudsuite("cassandra").unwrap();
+/// assert_eq!(wl.name(), "cassandra");
+/// ```
+pub fn cloudsuite(name: &str) -> Option<Workload> {
+    let (recipe, compute): (Recipe, (u32, u32)) = match name {
+        // NoSQL data store: memtable/SSTable references over a huge skewed
+        // key space, with compaction scans and a big code footprint.
+        "cassandra" => (
+            Recipe::CodeWalk {
+                bytes: 6 * MB,
+                inner: Box::new(Recipe::Mix(vec![
+                    (3, Recipe::Zipf { bytes: 32 * MB, skew: 0.95, store_ratio: 0.25 }),
+                    (2, Recipe::Cyclic { bytes: 3 * MB, stride: 64, store_ratio: 0.2 }),
+                    (1, Recipe::Cyclic { bytes: 8 * MB, stride: 64, store_ratio: 0.1 }),
+                    (1, Recipe::Zipf { bytes: 256 * KB, skew: 1.1, store_ratio: 0.3 }),
+                ])),
+            },
+            (4, 8),
+        ),
+        // Data analytics (Mahout classification): streaming passes over the
+        // training corpus with a hot model working set.
+        "classification" => (
+            Recipe::CodeWalk {
+                bytes: 2 * MB,
+                inner: Box::new(Recipe::Mix(vec![
+                    (3, Recipe::Cyclic { bytes: 24 * MB, stride: 64, store_ratio: 0.05 }),
+                    (2, Recipe::Zipf { bytes: 4 * MB, skew: 0.8, store_ratio: 0.2 }),
+                ])),
+            },
+            (3, 7),
+        ),
+        // Cloud9 web search ranking: posting-list walks plus scoring
+        // structures, large code footprint.
+        "cloud9" => (
+            Recipe::CodeWalk {
+                bytes: 8 * MB,
+                inner: Box::new(Recipe::Mix(vec![
+                    (3, Recipe::Cyclic { bytes: 3 * MB, stride: 64, store_ratio: 0.15 }),
+                    (2, Recipe::Zipf { bytes: 16 * MB, skew: 0.8, store_ratio: 0.15 }),
+                    (1, Recipe::Chase { bytes: 2 * MB }),
+                ])),
+            },
+            (4, 9),
+        ),
+        // Nutch web crawler/indexer: skewed URL/link tables and sequential
+        // segment writes.
+        "nutch" => (
+            Recipe::CodeWalk {
+                bytes: 6 * MB,
+                inner: Box::new(Recipe::Mix(vec![
+                    (3, Recipe::Zipf { bytes: 24 * MB, skew: 1.1, store_ratio: 0.3 }),
+                    (2, Recipe::Cyclic { bytes: 2800 * KB, stride: 64, store_ratio: 0.4 }),
+                    (1, Recipe::Cyclic { bytes: 4 * MB, stride: 64, store_ratio: 0.5 }),
+                ])),
+            },
+            (4, 8),
+        ),
+        // Media streaming: overwhelmingly sequential content delivery with a
+        // small hot metadata set.
+        "streaming" => (
+            Recipe::CodeWalk {
+                bytes: 3 * MB,
+                inner: Box::new(Recipe::Mix(vec![
+                    (5, Recipe::Cyclic { bytes: 48 * MB, stride: 64, store_ratio: 0.05 }),
+                    (1, Recipe::Zipf { bytes: MB, skew: 1.0, store_ratio: 0.2 }),
+                ])),
+            },
+            (2, 5),
+        ),
+        _ => return None,
+    };
+    // Cloud services spend much of their time in framework code over
+    // L1-resident state; see `Workload::with_local`.
+    let local = match name {
+        "streaming" => 0.78,
+        "classification" => 0.76,
+        _ => 0.72,
+    };
+    Some(Workload::new(name, recipe).with_compute(compute.0, compute.1).with_local(local))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cloudsuite_benchmarks_build() {
+        for name in CLOUDSUITE {
+            let wl = cloudsuite(name).unwrap_or_else(|| panic!("missing recipe for {name}"));
+            assert_eq!(wl.name(), name);
+            assert_eq!(wl.stream().take(100).count(), 100);
+        }
+    }
+
+    #[test]
+    fn cloud_workloads_have_code_footprints() {
+        for name in CLOUDSUITE {
+            let wl = cloudsuite(name).unwrap();
+            assert!(
+                matches!(wl.recipe(), Recipe::CodeWalk { .. }),
+                "{name} must model a large instruction footprint"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(cloudsuite("memcached").is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! The unit of work consumed by the simulator: one memory instruction plus
+//! the non-memory instructions leading up to it.
+
+/// One memory operation in a workload's dynamic instruction stream.
+///
+/// A trace entry represents `leading` non-memory instructions followed by a
+/// single load or store at `addr`, issued by the static instruction at `pc`.
+/// The entry therefore accounts for `leading + 1` retired instructions.
+///
+/// ```
+/// use workloads::TraceEntry;
+///
+/// let e = TraceEntry { leading: 3, pc: 0x40_0000, is_store: false, addr: 0x1000, dependent: false };
+/// assert_eq!(e.instructions(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceEntry {
+    /// Non-memory instructions retired before this memory operation.
+    pub leading: u32,
+    /// Program counter (byte address) of the memory instruction.
+    pub pc: u64,
+    /// `true` for a store, `false` for a load.
+    pub is_store: bool,
+    /// Virtual byte address accessed by the memory operation.
+    pub addr: u64,
+    /// `true` when the address depends on the previous access's data
+    /// (pointer chasing), which serializes cache misses in the core.
+    pub dependent: bool,
+}
+
+impl TraceEntry {
+    /// Total instructions this entry accounts for (`leading + 1`).
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.leading) + 1
+    }
+}

@@ -1,0 +1,102 @@
+//! Multi-programmed workload mixes for the 4-core evaluation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{spec2006, SPEC2006};
+use crate::workload::Workload;
+
+/// A multi-programmed mix: one workload per core.
+///
+/// ```
+/// let mixes = workloads::random_spec_mixes(2, 4, 99);
+/// assert_eq!(mixes.len(), 2);
+/// assert_eq!(mixes[0].workloads().len(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WorkloadMix {
+    name: String,
+    workloads: Vec<Workload>,
+}
+
+impl WorkloadMix {
+    /// Creates a named mix from per-core workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` is empty.
+    pub fn new(name: impl Into<String>, workloads: Vec<Workload>) -> Self {
+        assert!(!workloads.is_empty(), "a mix needs at least one workload");
+        Self { name: name.into(), workloads }
+    }
+
+    /// The mix's name (e.g. `"mix017"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-core workloads, index = core id.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+}
+
+/// Generates `count` random multi-programmed mixes of `cores` SPEC CPU 2006
+/// benchmarks each, mirroring the paper's "100 random sets of four
+/// benchmarks from the 29 applications".
+///
+/// Sampling is with replacement across mixes and without replacement within
+/// a mix, and fully determined by `seed`.
+pub fn random_spec_mixes(count: usize, cores: usize, seed: u64) -> Vec<WorkloadMix> {
+    assert!(cores > 0 && cores <= SPEC2006.len(), "invalid core count");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let mut chosen: Vec<&str> = Vec::with_capacity(cores);
+            while chosen.len() < cores {
+                let candidate = SPEC2006[rng.gen_range(0..SPEC2006.len())];
+                if !chosen.contains(&candidate) {
+                    chosen.push(candidate);
+                }
+            }
+            let workloads = chosen
+                .iter()
+                .map(|name| spec2006(name).expect("SPEC2006 names all have recipes"))
+                .collect();
+            WorkloadMix::new(format!("mix{i:03}"), workloads)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_deterministic() {
+        let a = random_spec_mixes(5, 4, 7);
+        let b = random_spec_mixes(5, 4, 7);
+        for (x, y) in a.iter().zip(&b) {
+            let xn: Vec<_> = x.workloads().iter().map(Workload::name).collect();
+            let yn: Vec<_> = y.workloads().iter().map(Workload::name).collect();
+            assert_eq!(xn, yn);
+        }
+    }
+
+    #[test]
+    fn no_duplicates_within_a_mix() {
+        for mix in random_spec_mixes(20, 4, 3) {
+            let names: Vec<_> = mix.workloads().iter().map(Workload::name).collect();
+            let mut unique = names.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            assert_eq!(unique.len(), names.len(), "duplicate in {}", mix.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_mix_panics() {
+        let _ = WorkloadMix::new("empty", Vec::new());
+    }
+}

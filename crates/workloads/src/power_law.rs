@@ -1,0 +1,121 @@
+//! Power-law (Zipf-like) rank sampling via continuous inverse-CDF
+//! approximation.
+
+use rand::Rng;
+
+/// Samples ranks in `0..n` with probability roughly proportional to
+/// `1 / (rank + 1)^skew`.
+///
+/// Uses the continuous inverse-CDF approximation, which is accurate enough
+/// for workload generation and requires O(1) state (no precomputed tables).
+///
+/// ```
+/// use rand::SeedableRng;
+/// use workloads::PowerLaw;
+///
+/// let zipf = PowerLaw::new(1024, 1.0);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 1024);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLaw {
+    n: u64,
+    skew: f64,
+}
+
+impl PowerLaw {
+    /// Creates a sampler over `0..n` with the given skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `skew` is negative or non-finite.
+    pub fn new(n: u64, skew: f64) -> Self {
+        assert!(n > 0, "power law needs a non-empty domain");
+        assert!(skew.is_finite() && skew >= 0.0, "skew must be finite and non-negative");
+        // A skew of exactly 1.0 makes the closed-form CDF degenerate; nudge it.
+        let skew = if (skew - 1.0).abs() < 1e-9 { 1.0 + 1e-6 } else { skew };
+        Self { n, skew }
+    }
+
+    /// Number of ranks in the domain.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `0..n`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        if self.skew == 0.0 {
+            return rng.gen_range(0..self.n);
+        }
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let s = self.skew;
+        let n = self.n as f64;
+        // Invert the CDF of the continuous density x^-s on [1, n+1].
+        let one_minus_s = 1.0 - s;
+        let top = (n + 1.0).powf(one_minus_s);
+        let x = (u * (top - 1.0) + 1.0).powf(1.0 / one_minus_s);
+        let rank = (x as u64).saturating_sub(1);
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let p = PowerLaw::new(100, 1.2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(p.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let p = PowerLaw::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0u32; 4];
+        for _ in 0..100_000 {
+            let r = p.sample(&mut rng);
+            if (r as usize) < counts.len() {
+                counts[r as usize] += 1;
+            }
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let p = PowerLaw::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[p.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "uniform bucket out of range: {c}");
+        }
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let p = PowerLaw::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(p.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        let _ = PowerLaw::new(0, 1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Declarative descriptions of memory access behaviour.
+//!
+//! A [`Recipe`] is a cloneable, inspectable tree describing *what* a workload
+//! does to memory; building a [`crate::Workload`] compiles it into the
+//! mutable state machines in [`crate::pattern`] that actually emit accesses.
+
+/// A composable description of a memory access pattern.
+///
+/// Leaf variants describe primitive behaviours over a private data region
+/// (regions are laid out automatically and never overlap). Combinators mix,
+/// phase, and interleave children, or override instruction-side properties.
+///
+/// ```
+/// use workloads::{Recipe, Workload};
+///
+/// // Two-thirds pointer chasing over 8 MB, one-third hot Zipf references.
+/// let recipe = Recipe::Mix(vec![
+///     (2, Recipe::Chase { bytes: 8 << 20 }),
+///     (1, Recipe::Zipf { bytes: 1 << 20, skew: 1.0, store_ratio: 0.1 }),
+/// ]);
+/// let wl = Workload::new("example", recipe);
+/// assert!(wl.stream().take(100).count() == 100);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Recipe {
+    /// Cyclically walk a `bytes`-sized region with the given stride,
+    /// wrapping at the end. A region larger than the cache produces pure
+    /// streaming; slightly larger produces classic LRU-thrashing scans.
+    Cyclic {
+        /// Size of the region walked.
+        bytes: u64,
+        /// Byte distance between consecutive accesses.
+        stride: u64,
+        /// Fraction of accesses that are stores.
+        store_ratio: f32,
+    },
+    /// Zipf-distributed references over the lines of a region
+    /// (`skew` 0 = uniform; around 1 = classic hot/cold split).
+    Zipf {
+        /// Size of the region referenced.
+        bytes: u64,
+        /// Power-law skew of line popularity.
+        skew: f64,
+        /// Fraction of accesses that are stores.
+        store_ratio: f32,
+    },
+    /// Uniform random line references over a region (GUPS-like).
+    Random {
+        /// Size of the region referenced.
+        bytes: u64,
+        /// Fraction of accesses that are stores.
+        store_ratio: f32,
+    },
+    /// Serial pointer chase through a fixed pseudo-random single-cycle
+    /// permutation of the region's lines. Defeats stride prefetchers and has
+    /// a reuse distance equal to the full footprint.
+    Chase {
+        /// Size of the chased region; one node per 64-byte line.
+        bytes: u64,
+    },
+    /// Three-point stencil sweep: for each element, read the previous row,
+    /// read the current element, write the result. Row reuse distance is
+    /// `row_bytes`; the whole grid is swept cyclically.
+    Stencil {
+        /// Number of rows in the grid.
+        rows: u32,
+        /// Size of one row.
+        row_bytes: u64,
+    },
+    /// Weighted mixture: each access comes from one child, chosen with
+    /// probability proportional to its weight.
+    Mix(Vec<(u32, Recipe)>),
+    /// Program phases: run each child for its entry count, then move to the
+    /// next child, cycling forever.
+    Phased(Vec<(u64, Recipe)>),
+    /// Round-robin interleaving of children, modelling concurrent streams.
+    Interleave(Vec<Recipe>),
+    /// Override the compute density (non-memory instructions per access,
+    /// sampled uniformly from `min..=max`) for the subtree.
+    Compute {
+        /// Minimum leading instructions per access.
+        min: u32,
+        /// Maximum leading instructions per access.
+        max: u32,
+        /// The pattern whose compute density is overridden.
+        inner: Box<Recipe>,
+    },
+    /// Replace the subtree's per-site program counters with a sequential
+    /// walk over a large code region, modelling applications whose
+    /// instruction footprint itself pressures the cache hierarchy
+    /// (CloudSuite-style).
+    CodeWalk {
+        /// Size of the code region walked by the program counter.
+        bytes: u64,
+        /// The pattern executed by that code.
+        inner: Box<Recipe>,
+    },
+}
+
+impl Recipe {
+    /// Total data bytes touched by the recipe (sum over leaves).
+    ///
+    /// ```
+    /// use workloads::Recipe;
+    /// let r = Recipe::Mix(vec![
+    ///     (1, Recipe::Chase { bytes: 1024 }),
+    ///     (1, Recipe::Random { bytes: 2048, store_ratio: 0.0 }),
+    /// ]);
+    /// assert_eq!(r.data_footprint(), 3072);
+    /// ```
+    pub fn data_footprint(&self) -> u64 {
+        match self {
+            Recipe::Cyclic { bytes, .. }
+            | Recipe::Zipf { bytes, .. }
+            | Recipe::Random { bytes, .. }
+            | Recipe::Chase { bytes } => *bytes,
+            Recipe::Stencil { rows, row_bytes } => u64::from(*rows) * row_bytes,
+            Recipe::Mix(children) => children.iter().map(|(_, c)| c.data_footprint()).sum(),
+            Recipe::Phased(children) => children.iter().map(|(_, c)| c.data_footprint()).sum(),
+            Recipe::Interleave(children) => children.iter().map(Recipe::data_footprint).sum(),
+            Recipe::Compute { inner, .. } | Recipe::CodeWalk { inner, .. } => {
+                inner.data_footprint()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_sums_nested_children() {
+        let r = Recipe::Phased(vec![
+            (10, Recipe::Cyclic { bytes: 100, stride: 64, store_ratio: 0.0 }),
+            (
+                10,
+                Recipe::CodeWalk {
+                    bytes: 4096,
+                    inner: Box::new(Recipe::Zipf { bytes: 50, skew: 1.0, store_ratio: 0.0 }),
+                },
+            ),
+        ]);
+        assert_eq!(r.data_footprint(), 150);
+    }
+
+    #[test]
+    fn stencil_footprint_is_grid_size() {
+        let r = Recipe::Stencil { rows: 4, row_bytes: 256 };
+        assert_eq!(r.data_footprint(), 1024);
+    }
+}

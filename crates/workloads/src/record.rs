@@ -1,0 +1,166 @@
+//! Recording and replaying instruction-stream traces.
+//!
+//! A [`Workload`]'s stream can be recorded to a compact binary file and
+//! replayed later — useful for pinning down a workload across versions of
+//! the generators, for sharing reproducible inputs, and for importing
+//! externally-generated streams.
+
+use std::io::{self, Read, Write};
+
+use crate::entry::TraceEntry;
+use crate::workload::Workload;
+
+/// A fully materialized instruction-stream trace.
+///
+/// ```
+/// use workloads::{Recipe, RecordedTrace, Workload};
+///
+/// let wl = Workload::new("demo", Recipe::Chase { bytes: 1 << 14 });
+/// let rec = RecordedTrace::record(&wl, 100);
+/// assert_eq!(rec.len(), 100);
+///
+/// let mut buf = Vec::new();
+/// rec.write_to(&mut buf).unwrap();
+/// let back = RecordedTrace::read_from(buf.as_slice()).unwrap();
+/// assert_eq!(rec, back);
+/// // Replays are plain iterators, usable anywhere a live stream is.
+/// assert_eq!(back.iter().count(), 100);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecordedTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl RecordedTrace {
+    /// Records the first `entries` entries of a workload's stream.
+    pub fn record(workload: &Workload, entries: usize) -> Self {
+        Self { entries: workload.stream().take(entries).collect() }
+    }
+
+    /// Builds a trace from explicit entries.
+    pub fn from_entries(entries: Vec<TraceEntry>) -> Self {
+        Self { entries }
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded entries.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Iterates the recorded entries (a finite stream).
+    pub fn iter(&self) -> impl Iterator<Item = TraceEntry> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Iterates the recorded entries cyclically, forever — a drop-in
+    /// replacement for an infinite live stream.
+    pub fn iter_cycled(&self) -> impl Iterator<Item = TraceEntry> + '_ {
+        self.entries.iter().copied().cycle()
+    }
+
+    /// Serializes the trace to a compact binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(b"ITRC")?;
+        w.write_all(&(self.entries.len() as u64).to_le_bytes())?;
+        for e in &self.entries {
+            w.write_all(&e.pc.to_le_bytes())?;
+            w.write_all(&e.addr.to_le_bytes())?;
+            w.write_all(&e.leading.to_le_bytes())?;
+            w.write_all(&[u8::from(e.is_store) | (u8::from(e.dependent) << 1)])?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace written by [`RecordedTrace::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or malformed input.
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"ITRC" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        }
+        let mut len8 = [0u8; 8];
+        r.read_exact(&mut len8)?;
+        let len = u64::from_le_bytes(len8) as usize;
+        let mut entries = Vec::with_capacity(len.min(1 << 24));
+        for _ in 0..len {
+            let mut buf = [0u8; 21];
+            r.read_exact(&mut buf)?;
+            entries.push(TraceEntry {
+                pc: u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
+                addr: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+                leading: u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")),
+                is_store: buf[20] & 1 != 0,
+                dependent: buf[20] & 2 != 0,
+            });
+        }
+        Ok(Self { entries })
+    }
+}
+
+impl FromIterator<TraceEntry> for RecordedTrace {
+    fn from_iter<T: IntoIterator<Item = TraceEntry>>(iter: T) -> Self {
+        Self { entries: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::Recipe;
+
+    #[test]
+    fn record_matches_live_stream() {
+        let wl = Workload::new("r", Recipe::Zipf { bytes: 1 << 16, skew: 1.0, store_ratio: 0.4 });
+        let rec = RecordedTrace::record(&wl, 250);
+        let live: Vec<TraceEntry> = wl.stream().take(250).collect();
+        assert_eq!(rec.entries(), &live[..]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_flags() {
+        let entries = vec![
+            TraceEntry { leading: 3, pc: 0x400, is_store: true, addr: 0xAB00, dependent: false },
+            TraceEntry { leading: 0, pc: 0x404, is_store: false, addr: 0xCD40, dependent: true },
+        ];
+        let t = RecordedTrace::from_entries(entries.clone());
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).expect("in-memory write");
+        let back = RecordedTrace::read_from(buf.as_slice()).expect("read");
+        assert_eq!(back.entries(), &entries[..]);
+    }
+
+    #[test]
+    fn cycled_replay_wraps() {
+        let t = RecordedTrace::from_entries(vec![TraceEntry {
+            leading: 1,
+            pc: 4,
+            is_store: false,
+            addr: 64,
+            dependent: false,
+        }]);
+        assert_eq!(t.iter_cycled().take(5).count(), 5);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(RecordedTrace::read_from(&b"XXXX\0\0\0\0\0\0\0\0"[..]).is_err());
+    }
+}

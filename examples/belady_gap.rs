@@ -1,0 +1,67 @@
+//! Headroom analysis: how much of the Belady-vs-LRU gap does each online
+//! policy close? This is the selection criterion the paper used to pick
+//! its training benchmarks ("applications that show significant difference
+//! in LLC hit rates between Belady and LRU").
+//!
+//! ```sh
+//! cargo run --release --example belady_gap [benchmark...]
+//! ```
+
+use rlr_repro::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benchmarks: Vec<String> = if args.is_empty() {
+        workloads::TRAINING_SET.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    let config = SystemConfig::paper_single_core();
+    println!(
+        "{:14} {:>8} {:>8} {:>8} {:>8} {:>12}",
+        "benchmark", "LRU%", "RLR%", "Belady%", "gap", "RLR closes"
+    );
+
+    for name in &benchmarks {
+        let workload = match workloads::by_name(name) {
+            Some(w) => w,
+            None => {
+                eprintln!("unknown benchmark: {name}");
+                continue;
+            }
+        };
+        // One run captures the LLC stream; replaying it with any policy is
+        // exact because the stream is policy-invariant.
+        let run = |policy: Box<dyn ReplacementPolicy>| -> RunStats {
+            let mut system = SingleCoreSystem::new(&config, policy);
+            let mut stream = workload.stream();
+            system.warm_up(&mut stream, 1_000_000);
+            system.run(stream, 6_000_000)
+        };
+        let mut capture = SingleCoreSystem::new(&config, Box::new(TrueLru::new(&config.llc)));
+        let mut stream = workload.stream();
+        capture.llc_mut().enable_capture();
+        capture.warm_up(&mut stream, 1_000_000);
+        let lru = capture.run(stream, 6_000_000);
+        let trace = capture.llc_mut().take_capture().expect("capture enabled");
+
+        let rlr = run(Box::new(RlrPolicy::optimized(&config.llc)));
+        let opt = run(Box::new(Belady::from_trace(&trace, &config.llc)));
+
+        let gap = opt.llc_hit_rate_pct() - lru.llc_hit_rate_pct();
+        let closed = if gap.abs() < 0.05 {
+            f64::NAN
+        } else {
+            (rlr.llc_hit_rate_pct() - lru.llc_hit_rate_pct()) / gap * 100.0
+        };
+        println!(
+            "{name:14} {:>8.2} {:>8.2} {:>8.2} {:>7.2}p {:>11.1}%",
+            lru.llc_hit_rate_pct(),
+            rlr.llc_hit_rate_pct(),
+            opt.llc_hit_rate_pct(),
+            gap,
+            closed
+        );
+    }
+    println!("\n(gap = Belady - LRU demand hit rate; 'closes' = RLR's share of that gap)");
+}

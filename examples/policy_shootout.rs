@@ -1,0 +1,85 @@
+//! Policy shootout: every implemented policy on a handful of benchmarks,
+//! including Belady's offline optimum via trace capture and replay.
+//!
+//! ```sh
+//! cargo run --release --example policy_shootout [benchmark...]
+//! ```
+
+use rlr_repro::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benchmarks: Vec<String> = if args.is_empty() {
+        ["429.mcf", "450.soplex", "471.omnetpp", "483.xalancbmk"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+    let config = SystemConfig::paper_single_core();
+    let policies = [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Random,
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::KpcR,
+        PolicyKind::Pdp,
+        PolicyKind::Eva,
+        PolicyKind::Ship,
+        PolicyKind::ShipPp,
+        PolicyKind::Hawkeye,
+        PolicyKind::Rlr,
+        PolicyKind::RlrUnopt,
+    ];
+
+    print!("{:14}", "benchmark");
+    for p in &policies {
+        print!("{:>11}", p.name());
+    }
+    println!("{:>11}", "Belady*");
+
+    for name in &benchmarks {
+        let workload = match workloads::by_name(name) {
+            Some(w) => w,
+            None => {
+                eprintln!("unknown benchmark: {name}");
+                continue;
+            }
+        };
+        print!("{name:14}");
+        let mut lru_ipc = 0.0;
+        for (i, kind) in policies.iter().enumerate() {
+            let mut system = SingleCoreSystem::new(&config, kind.build(&config.llc, None));
+            let mut stream = workload.stream();
+            system.warm_up(&mut stream, 1_000_000);
+            let stats = system.run(stream, 5_000_000);
+            if i == 0 {
+                lru_ipc = stats.ipc();
+                print!("{:>10.3}i", stats.ipc());
+            } else {
+                print!("{:>10.2}%", (stats.ipc() / lru_ipc - 1.0) * 100.0);
+            }
+        }
+
+        // Belady: capture the LLC stream once, then replay with the oracle.
+        let mut capture_sys = SingleCoreSystem::new(&config, PolicyKind::Lru.build(&config.llc, None));
+        let mut stream = workload.stream();
+        capture_sys.llc_mut().enable_capture();
+        capture_sys.warm_up(&mut stream, 1_000_000);
+        let _ = capture_sys.run(stream, 5_000_000);
+        let trace = capture_sys.llc_mut().take_capture().expect("capture enabled");
+
+        let mut belady_sys = SingleCoreSystem::new(
+            &config,
+            Box::new(Belady::from_trace(&trace, &config.llc)),
+        );
+        let mut stream = workload.stream();
+        belady_sys.warm_up(&mut stream, 1_000_000);
+        let stats = belady_sys.run(stream, 5_000_000);
+        println!("{:>10.2}%", (stats.ipc() / lru_ipc - 1.0) * 100.0);
+    }
+    println!("\n(first column: LRU IPC; others: IPC speedup over LRU)");
+    println!("*Belady replays the captured LLC stream with future knowledge — an upper bound.");
+}

@@ -1,0 +1,34 @@
+//! Quickstart: run one benchmark under LRU and RLR and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rlr_repro::prelude::*;
+
+fn main() {
+    let config = SystemConfig::paper_single_core();
+    let workload = spec2006("450.soplex").expect("soplex is a known benchmark");
+
+    let mut results = Vec::new();
+    for (name, policy) in [
+        ("LRU", Box::new(TrueLru::new(&config.llc)) as Box<dyn ReplacementPolicy>),
+        ("RLR", Box::new(RlrPolicy::optimized(&config.llc))),
+    ] {
+        let mut system = SingleCoreSystem::new(&config, policy);
+        let mut stream = workload.stream();
+        system.warm_up(&mut stream, 1_000_000);
+        let stats = system.run(stream, 5_000_000);
+        println!(
+            "{name:4}  IPC {:.4}   LLC demand hit rate {:5.1}%   demand MPKI {:6.2}",
+            stats.ipc(),
+            stats.llc_hit_rate_pct(),
+            stats.llc_demand_mpki()
+        );
+        results.push(stats);
+    }
+    println!(
+        "\nRLR speedup over LRU: {:+.2}%  (metadata: 16.75 KB for the 2 MB LLC)",
+        results[1].speedup_pct_over(&results[0])
+    );
+}

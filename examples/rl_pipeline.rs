@@ -1,0 +1,119 @@
+//! The full ML-aided design-exploration pipeline on one benchmark, end to
+//! end — a miniature of the paper's §III:
+//!
+//! 1. capture an LLC trace,
+//! 2. train a DQN agent against the Belady reward,
+//! 3. compare the agent's hit rate to LRU and Belady,
+//! 4. print the weight heat map (Fig. 3 column),
+//! 5. run hill-climbing feature selection (§III-B),
+//! 6. show that RLR — the policy distilled from these insights — captures
+//!    most of the agent's benefit at a fraction of the cost.
+//!
+//! ```sh
+//! cargo run --release --example rl_pipeline [benchmark]
+//! ```
+
+use cache_sim::CacheConfig;
+use rl::{analysis, AgentConfig, FeatureSet, LlcModel, Trainer};
+use rlr_repro::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "450.soplex".to_owned());
+    let workload = workloads::by_name(&name).expect("known benchmark");
+
+    // A small LLC keeps this demo snappy; the shape of the results is the
+    // same at full scale.
+    let llc = CacheConfig { sets: 256, ways: 16, latency: 26 };
+    println!("== 1. capturing LLC trace for {name} ==");
+    let system_cfg = {
+        let mut c = SystemConfig::paper_single_core();
+        c.llc = llc;
+        c
+    };
+    let mut capture_sys = SingleCoreSystem::new(
+        &system_cfg,
+        Box::new(TrueLru::new(&system_cfg.llc)),
+    );
+    let mut stream = workload.stream();
+    capture_sys.llc_mut().enable_capture();
+    let _ = capture_sys.run(&mut stream, 4_000_000);
+    let trace = capture_sys.llc_mut().take_capture().expect("capture enabled");
+    println!("   captured {} LLC accesses", trace.len());
+
+    println!("== 2. training the DQN agent (334-feature state) ==");
+    let agent_cfg = AgentConfig {
+        features: FeatureSet::full(),
+        hidden: 48,
+        seed: 11,
+        ..AgentConfig::default()
+    };
+    let mut trainer = Trainer::new(agent_cfg, &llc);
+    for epoch in 0..3 {
+        let report = trainer.train_epoch(&trace, &llc);
+        println!(
+            "   epoch {epoch}: demand hit rate {:5.1}%  Belady-optimal decisions {:4.1}%  TD loss {:.4}",
+            report.stats.demand_hit_rate() * 100.0,
+            report.optimal_rate() * 100.0,
+            report.mean_loss,
+        );
+    }
+
+    println!("== 3. agent vs LRU vs Belady (trace replay) ==");
+    let agent_stats = trainer.evaluate(&trace, &llc);
+    let mut lru_model = LlcModel::new(&llc, &trace);
+    // LRU on the trace-driven model: evict the line with max age.
+    let lru_stats = lru_model.run(&trace, &mut |view| {
+        let mut victim = 0u16;
+        for (w, line) in view.lines.iter().enumerate() {
+            if line.age_since_last_access > view.lines[victim as usize].age_since_last_access {
+                victim = w as u16;
+            }
+        }
+        victim
+    });
+    let mut opt_model = LlcModel::new(&llc, &trace);
+    let opt_stats = opt_model.run_belady(&trace);
+    println!(
+        "   LRU {:5.1}%   RL agent {:5.1}%   Belady {:5.1}%  (demand hit rate)",
+        lru_stats.demand_hit_rate() * 100.0,
+        agent_stats.demand_hit_rate() * 100.0,
+        opt_stats.demand_hit_rate() * 100.0,
+    );
+
+    println!("== 4. weight heat map (Fig. 3 column) ==");
+    let mut heat = analysis::weight_heatmap(trainer.agent());
+    heat.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (feature, weight) in heat.iter().take(8) {
+        println!("   {weight:.4}  {feature}");
+    }
+
+    println!("== 5. hill-climbing feature selection (reduced budget) ==");
+    let short: cache_sim::LlcTrace = trace.records().iter().take(15_000).copied().collect();
+    let rounds = analysis::hill_climb(&[(&name, &short)], &llc, 3, 1, 99);
+    for round in &rounds {
+        println!(
+            "   + {:30}  -> demand hit rate {:5.1}%",
+            round.added.to_string(),
+            round.score * 100.0
+        );
+    }
+
+    println!("== 6. RLR: the distilled policy ==");
+    let mut rlr_sys = SingleCoreSystem::new(
+        &system_cfg,
+        Box::new(RlrPolicy::optimized(&system_cfg.llc)),
+    );
+    let mut lru_sys = SingleCoreSystem::new(
+        &system_cfg,
+        Box::new(TrueLru::new(&system_cfg.llc)),
+    );
+    let rlr_stats = rlr_sys.run(workload.stream(), 4_000_000);
+    let lru_full = lru_sys.run(workload.stream(), 4_000_000);
+    println!(
+        "   full-system: LRU hit {:5.1}%  RLR hit {:5.1}%  RLR speedup {:+.2}%",
+        lru_full.llc_hit_rate_pct(),
+        rlr_stats.llc_hit_rate_pct(),
+        rlr_stats.speedup_pct_over(&lru_full),
+    );
+    println!("   (metadata: a neural net needs ~230 KB of weights; RLR needs 16.75 KB)");
+}

@@ -1,0 +1,46 @@
+//! # rlr-repro
+//!
+//! A full reproduction of *"Designing a Cost-Effective Cache Replacement
+//! Policy using Machine Learning"* (Sethumurugan, Yin, Sartori — HPCA
+//! 2021): the RLR replacement policy, the offline RL pipeline that derived
+//! it, a ChampSim-style simulation substrate, every baseline policy the
+//! paper compares against, and a harness regenerating each of its tables
+//! and figures.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`rlr`] — the paper's contribution: the RLR policy.
+//! * [`cache_sim`] — cache hierarchy, prefetchers, timing model, drivers.
+//! * [`workloads`] — synthetic SPEC CPU 2006 / CloudSuite analogues.
+//! * [`policies`] — LRU/DRRIP/SHiP/SHiP++/Hawkeye/KPC-R/PDP/EVA/Belady.
+//! * [`rl`] — MLP, DQN agent, feature encoder, heat map, hill climbing.
+//! * [`experiments`] — per-figure/table experiment functions.
+//!
+//! ```
+//! use rlr_repro::prelude::*;
+//!
+//! let config = SystemConfig::paper_single_core();
+//! let mut system = SingleCoreSystem::new(&config, Box::new(RlrPolicy::optimized(&config.llc)));
+//! let stats = system.run(spec2006("450.soplex").unwrap().stream(), 50_000);
+//! assert!(stats.ipc() > 0.0);
+//! ```
+
+pub use cache_sim;
+pub use experiments;
+pub use policies;
+pub use rl;
+pub use rlr;
+pub use workloads;
+
+/// The most commonly used types, in one import.
+pub mod prelude {
+    pub use cache_sim::{
+        Access, AccessKind, CacheConfig, MultiCoreSystem, ReplacementPolicy, RunStats,
+        SingleCoreSystem, SystemConfig, TrueLru,
+    };
+    pub use experiments::{PolicyKind, Scale, Table};
+    pub use policies::{Belady, Drrip, Hawkeye, KpcR, Ship, ShipPp};
+    pub use rl::{Agent, AgentConfig, FeatureSet, Trainer};
+    pub use rlr::{RlrConfig, RlrPolicy};
+    pub use workloads::{cloudsuite, spec2006, Recipe, Workload};
+}

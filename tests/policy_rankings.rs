@@ -1,0 +1,146 @@
+//! Cross-crate ranking invariants: the qualitative relationships the paper
+//! depends on must hold in this reproduction.
+
+use cache_sim::{SingleCoreSystem, SystemConfig};
+use experiments::PolicyKind;
+use policies::Belady;
+use workloads::{Recipe, Workload};
+
+/// Small instruction budgets keep these integration tests debug-friendly.
+const WARMUP: u64 = 200_000;
+const MEASURE: u64 = 800_000;
+
+fn run(workload: &Workload, kind: PolicyKind) -> cache_sim::RunStats {
+    let config = SystemConfig::paper_single_core();
+    let mut system = SingleCoreSystem::new(&config, kind.build(&config.llc, None));
+    let mut stream = workload.stream();
+    system.warm_up(&mut stream, WARMUP);
+    system.run(stream, MEASURE)
+}
+
+/// A working set slightly larger than the LLC, cycled repeatedly: the
+/// canonical thrash pattern.
+fn thrash_workload() -> Workload {
+    Workload::new(
+        "thrash",
+        Recipe::Cyclic { bytes: 3 << 20, stride: 64, store_ratio: 0.1 },
+    )
+    .with_compute(2, 4)
+    .with_local(0.3)
+}
+
+#[test]
+fn thrash_resistant_policies_beat_lru_on_scans() {
+    let wl = thrash_workload();
+    let lru = run(&wl, PolicyKind::Lru);
+    for kind in [PolicyKind::Drrip, PolicyKind::Rlr, PolicyKind::RlrUnopt] {
+        let stats = run(&wl, kind);
+        assert!(
+            stats.llc.demand_hit_rate() > lru.llc.demand_hit_rate(),
+            "{} must out-hit LRU on a thrashing scan: {:.3} vs {:.3}",
+            kind.name(),
+            stats.llc.demand_hit_rate(),
+            lru.llc.demand_hit_rate()
+        );
+    }
+}
+
+#[test]
+fn belady_dominates_every_online_policy_on_the_captured_stream() {
+    // Capture the LLC stream once (it is policy-invariant), replay with
+    // Belady, and require at least as many LLC hits as every online policy.
+    let wl = thrash_workload();
+    let config = SystemConfig::paper_single_core();
+
+    let mut capture = SingleCoreSystem::new(&config, PolicyKind::Lru.build(&config.llc, None));
+    let mut stream = wl.stream();
+    capture.llc_mut().enable_capture();
+    capture.warm_up(&mut stream, WARMUP);
+    let _ = capture.run(stream, MEASURE);
+    let trace = capture.llc_mut().take_capture().expect("capture enabled");
+
+    let mut belady_sys =
+        SingleCoreSystem::new(&config, Box::new(Belady::from_trace(&trace, &config.llc)));
+    let mut stream = wl.stream();
+    belady_sys.warm_up(&mut stream, WARMUP);
+    let opt = belady_sys.run(stream, MEASURE);
+
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Random,
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::KpcR,
+        PolicyKind::Ship,
+        PolicyKind::ShipPp,
+        PolicyKind::Hawkeye,
+        PolicyKind::Pdp,
+        PolicyKind::Eva,
+        PolicyKind::Rlr,
+        PolicyKind::RlrUnopt,
+    ] {
+        let stats = run(&wl, kind);
+        assert!(
+            opt.llc.hits() >= stats.llc.hits(),
+            "Belady ({}) must dominate {} ({})",
+            opt.llc.hits(),
+            kind.name(),
+            stats.llc.hits()
+        );
+    }
+}
+
+#[test]
+fn llc_stream_is_invariant_across_llc_policies() {
+    // The key property that makes the offline oracle exact.
+    let wl = thrash_workload();
+    let config = SystemConfig::paper_single_core();
+    let mut traces = Vec::new();
+    for kind in [PolicyKind::Lru, PolicyKind::Rlr, PolicyKind::Hawkeye] {
+        let mut system = SingleCoreSystem::new(&config, kind.build(&config.llc, None));
+        system.llc_mut().enable_capture();
+        let _ = system.run(wl.stream(), 300_000);
+        traces.push(system.llc_mut().take_capture().expect("capture enabled"));
+    }
+    assert_eq!(traces[0], traces[1], "LLC stream must not depend on the LLC policy");
+    assert_eq!(traces[0], traces[2]);
+}
+
+#[test]
+fn rlr_multicore_extension_matches_paper_direction_on_asymmetric_mix() {
+    use cache_sim::MultiCoreSystem;
+    use workloads::TraceEntry;
+
+    // Two hit-rich cores + two streaming cores: core-priority should not
+    // hurt, and the system must run to completion with sane stats.
+    let config = SystemConfig::paper_quad_core();
+    let names = ["416.gamess", "450.soplex", "470.lbm", "429.mcf"];
+    let make_streams = || -> Vec<Box<dyn Iterator<Item = TraceEntry> + Send>> {
+        names
+            .iter()
+            .map(|n| {
+                Box::new(workloads::spec2006(n).expect("known").stream())
+                    as Box<dyn Iterator<Item = TraceEntry> + Send>
+            })
+            .collect()
+    };
+    let mut lru = MultiCoreSystem::new(&config, PolicyKind::Lru.build(&config.llc, None), make_streams());
+    let lru_stats = lru.run(100_000, 400_000);
+    let mut rlr = MultiCoreSystem::new(
+        &config,
+        PolicyKind::RlrMulticore.build(&config.llc, None),
+        make_streams(),
+    );
+    let rlr_stats = rlr.run(100_000, 400_000);
+    for (l, r) in lru_stats.iter().zip(&rlr_stats) {
+        assert!(l.cycles > 0 && r.cycles > 0);
+    }
+    // Aggregate LLC demand hits should not collapse under RLR-MC.
+    assert!(
+        rlr_stats[0].llc.demand_hits() * 10 >= lru_stats[0].llc.demand_hits() * 8,
+        "RLR-MC demand hits ({}) collapsed vs LRU ({})",
+        rlr_stats[0].llc.demand_hits(),
+        lru_stats[0].llc.demand_hits()
+    );
+}
