@@ -1,5 +1,7 @@
 //! RL extensions: PC-augmented features and multi-agent set partitioning.
 fn main() {
     let scale = rlr_bench::start("rl-ext");
-    experiments::ablations::rl_extensions(scale).emit();
+    rlr_bench::timed("rl-ext", || {
+        experiments::ablations::rl_extensions(scale).emit();
+    });
 }

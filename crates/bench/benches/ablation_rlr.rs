@@ -1,7 +1,9 @@
 //! RLR design-choice ablations (SV-B priorities, SIV-C sweeps).
 fn main() {
     let scale = rlr_bench::start("ablation");
-    for table in experiments::ablations::all(scale) {
-        table.emit();
-    }
+    rlr_bench::timed("ablation", || {
+        for table in experiments::ablations::all(scale) {
+            table.emit();
+        }
+    });
 }

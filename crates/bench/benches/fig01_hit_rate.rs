@@ -1,5 +1,7 @@
 //! Regenerates Fig. 1: LLC hit rate incl. the RL agent and Belady.
 fn main() {
     let scale = rlr_bench::start("fig01");
-    experiments::figures::fig1(scale).emit();
+    rlr_bench::timed("fig01", || {
+        experiments::figures::fig1(scale).emit();
+    });
 }

@@ -1,5 +1,7 @@
 //! Regenerates Fig. 3: the neural-network weight heat map.
 fn main() {
     let scale = rlr_bench::start("fig03");
-    experiments::figures::fig3(scale).emit();
+    rlr_bench::timed("fig03", || {
+        experiments::figures::fig3(scale).emit();
+    });
 }

@@ -1,5 +1,7 @@
 //! Regenerates Fig. 4: |preuse - reuse| distribution.
 fn main() {
     let scale = rlr_bench::start("fig04");
-    experiments::figures::fig4(scale).emit();
+    rlr_bench::timed("fig04", || {
+        experiments::figures::fig4(scale).emit();
+    });
 }

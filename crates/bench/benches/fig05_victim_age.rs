@@ -1,5 +1,7 @@
 //! Regenerates Fig. 5: average victim age per access type.
 fn main() {
     let scale = rlr_bench::start("fig05");
-    experiments::figures::fig5(scale).emit();
+    rlr_bench::timed("fig05", || {
+        experiments::figures::fig5(scale).emit();
+    });
 }

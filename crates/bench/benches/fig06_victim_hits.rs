@@ -1,5 +1,7 @@
 //! Regenerates Fig. 6: victims by hit count at eviction.
 fn main() {
     let scale = rlr_bench::start("fig06");
-    experiments::figures::fig6(scale).emit();
+    rlr_bench::timed("fig06", || {
+        experiments::figures::fig6(scale).emit();
+    });
 }

@@ -1,5 +1,7 @@
 //! Regenerates Fig. 7: victim recency distribution.
 fn main() {
     let scale = rlr_bench::start("fig07");
-    experiments::figures::fig7(scale).emit();
+    rlr_bench::timed("fig07", || {
+        experiments::figures::fig7(scale).emit();
+    });
 }

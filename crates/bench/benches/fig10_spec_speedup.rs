@@ -1,5 +1,7 @@
 //! Regenerates Fig. 10: SPEC CPU 2006 IPC speedups over LRU.
 fn main() {
     let scale = rlr_bench::start("fig10");
-    experiments::figures::fig10(scale).emit();
+    rlr_bench::timed("fig10", || {
+        experiments::figures::fig10(scale).emit();
+    });
 }

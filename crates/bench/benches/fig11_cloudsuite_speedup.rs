@@ -1,5 +1,7 @@
 //! Regenerates Fig. 11: CloudSuite IPC speedups over LRU.
 fn main() {
     let scale = rlr_bench::start("fig11");
-    experiments::figures::fig11(scale).emit();
+    rlr_bench::timed("fig11", || {
+        experiments::figures::fig11(scale).emit();
+    });
 }

@@ -1,5 +1,7 @@
 //! Regenerates Fig. 12: demand MPKI comparison.
 fn main() {
     let scale = rlr_bench::start("fig12");
-    experiments::figures::fig12(scale).emit();
+    rlr_bench::timed("fig12", || {
+        experiments::figures::fig12(scale).emit();
+    });
 }

@@ -1,5 +1,7 @@
 //! Regenerates Fig. 13: 4-core mix speedups over LRU.
 fn main() {
     let scale = rlr_bench::start("fig13");
-    experiments::figures::fig13(scale).emit();
+    rlr_bench::timed("fig13", || {
+        experiments::figures::fig13(scale).emit();
+    });
 }

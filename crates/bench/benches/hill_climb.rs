@@ -1,5 +1,7 @@
 //! Regenerates the SIII-B hill-climbing feature selection.
 fn main() {
     let scale = rlr_bench::start("hill-climb");
-    experiments::ablations::hill_climb_selection(scale).emit();
+    rlr_bench::timed("hill-climb", || {
+        experiments::ablations::hill_climb_selection(scale).emit();
+    });
 }

@@ -1,21 +1,23 @@
-//! Criterion micro-benchmarks: policy decision latency, simulator and MLP
-//! throughput.
+//! Micro-benchmarks: policy decision latency, simulator and MLP
+//! throughput, on the in-tree wall-clock harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cache_sim::{SingleCoreSystem, SystemConfig};
 use experiments::PolicyKind;
 use rl::Mlp;
+use rlr_bench::harness;
 
 /// Simulated instructions per iteration for the end-to-end benches.
 const SIM_INSTRUCTIONS: u64 = 200_000;
 
-fn policy_throughput(c: &mut Criterion) {
+fn main() {
+    let _ = rlr_bench::start("micro");
+    let mut measurements = Vec::new();
+
     let config = SystemConfig::paper_single_core();
     let workload = workloads::spec2006("429.mcf").expect("known benchmark");
-    let mut group = c.benchmark_group("simulate_mcf_200k_instructions");
-    group.sample_size(10);
+    println!("simulate_mcf_200k_instructions:");
     for kind in [
         PolicyKind::Lru,
         PolicyKind::Drrip,
@@ -24,25 +26,25 @@ fn policy_throughput(c: &mut Criterion) {
         PolicyKind::Rlr,
         PolicyKind::RlrUnopt,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut system =
-                    SingleCoreSystem::new(&config, kind.build(&config.llc, None));
+        measurements.push(harness::bench(
+            &format!("simulate_mcf_200k/{}", kind.name()),
+            || {
+                let mut system = SingleCoreSystem::new(&config, kind.build(&config.llc, None));
                 black_box(system.run(workload.stream(), SIM_INSTRUCTIONS))
-            });
-        });
+            },
+        ));
     }
-    group.finish();
-}
 
-fn mlp_inference(c: &mut Criterion) {
     // The paper's agent: 334 -> 175 -> 16.
     let net = Mlp::new(334, 175, 16, 7);
     let input = vec![0.25f32; 334];
-    c.bench_function("mlp_334_175_16_inference", |b| {
-        b.iter(|| black_box(net.predict(black_box(&input))))
-    });
-}
+    println!("mlp inference:");
+    measurements.push(harness::bench("mlp_334_175_16_inference", || {
+        // One inference is far below timer resolution; time a burst.
+        for _ in 0..64 {
+            black_box(net.predict(black_box(&input)));
+        }
+    }));
 
-criterion_group!(benches, policy_throughput, mlp_inference);
-criterion_main!(benches);
+    harness::write_json("micro", &measurements);
+}

@@ -1,5 +1,7 @@
 //! Regenerates Table I: hardware overhead per policy.
 fn main() {
     let _ = rlr_bench::start("table1");
-    experiments::tables::table1().emit();
+    rlr_bench::timed("table1", || {
+        experiments::tables::table1().emit();
+    });
 }

@@ -1,5 +1,7 @@
 //! Regenerates Table IV: overall speedups, 1-core and 4-core.
 fn main() {
     let scale = rlr_bench::start("table4");
-    experiments::tables::table4(scale).emit();
+    rlr_bench::timed("table4", || {
+        experiments::tables::table4(scale).emit();
+    });
 }

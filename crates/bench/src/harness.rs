@@ -1,0 +1,169 @@
+//! A minimal wall-clock benchmark harness: warmup, N timed iterations,
+//! median/p90 summary, JSON artifacts under `results/`.
+//!
+//! Replaces the external `criterion` dependency so `cargo bench` works in
+//! a hermetic (offline, registry-free) build. Iteration counts are small
+//! by default and overridable with `BENCH_WARMUP` / `BENCH_ITERS`; the
+//! goal is regression visibility, not microsecond-precise statistics.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Iterations of `f` discarded before timing starts.
+fn warmup_iters() -> u32 {
+    env_u32("BENCH_WARMUP", 1)
+}
+
+/// Timed iterations of `f` per measurement.
+fn timed_iters() -> u32 {
+    env_u32("BENCH_ITERS", 7)
+}
+
+fn env_u32(key: &str, default: u32) -> u32 {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub name: String,
+    pub iters: u32,
+    pub median_ns: u64,
+    pub p90_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+impl Measurement {
+    /// A single-shot measurement (used for whole-target wall clock).
+    pub fn once(name: &str, elapsed_ns: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            iters: 1,
+            median_ns: elapsed_ns,
+            p90_ns: elapsed_ns,
+            min_ns: elapsed_ns,
+            max_ns: elapsed_ns,
+        }
+    }
+
+    fn from_samples(name: &str, mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        let n = samples.len();
+        // Nearest-rank percentiles on the sorted sample vector.
+        let rank = |q: f64| samples[(((n as f64) * q).ceil() as usize).clamp(1, n) - 1];
+        Self {
+            name: name.to_string(),
+            iters: n as u32,
+            median_ns: rank(0.50),
+            p90_ns: rank(0.90),
+            min_ns: samples[0],
+            max_ns: samples[n - 1],
+        }
+    }
+}
+
+/// Times `f` over `BENCH_WARMUP` discarded + `BENCH_ITERS` timed
+/// iterations and prints a one-line median/p90 summary.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    for _ in 0..warmup_iters() {
+        black_box(f());
+    }
+    let samples: Vec<u64> = (0..timed_iters().max(1))
+        .map(|_| {
+            let begin = Instant::now();
+            black_box(f());
+            begin.elapsed().as_nanos() as u64
+        })
+        .collect();
+    let m = Measurement::from_samples(name, samples);
+    println!(
+        "  {:<44} median {:>12}  p90 {:>12}  ({} iters)",
+        m.name,
+        format_ns(m.median_ns),
+        format_ns(m.p90_ns),
+        m.iters,
+    );
+    m
+}
+
+/// Renders a nanosecond figure with a human-scale unit.
+fn format_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.2} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.3} s", ns as f64 / 1e9),
+    }
+}
+
+/// Saves measurements as `results/bench_<target>.json` (no serde; the
+/// schema is flat enough to format by hand).
+pub fn write_json(target: &str, measurements: &[Measurement]) {
+    let dir = experiments::report::results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let entries: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "  {{\"name\": \"{}\", \"iters\": {}, \"median_ns\": {}, \"p90_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                m.name.replace('"', "'"),
+                m.iters,
+                m.median_ns,
+                m.p90_ns,
+                m.min_ns,
+                m.max_ns,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"target\": \"{}\",\n\"measurements\": [\n{}\n]\n}}\n",
+        target.replace('"', "'"),
+        entries.join(",\n"),
+    );
+    let path = dir.join(format!("bench_{target}.json"));
+    if std::fs::write(&path, json).is_ok() {
+        println!("  saved {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let m = Measurement::from_samples("t", vec![50, 10, 40, 20, 30]);
+        assert_eq!(m.iters, 5);
+        assert_eq!(m.median_ns, 30);
+        assert_eq!(m.p90_ns, 50);
+        assert_eq!(m.min_ns, 10);
+        assert_eq!(m.max_ns, 50);
+    }
+
+    #[test]
+    fn single_sample_is_every_statistic() {
+        let m = Measurement::from_samples("t", vec![123]);
+        assert_eq!((m.median_ns, m.p90_ns, m.min_ns, m.max_ns), (123, 123, 123, 123));
+    }
+
+    #[test]
+    fn bench_runs_and_counts_iterations() {
+        // Isolate from user env overrides.
+        std::env::remove_var("BENCH_ITERS");
+        let mut calls = 0u32;
+        let m = bench("noop", || calls += 1);
+        assert_eq!(m.iters, 7);
+        assert!(calls >= m.iters);
+    }
+
+    #[test]
+    fn formats_scale_with_magnitude() {
+        assert_eq!(format_ns(999), "999 ns");
+        assert_eq!(format_ns(25_000), "25.00 µs");
+        assert_eq!(format_ns(25_000_000), "25.00 ms");
+        assert_eq!(format_ns(2_500_000_000), "2.500 s");
+    }
+}

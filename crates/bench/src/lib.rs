@@ -1,12 +1,35 @@
 //! Shared glue for the benchmark targets that regenerate the paper's
-//! tables and figures. Each `cargo bench` target prints an aligned table
-//! to stdout and saves a CSV under `results/`.
+//! tables and figures, plus a dependency-free wall-clock micro-benchmark
+//! harness (the workspace builds offline; Criterion is deliberately not
+//! used).
+//!
+//! Each `cargo bench` target prints an aligned table to stdout, saves a
+//! CSV under `results/`, and reports its own wall-clock time. Timing
+//! samples from [`harness::bench`] additionally land in
+//! `results/bench_<target>.json`.
+
+pub mod harness;
 
 use experiments::Scale;
+use std::time::Instant;
 
 /// Standard preamble: resolve the scale and announce the target.
 pub fn start(target: &str) -> Scale {
     let scale = Scale::from_env();
     println!("[{target}] RLR_SCALE={scale}");
     scale
+}
+
+/// Runs a one-shot bench body (a figure/table regeneration) and reports
+/// its wall-clock time, both to stdout and to the JSON sidecar.
+pub fn timed<R>(target: &str, body: impl FnOnce() -> R) -> R {
+    let begin = Instant::now();
+    let out = body();
+    let elapsed = begin.elapsed();
+    println!("[{target}] completed in {:.3} s", elapsed.as_secs_f64());
+    harness::write_json(
+        target,
+        &[harness::Measurement::once(target, elapsed.as_nanos() as u64)],
+    );
+    out
 }

@@ -95,9 +95,10 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
 }
 
 /// `rlr compare <bench...> [--policies a,b,c] [--instructions N]
-///  [--warmup N]` — speedup-over-LRU table.
+///  [--warmup N] [--jobs N]` — speedup-over-LRU table, sharded over a
+/// worker pool (every benchmark × policy cell is an independent task).
 pub fn compare(args: &Args) -> Result<(), ArgError> {
-    args.expect_known(&["policies", "instructions", "warmup"])?;
+    args.expect_known(&["policies", "instructions", "warmup", "jobs"])?;
     if args.positional().is_empty() {
         return Err(ArgError("usage: rlr compare <benchmark...> [--policies a,b,c]".to_owned()));
     }
@@ -107,23 +108,37 @@ pub fn compare(args: &Args) -> Result<(), ArgError> {
     }
     let instructions = args.get_num("instructions", 10_000_000u64)?;
     let warmup = args.get_num("warmup", 2_000_000u64)?;
+    let jobs = args.get_num("jobs", 0usize)?;
+    let jobs = experiments::runner::resolve_jobs((jobs > 0).then_some(jobs));
     let config = SystemConfig::paper_single_core();
+
+    // Resolve every benchmark up front so typos fail before any work runs.
+    let workloads: Vec<Workload> = args
+        .positional()
+        .iter()
+        .map(|b| workload_by_name(b))
+        .collect::<Result<_, _>>()?;
+    let mut all_kinds = vec![PolicyKind::Lru];
+    all_kinds.extend_from_slice(&kinds);
+    let tasks: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|b| (0..all_kinds.len()).map(move |k| (b, k)))
+        .collect();
+    let stats = experiments::runner::run_tasks_parallel(&tasks, jobs, |_, &(b, k)| {
+        let mut system = SingleCoreSystem::new(&config, all_kinds[k].build(&config.llc, None));
+        let mut stream = workloads[b].stream();
+        system.warm_up(&mut stream, warmup);
+        system.run(stream, instructions)
+    });
 
     let mut headers = vec!["benchmark".to_owned(), "LRU IPC".to_owned()];
     headers.extend(kinds.iter().map(|k| k.name().to_owned()));
     let mut table = Table::new("IPC speedup over LRU (%)", headers);
-    for bench in args.positional() {
-        let workload = workload_by_name(bench)?;
-        let run_one = |kind: PolicyKind| {
-            let mut system = SingleCoreSystem::new(&config, kind.build(&config.llc, None));
-            let mut stream = workload.stream();
-            system.warm_up(&mut stream, warmup);
-            system.run(stream, instructions)
-        };
-        let lru = run_one(PolicyKind::Lru);
+    for (b, bench) in args.positional().iter().enumerate() {
+        let base = b * all_kinds.len();
+        let lru = &stats[base];
         let mut row = vec![bench.clone(), format!("{:.4}", lru.ipc())];
-        for &kind in &kinds {
-            row.push(Table::fmt(run_one(kind).speedup_pct_over(&lru)));
+        for k in 1..all_kinds.len() {
+            row.push(Table::fmt(stats[base + k].speedup_pct_over(lru)));
         }
         table.push_row(row);
     }
@@ -360,6 +375,7 @@ COMMANDS:
   run <bench>                   one simulation       [--policy P] [--instructions N]
                                                      [--warmup N] [--no-prefetch]
   compare <bench...>            speedup-over-LRU     [--policies a,b,c] [--instructions N]
+                                                     [--jobs N]
   capture <bench>               record an LLC trace  --out FILE [--records N]
   replay <trace.bin>            trace-driven replay  [--policy P|belady|agent] [--agent FILE]
   train <bench|trace.bin>       train a DQN agent    --out FILE [--epochs N] [--hidden N]

@@ -1,9 +1,10 @@
 //! Property-based invariants of the RLR policy under arbitrary access
-//! sequences.
+//! sequences, on the in-tree `simrng::prop` harness.
 
 use cache_sim::{Access, AccessKind, CacheConfig, SetAssocCache};
-use proptest::prelude::*;
 use rlr::{RlrConfig, RlrPolicy};
+use simrng::prop::{check, Config};
+use simrng::{prop_assert, prop_assert_eq, Rng, SimRng};
 
 fn kind_of(tag: u8) -> AccessKind {
     match tag % 4 {
@@ -12,6 +13,16 @@ fn kind_of(tag: u8) -> AccessKind {
         2 => AccessKind::Prefetch,
         _ => AccessKind::Writeback,
     }
+}
+
+fn line_tag_seq(
+    rng: &mut SimRng,
+    lines: u16,
+    tags: u8,
+    len: std::ops::Range<usize>,
+) -> Vec<(u16, u8)> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| (rng.gen_range(0..lines), rng.gen_range(0..tags))).collect()
 }
 
 /// Drives a cache+policy with a random access sequence and checks global
@@ -43,107 +54,143 @@ fn drive(config: RlrConfig, accesses: &[(u16, u8)]) {
     assert!(stats.hits() <= stats.accesses());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn optimized_never_misbehaves() {
+    check(
+        "optimized_never_misbehaves",
+        Config::with_cases(48),
+        |rng| line_tag_seq(rng, 256, 16, 1..600),
+        |seq| {
+            drive(RlrConfig::optimized(), seq);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn optimized_never_misbehaves(seq in proptest::collection::vec((0u16..256, 0u8..16), 1..600)) {
-        drive(RlrConfig::optimized(), &seq);
-    }
+#[test]
+fn unoptimized_never_misbehaves() {
+    check(
+        "unoptimized_never_misbehaves",
+        Config::with_cases(48),
+        |rng| line_tag_seq(rng, 256, 16, 1..600),
+        |seq| {
+            drive(RlrConfig::unoptimized(), seq);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn unoptimized_never_misbehaves(seq in proptest::collection::vec((0u16..256, 0u8..16), 1..600)) {
-        drive(RlrConfig::unoptimized(), &seq);
-    }
+#[test]
+fn multicore_never_misbehaves() {
+    check(
+        "multicore_never_misbehaves",
+        Config::with_cases(48),
+        |rng| line_tag_seq(rng, 256, 16, 1..600),
+        |seq| {
+            drive(RlrConfig::multicore(4), seq);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn multicore_never_misbehaves(seq in proptest::collection::vec((0u16..256, 0u8..16), 1..600)) {
-        drive(RlrConfig::multicore(4), &seq);
-    }
-
-    /// The predicted reuse distance never exceeds `multiplier x max_age`
-    /// (the accumulator adds saturated ages only). The policy is driven
-    /// directly through a faithful miniature cache loop so its RD is
-    /// observable after every access.
-    #[test]
-    fn rd_is_bounded(seq in proptest::collection::vec((0u16..64, 0u8..16), 1..800)) {
-        use cache_sim::{Decision, LineSnapshot, ReplacementPolicy};
-        let geometry = CacheConfig { sets: 4, ways: 4, latency: 1 };
-        let config = RlrConfig::unoptimized();
-        let mut policy = RlrPolicy::with_config(config, &geometry);
-        let (sets, ways) = (geometry.sets as usize, geometry.ways as usize);
-        let mut tags = vec![u64::MAX; sets * ways];
-        let bound = (config.rd_multiplier * config.max_age() as f64).round() as u64;
-        for (i, &(line16, tag)) in seq.iter().enumerate() {
-            let line = u64::from(line16);
-            let access = Access {
-                pc: u64::from(tag) * 4,
-                addr: line * 64,
-                kind: kind_of(tag),
-                core: 0,
-                seq: i as u64,
-            };
-            let set = (line % sets as u64) as usize;
-            let base = set * ways;
-            if let Some(w) = (0..ways).find(|&w| tags[base + w] == line) {
-                policy.on_hit(set as u32, w as u16, &access);
-            } else {
-                policy.on_miss(set as u32, &access);
-                let w = if let Some(free) = (0..ways).find(|&w| tags[base + w] == u64::MAX) {
-                    free
-                } else {
-                    let snapshot: Vec<LineSnapshot> = (0..ways)
-                        .map(|w| LineSnapshot {
-                            valid: true,
-                            line: tags[base + w],
-                            dirty: false,
-                            core: 0,
-                        })
-                        .collect();
-                    match policy.select_victim(set as u32, &snapshot, &access) {
-                        Decision::Evict(w) => w as usize,
-                        Decision::Bypass => 0,
-                    }
-                };
-                tags[base + w] = line;
-                policy.on_fill(set as u32, w as u16, &access);
-            }
-            prop_assert!(
-                policy.predicted_reuse_distance() <= bound.max(config.max_age()),
-                "RD {} exceeded bound {}",
-                policy.predicted_reuse_distance(),
-                bound
-            );
-        }
-    }
-
-    /// Two identical access sequences produce identical victim choices
-    /// (full determinism, required for the replay methodology).
-    #[test]
-    fn policy_is_deterministic(seq in proptest::collection::vec((0u16..128, 0u8..16), 1..400)) {
-        let geometry = CacheConfig { sets: 4, ways: 4, latency: 1 };
-        let run = || {
-            let mut cache = SetAssocCache::new(
-                "det",
-                geometry,
-                Box::new(RlrPolicy::optimized(&geometry)),
-            );
-            let mut evictions = Vec::new();
-            for (i, &(line, tag)) in seq.iter().enumerate() {
+/// The predicted reuse distance never exceeds `multiplier x max_age`
+/// (the accumulator adds saturated ages only). The policy is driven
+/// directly through a faithful miniature cache loop so its RD is
+/// observable after every access.
+#[test]
+fn rd_is_bounded() {
+    check(
+        "rd_is_bounded",
+        Config::with_cases(48),
+        |rng| line_tag_seq(rng, 64, 16, 1..800),
+        |seq| {
+            use cache_sim::{Decision, LineSnapshot, ReplacementPolicy};
+            let geometry = CacheConfig { sets: 4, ways: 4, latency: 1 };
+            let config = RlrConfig::unoptimized();
+            let mut policy = RlrPolicy::with_config(config, &geometry);
+            let (sets, ways) = (geometry.sets as usize, geometry.ways as usize);
+            let mut tags = vec![u64::MAX; sets * ways];
+            let bound = (config.rd_multiplier * config.max_age() as f64).round() as u64;
+            for (i, &(line16, tag)) in seq.iter().enumerate() {
+                let line = u64::from(line16);
                 let access = Access {
                     pc: u64::from(tag) * 4,
-                    addr: u64::from(line) * 64,
+                    addr: line * 64,
                     kind: kind_of(tag),
                     core: 0,
                     seq: i as u64,
                 };
-                let out = cache.access(&access);
-                evictions.push(out.evicted);
+                let set = (line % sets as u64) as usize;
+                let base = set * ways;
+                if let Some(w) = (0..ways).find(|&w| tags[base + w] == line) {
+                    policy.on_hit(set as u32, w as u16, &access);
+                } else {
+                    policy.on_miss(set as u32, &access);
+                    let w = if let Some(free) = (0..ways).find(|&w| tags[base + w] == u64::MAX) {
+                        free
+                    } else {
+                        let snapshot: Vec<LineSnapshot> = (0..ways)
+                            .map(|w| LineSnapshot {
+                                valid: true,
+                                line: tags[base + w],
+                                dirty: false,
+                                core: 0,
+                            })
+                            .collect();
+                        match policy.select_victim(set as u32, &snapshot, &access) {
+                            Decision::Evict(w) => w as usize,
+                            Decision::Bypass => 0,
+                        }
+                    };
+                    tags[base + w] = line;
+                    policy.on_fill(set as u32, w as u16, &access);
+                }
+                prop_assert!(
+                    policy.predicted_reuse_distance() <= bound.max(config.max_age()),
+                    "RD {} exceeded bound {}",
+                    policy.predicted_reuse_distance(),
+                    bound
+                );
             }
-            evictions
-        };
-        prop_assert_eq!(run(), run());
-    }
+            Ok(())
+        },
+    );
+}
+
+/// Two identical access sequences produce identical victim choices
+/// (full determinism, required for the replay methodology).
+#[test]
+fn policy_is_deterministic() {
+    check(
+        "policy_is_deterministic",
+        Config::with_cases(48),
+        |rng| line_tag_seq(rng, 128, 16, 1..400),
+        |seq| {
+            let geometry = CacheConfig { sets: 4, ways: 4, latency: 1 };
+            let run = || {
+                let mut cache = SetAssocCache::new(
+                    "det",
+                    geometry,
+                    Box::new(RlrPolicy::optimized(&geometry)),
+                );
+                let mut evictions = Vec::new();
+                for (i, &(line, tag)) in seq.iter().enumerate() {
+                    let access = Access {
+                        pc: u64::from(tag) * 4,
+                        addr: u64::from(line) * 64,
+                        kind: kind_of(tag),
+                        core: 0,
+                        seq: i as u64,
+                    };
+                    let out = cache.access(&access);
+                    evictions.push(out.evicted);
+                }
+                evictions
+            };
+            prop_assert_eq!(run(), run());
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 use cache_sim::RunStats;
 use rl::stats::{collect_victim_stats, preuse_reuse_gap};
 use rl::LlcModel;
-use workloads::{cloudsuite, random_spec_mixes, spec2006, CLOUDSUITE, SPEC2006};
+use workloads::{random_spec_mixes, spec2006, CLOUDSUITE, SPEC2006};
 
 use crate::pipeline::TrainedPipeline;
 use crate::report::Table;
@@ -213,24 +213,15 @@ pub fn fig7(scale: Scale) -> Table {
     victim_stats_table(scale, VictimFigure::Recency)
 }
 
-/// Runs the full single-core sweep used by Figs. 10/12 and Table IV.
+/// Runs the full single-core sweep used by Figs. 10/12 and Table IV,
+/// sharded over the worker pool (`RLR_JOBS` / available parallelism).
 pub fn single_core_sweep(
     benchmarks: &[&str],
     scale: Scale,
 ) -> Vec<(String, Vec<(PolicyKind, RunStats)>)> {
-    let mut out = Vec::new();
-    for &name in benchmarks {
-        let workload = spec2006(name)
-            .or_else(|| cloudsuite(name))
-            .unwrap_or_else(|| panic!("unknown benchmark {name}"));
-        let mut runs = vec![(PolicyKind::Lru, run_single(&workload, PolicyKind::Lru, scale))];
-        for &p in &PolicyKind::SINGLE_CORE {
-            runs.push((p, run_single(&workload, p, scale)));
-        }
-        eprintln!("[sweep] {name} done");
-        out.push((name.to_owned(), runs));
-    }
-    out
+    let mut policies = vec![PolicyKind::Lru];
+    policies.extend_from_slice(&PolicyKind::SINGLE_CORE);
+    crate::runner::run_roster_parallel(benchmarks, &policies, scale, None)
 }
 
 fn speedup_table(title: &str, sweep: &[(String, Vec<(PolicyKind, RunStats)>)]) -> Table {

@@ -1,7 +1,21 @@
-//! Simulation drivers shared by every experiment.
+//! Simulation drivers shared by every experiment, including the sharded
+//! parallel roster runner.
+//!
+//! # Determinism
+//!
+//! [`run_single`] is a pure function of `(workload, policy, scale)`: every
+//! random stream is owned by the workload and seeded from its definition,
+//! never from global state or scheduling order. The parallel runner
+//! exploits this — each (workload, policy) task is independent, results
+//! land in pre-assigned slots, and the output of
+//! [`run_roster_parallel`] is byte-identical to a serial sweep regardless
+//! of worker count or interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use cache_sim::{LlcTrace, MultiCoreSystem, RunStats, SingleCoreSystem, SystemConfig};
-use workloads::{Workload, WorkloadMix};
+use workloads::{cloudsuite, spec2006, Workload, WorkloadMix};
 
 use crate::roster::PolicyKind;
 use crate::scale::Scale;
@@ -69,6 +83,89 @@ pub fn run_mix(mix: &WorkloadMix, policy: PolicyKind, scale: Scale) -> Vec<RunSt
         .collect();
     let mut system = MultiCoreSystem::new(&config, policy.build(&config.llc, None), streams);
     system.run(scale.mc_warmup(), scale.mc_instructions())
+}
+
+/// Resolves the experiment worker count: an explicit `jobs` wins, then the
+/// `RLR_JOBS` environment variable, then the machine's available
+/// parallelism (1 if that cannot be determined).
+pub fn resolve_jobs(jobs: Option<usize>) -> usize {
+    jobs.filter(|&j| j > 0)
+        .or_else(|| {
+            std::env::var("RLR_JOBS").ok().and_then(|v| v.trim().parse().ok()).filter(|&j| j > 0)
+        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Applies `f` to every item on a pool of `jobs` scoped threads.
+///
+/// Work is handed out through an atomic cursor (a sharded work queue, so
+/// an expensive item does not stall the others) and each result is written
+/// to the slot of its input: the returned vector matches input order
+/// exactly, independent of scheduling. A panicking task propagates when
+/// the scope joins.
+pub fn run_tasks_parallel<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock").expect("worker filled slot"))
+        .collect()
+}
+
+/// Runs the full `benchmarks` × `policies` roster on a worker pool and
+/// regroups the results per benchmark, preserving both input orders.
+///
+/// `jobs: None` defers to [`resolve_jobs`] (so `RLR_JOBS=1` forces a
+/// serial run). Output is identical to the equivalent nested serial loop.
+pub fn run_roster_parallel(
+    benchmarks: &[&str],
+    policies: &[PolicyKind],
+    scale: Scale,
+    jobs: Option<usize>,
+) -> Vec<(String, Vec<(PolicyKind, RunStats)>)> {
+    let tasks: Vec<(usize, usize)> = (0..benchmarks.len())
+        .flat_map(|b| (0..policies.len()).map(move |p| (b, p)))
+        .collect();
+    let stats = run_tasks_parallel(&tasks, resolve_jobs(jobs), |_, &(b, p)| {
+        let name = benchmarks[b];
+        let workload = spec2006(name)
+            .or_else(|| cloudsuite(name))
+            .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+        let out = run_single(&workload, policies[p], scale);
+        eprintln!("[sweep] {name}/{} done", policies[p].name());
+        out
+    });
+    benchmarks
+        .iter()
+        .enumerate()
+        .map(|(b, &name)| {
+            let runs = policies
+                .iter()
+                .enumerate()
+                .map(|(p, &policy)| (policy, stats[b * policies.len() + p].clone()))
+                .collect();
+            (name.to_owned(), runs)
+        })
+        .collect()
 }
 
 /// The paper's multicore per-mix metric: the geometric mean over cores of

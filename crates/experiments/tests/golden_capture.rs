@@ -1,0 +1,31 @@
+//! Golden smoke test for the trace-capture pipeline: a fixed seed and
+//! scale must reproduce the exact same LLC trace, record for record.
+//!
+//! These constants were pinned from two independent release-mode runs; a
+//! mismatch means the simulator, the workload generator, or the PRNG
+//! changed behaviour (any of which invalidates stored traces and trained
+//! agents).
+
+use cache_sim::AccessKind;
+use experiments::runner::capture_llc_trace;
+use experiments::Scale;
+
+#[test]
+fn capture_is_golden_for_mcf_small() {
+    let wl = workloads::spec2006("429.mcf").expect("known benchmark");
+    let trace = capture_llc_trace(&wl, Scale::Small, 5_000);
+
+    assert_eq!(trace.len(), 5_000, "record count drifted");
+
+    let first = &trace.records()[0];
+    assert_eq!(first.pc, 0x40_0000);
+    assert_eq!(first.line, 0x402_bb9c);
+    assert_eq!(first.kind, AccessKind::Load);
+    assert_eq!(first.core, 0);
+
+    let last = &trace.records()[trace.len() - 1];
+    assert_eq!(last.pc, 0x40_0000);
+    assert_eq!(last.line, 0x404_7662);
+    assert_eq!(last.kind, AccessKind::Prefetch);
+    assert_eq!(last.core, 0);
+}

@@ -148,8 +148,8 @@ mod tests {
 
     #[test]
     fn belady_never_loses_to_lru_on_random_streams() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        use simrng::Rng;
+        let mut rng = simrng::SimRng::seed_from_u64(11);
         for trial in 0..20 {
             let pattern: Vec<u64> = (0..400).map(|_| rng.gen_range(0..12)).collect();
             let opt = run_policy(&pattern, 4, |t, c| Box::new(Belady::from_trace(t, c)));
@@ -181,8 +181,8 @@ mod tests {
 
     #[test]
     fn bypass_variant_never_hurts() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        use simrng::Rng;
+        let mut rng = simrng::SimRng::seed_from_u64(5);
         let pattern: Vec<u64> = (0..500).map(|_| rng.gen_range(0..16)).collect();
         let plain = run_policy(&pattern, 4, |t, c| Box::new(Belady::from_trace(t, c)));
         // Note: the test cache has bypass disabled, so Bypass falls back to

@@ -1,8 +1,7 @@
 //! The DQN agent and its trainer (paper §III-A).
 
 use cache_sim::{CacheConfig, LlcTrace};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use simrng::{Rng, SimRng};
 
 use crate::cachemodel::{LlcModel, ModelStats, StepOutcome};
 use crate::features::{DecisionView, FeatureSet, StateEncoder};
@@ -79,7 +78,7 @@ pub struct Agent {
     updates_since_sync: u32,
     encoder: StateEncoder,
     config: AgentConfig,
-    rng: SmallRng,
+    rng: SimRng,
 }
 
 impl Agent {
@@ -94,7 +93,7 @@ impl Agent {
             updates_since_sync: 0,
             encoder,
             config,
-            rng: SmallRng::seed_from_u64(config.seed ^ 0x5EED),
+            rng: SimRng::seed_from_u64(config.seed ^ 0x5EED),
         }
     }
 
@@ -116,7 +115,7 @@ impl Agent {
             updates_since_sync: 0,
             encoder,
             config,
-            rng: SmallRng::seed_from_u64(config.seed ^ 0x5EED),
+            rng: SimRng::seed_from_u64(config.seed ^ 0x5EED),
         }
     }
 
@@ -229,7 +228,7 @@ impl TrainingReport {
 pub struct Trainer {
     agent: Agent,
     replay: ReplayBuffer,
-    rng: SmallRng,
+    rng: SimRng,
 }
 
 impl Trainer {
@@ -237,7 +236,7 @@ impl Trainer {
     pub fn new(config: AgentConfig, cache: &CacheConfig) -> Self {
         Self {
             replay: ReplayBuffer::new(config.replay_capacity),
-            rng: SmallRng::seed_from_u64(config.seed ^ 0x7EA1),
+            rng: SimRng::seed_from_u64(config.seed ^ 0x7EA1),
             agent: Agent::new(config, cache),
         }
     }
@@ -399,11 +398,17 @@ mod tests {
         cfg.epsilon = 0.0;
         let mut trainer = Trainer::new(cfg, &cache);
         let report = trainer.train_epoch(&t, &cache);
-        assert_eq!(report.stats.decisions, 1);
+        // The untrained net picks the first victim from its initial weights:
+        // evicting 2 (optimal, +1) ends the trace with one decision, while
+        // evicting 1 (harmful, −1) forces a second miss whose eviction is a
+        // tie at infinity and therefore optimal. Either way every decision
+        // is classified and at most the first can be harmful.
+        assert_eq!(report.stats.decisions, 1 + report.harmful_decisions);
+        assert!(report.harmful_decisions <= 1);
         assert_eq!(
             report.optimal_decisions + report.harmful_decisions,
-            if report.optimal_decisions == 1 { 1 } else { 1 },
-            "the single decision is either optimal (evict 2) or harmful (evict 1)"
+            report.stats.decisions,
+            "each decision here is either optimal (evict 2) or harmful (evict 1)"
         );
     }
 

@@ -5,8 +5,7 @@
 //! ("simple enough for interpretation but performs almost as well as
 //! denser networks"). Trained with SGD plus momentum.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use simrng::{Rng, SimRng};
 
 /// A two-layer perceptron: `inputs → hidden (tanh) → outputs (linear)`.
 ///
@@ -46,7 +45,7 @@ impl Mlp {
     /// Panics if any dimension is zero.
     pub fn new(inputs: usize, hidden: usize, outputs: usize, seed: u64) -> Self {
         assert!(inputs > 0 && hidden > 0 && outputs > 0, "dimensions must be positive");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let s1 = (6.0 / (inputs + hidden) as f32).sqrt();
         let s2 = (6.0 / (hidden + outputs) as f32).sqrt();
         let w1 = (0..inputs * hidden).map(|_| rng.gen_range(-s1..s1)).collect();
@@ -345,10 +344,10 @@ mod tests {
 
     #[test]
     fn learns_a_simple_function() {
-        use rand::{Rng, SeedableRng};
+        use simrng::Rng;
         // Teach output 0 to be the sign-ish of x[0].
         let mut net = Mlp::new(2, 8, 1, 5);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        let mut rng = simrng::SimRng::seed_from_u64(17);
         for _ in 0..4000 {
             let x: f32 = rng.gen_range(-1.0..1.0);
             let target = if x > 0.0 { 1.0 } else { -1.0 };

@@ -8,8 +8,7 @@
 //! routed by the accessed set.
 
 use cache_sim::{CacheConfig, LlcTrace};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use simrng::SimRng;
 
 use crate::agent::{Agent, AgentConfig, TrainingReport};
 use crate::cachemodel::{LlcModel, ModelStats, StepOutcome};
@@ -21,7 +20,7 @@ pub struct MultiAgentTrainer {
     replays: Vec<ReplayBuffer>,
     /// Per-partition pending transition awaiting its successor state.
     pending: Vec<Option<(Vec<f32>, u16, f32)>>,
-    rng: SmallRng,
+    rng: SimRng,
     config: AgentConfig,
 }
 
@@ -43,7 +42,7 @@ impl MultiAgentTrainer {
                 .collect(),
             replays: (0..agents).map(|_| ReplayBuffer::new(config.replay_capacity)).collect(),
             pending: vec![None; agents],
-            rng: SmallRng::seed_from_u64(config.seed ^ 0x3417),
+            rng: SimRng::seed_from_u64(config.seed ^ 0x3417),
             config,
         }
     }

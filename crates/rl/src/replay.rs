@@ -1,7 +1,6 @@
 //! Experience replay (Mnih et al., 2015), as used by the paper's trainer.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use simrng::{Rng, SimRng};
 
 /// One stored transition `⟨state, action, reward, next state⟩`.
 #[derive(Clone, Debug, PartialEq)]
@@ -75,7 +74,7 @@ impl ReplayBuffer {
     }
 
     /// Samples one uniformly random stored transition.
-    pub fn sample<'a>(&'a self, rng: &mut SmallRng) -> Option<&'a Transition> {
+    pub fn sample<'a>(&'a self, rng: &mut SimRng) -> Option<&'a Transition> {
         if self.entries.is_empty() {
             None
         } else {
@@ -87,7 +86,6 @@ impl ReplayBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn t(tag: f32) -> Transition {
         Transition { state: vec![tag], action: 0, reward: 0.0, next_state: vec![] }
@@ -112,7 +110,7 @@ mod tests {
         for i in 0..8 {
             buf.push(t(i as f32));
         }
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
             seen.insert(buf.sample(&mut rng).expect("non-empty").state[0] as i64);
@@ -123,7 +121,7 @@ mod tests {
     #[test]
     fn empty_buffer_samples_none() {
         let buf = ReplayBuffer::new(4);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         assert!(buf.sample(&mut rng).is_none());
     }
 }

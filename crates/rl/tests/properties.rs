@@ -1,9 +1,11 @@
 //! Property-based invariants of the RL substrate: encoder bounds, model
-//! accounting, oracle correctness.
+//! accounting, oracle correctness. Runs on the in-tree `simrng::prop`
+//! harness.
 
 use cache_sim::{AccessKind, CacheConfig, LlcRecord, LlcTrace};
-use proptest::prelude::*;
 use rl::{FeatureSet, LlcModel, StateEncoder};
+use simrng::prop::{check, Config};
+use simrng::{prop_assert, prop_assert_eq, Rng, SimRng};
 
 fn kind_of(tag: u8) -> AccessKind {
     match tag % 4 {
@@ -25,73 +27,96 @@ fn trace_from(seq: &[(u8, u8)]) -> LlcTrace {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn line_tag_seq(rng: &mut SimRng, lines: u8, tags: u8, len: std::ops::Range<usize>) -> Vec<(u8, u8)> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| (rng.gen_range(0..lines), rng.gen_range(0..tags))).collect()
+}
 
-    /// The next-use table matches a naive O(n^2) recomputation.
-    #[test]
-    fn next_use_matches_naive(seq in proptest::collection::vec((0u8..12, 0u8..8), 1..120)) {
-        let trace = trace_from(&seq);
-        let fast = trace.next_use_table();
-        for (i, record) in trace.records().iter().enumerate() {
-            let naive = trace.records()[i + 1..]
-                .iter()
-                .position(|r| r.line == record.line)
-                .map_or(u64::MAX, |k| (i + 1 + k) as u64);
-            prop_assert_eq!(fast[i], naive, "mismatch at {}", i);
-        }
-    }
+/// The next-use table matches a naive O(n^2) recomputation.
+#[test]
+fn next_use_matches_naive() {
+    check(
+        "next_use_matches_naive",
+        Config::with_cases(32),
+        |rng| line_tag_seq(rng, 12, 8, 1..120),
+        |seq| {
+            let trace = trace_from(seq);
+            let fast = trace.next_use_table();
+            for (i, record) in trace.records().iter().enumerate() {
+                let naive = trace.records()[i + 1..]
+                    .iter()
+                    .position(|r| r.line == record.line)
+                    .map_or(u64::MAX, |k| (i + 1 + k) as u64);
+                prop_assert_eq!(fast[i], naive, "mismatch at {i}: fast {} naive {naive}", fast[i]);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Every encoded state vector stays within [0, 1] and has the declared
-    /// dimensionality, regardless of the model state that produced it.
-    #[test]
-    fn encoded_states_are_bounded(seq in proptest::collection::vec((0u8..32, 0u8..8), 20..300)) {
-        let geometry = CacheConfig { sets: 2, ways: 4, latency: 1 };
-        let trace = trace_from(&seq);
-        let mut model = LlcModel::new(&geometry, &trace);
-        let encoder = StateEncoder::new(FeatureSet::full(), 4, geometry.sets);
-        let mut checked = 0usize;
-        for record in trace.records() {
-            let enc = &encoder;
-            let mut local_checked = 0usize;
-            let _ = model.step(record, &mut |view| {
-                let state = enc.encode(view);
-                assert_eq!(state.len(), enc.dims());
-                for &v in &state {
-                    assert!((0.0..=1.0).contains(&v), "feature {v} out of range");
-                }
-                local_checked += 1;
-                0
-            });
-            checked += local_checked;
-        }
-        // With 32 possible lines over an 8-line cache, decisions must occur.
-        prop_assert!(checked > 0 || seq.len() < 9);
-    }
+/// Every encoded state vector stays within [0, 1] and has the declared
+/// dimensionality, regardless of the model state that produced it.
+#[test]
+fn encoded_states_are_bounded() {
+    check(
+        "encoded_states_are_bounded",
+        Config::with_cases(32),
+        |rng| line_tag_seq(rng, 32, 8, 20..300),
+        |seq| {
+            let geometry = CacheConfig { sets: 2, ways: 4, latency: 1 };
+            let trace = trace_from(seq);
+            let mut model = LlcModel::new(&geometry, &trace);
+            let encoder = StateEncoder::new(FeatureSet::full(), 4, geometry.sets);
+            let mut checked = 0usize;
+            for record in trace.records() {
+                let enc = &encoder;
+                let mut local_checked = 0usize;
+                let _ = model.step(record, &mut |view| {
+                    let state = enc.encode(view);
+                    assert_eq!(state.len(), enc.dims());
+                    for &v in &state {
+                        assert!((0.0..=1.0).contains(&v), "feature {v} out of range");
+                    }
+                    local_checked += 1;
+                    0
+                });
+                checked += local_checked;
+            }
+            // With 32 possible lines over an 8-line cache, decisions must occur.
+            prop_assert!(checked > 0 || seq.len() < 9);
+            Ok(())
+        },
+    );
+}
 
-    /// Model statistics are internally consistent and Belady dominates any
-    /// fixed-way chooser on the same trace.
-    #[test]
-    fn model_accounting_and_belady_dominance(
-        seq in proptest::collection::vec((0u8..16, 0u8..4), 50..400),
-        fixed_way in 0u16..4,
-    ) {
-        let geometry = CacheConfig { sets: 2, ways: 4, latency: 1 };
-        let trace = trace_from(&seq);
+/// Model statistics are internally consistent and Belady dominates any
+/// fixed-way chooser on the same trace.
+#[test]
+fn model_accounting_and_belady_dominance() {
+    check(
+        "model_accounting_and_belady_dominance",
+        Config::with_cases(32),
+        |rng| (line_tag_seq(rng, 16, 4, 50..400), rng.gen_range(0..4u16)),
+        |(seq, fixed_way)| {
+            let fixed_way = *fixed_way;
+            let geometry = CacheConfig { sets: 2, ways: 4, latency: 1 };
+            let trace = trace_from(seq);
 
-        let mut fixed = LlcModel::new(&geometry, &trace);
-        let fixed_stats = fixed.run(&trace, &mut |_| fixed_way);
-        prop_assert_eq!(fixed_stats.accesses, seq.len() as u64);
-        prop_assert!(fixed_stats.hits <= fixed_stats.accesses);
-        prop_assert!(fixed_stats.demand_hits <= fixed_stats.demand_accesses);
+            let mut fixed = LlcModel::new(&geometry, &trace);
+            let fixed_stats = fixed.run(&trace, &mut |_| fixed_way);
+            prop_assert_eq!(fixed_stats.accesses, seq.len() as u64);
+            prop_assert!(fixed_stats.hits <= fixed_stats.accesses);
+            prop_assert!(fixed_stats.demand_hits <= fixed_stats.demand_accesses);
 
-        let mut opt = LlcModel::new(&geometry, &trace);
-        let opt_stats = opt.run_belady(&trace);
-        prop_assert!(
-            opt_stats.hits >= fixed_stats.hits,
-            "Belady ({}) < fixed-way ({})",
-            opt_stats.hits,
-            fixed_stats.hits
-        );
-    }
+            let mut opt = LlcModel::new(&geometry, &trace);
+            let opt_stats = opt.run_belady(&trace);
+            prop_assert!(
+                opt_stats.hits >= fixed_stats.hits,
+                "Belady ({}) < fixed-way ({})",
+                opt_stats.hits,
+                fixed_stats.hits
+            );
+            Ok(())
+        },
+    );
 }

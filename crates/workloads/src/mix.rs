@@ -1,7 +1,6 @@
 //! Multi-programmed workload mixes for the 4-core evaluation.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use simrng::{Rng, SimRng};
 
 use crate::spec::{spec2006, SPEC2006};
 use crate::workload::Workload;
@@ -49,7 +48,7 @@ impl WorkloadMix {
 /// a mix, and fully determined by `seed`.
 pub fn random_spec_mixes(count: usize, cores: usize, seed: u64) -> Vec<WorkloadMix> {
     assert!(cores > 0 && cores <= SPEC2006.len(), "invalid core count");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     (0..count)
         .map(|i| {
             let mut chosen: Vec<&str> = Vec::with_capacity(cores);

@@ -6,8 +6,7 @@
 //! workloads never alias each other's lines and PC-indexed predictors see a
 //! stable site-to-behaviour mapping.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use simrng::{Rng, SimRng};
 
 use crate::power_law::PowerLaw;
 use crate::recipe::Recipe;
@@ -135,7 +134,7 @@ pub(crate) enum Node {
 }
 
 /// Builds a single-cycle pseudo-random permutation (Sattolo's algorithm).
-fn sattolo_cycle(n: usize, rng: &mut SmallRng) -> Vec<u32> {
+fn sattolo_cycle(n: usize, rng: &mut SimRng) -> Vec<u32> {
     let mut perm: Vec<u32> = (0..n as u32).collect();
     let mut i = n;
     while i > 1 {
@@ -161,7 +160,7 @@ fn scatter_rank(rank: u64, line_mask: u64) -> u64 {
 
 impl Node {
     /// Compiles a recipe into a state machine, allocating regions and PCs.
-    pub(crate) fn build(recipe: &Recipe, alloc: &mut Alloc, rng: &mut SmallRng) -> Node {
+    pub(crate) fn build(recipe: &Recipe, alloc: &mut Alloc, rng: &mut SimRng) -> Node {
         match recipe {
             Recipe::Cyclic { bytes, stride, store_ratio } => Node::Cyclic {
                 base: alloc.data_region(*bytes),
@@ -254,7 +253,7 @@ impl Node {
     }
 
     /// Emits the next access.
-    pub(crate) fn step(&mut self, rng: &mut SmallRng) -> StepOut {
+    pub(crate) fn step(&mut self, rng: &mut SimRng) -> StepOut {
         match self {
             Node::Cyclic { base, bytes, stride, store_ratio, pos, pc_base } => {
                 let addr = *base + *pos;
@@ -361,10 +360,9 @@ impl Node {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn build(recipe: Recipe) -> (Node, SmallRng) {
-        let mut rng = SmallRng::seed_from_u64(42);
+    fn build(recipe: Recipe) -> (Node, SimRng) {
+        let mut rng = SimRng::seed_from_u64(42);
         let mut alloc = Alloc::new();
         let node = Node::build(&recipe, &mut alloc, &mut rng);
         (node, rng)
@@ -461,7 +459,7 @@ mod tests {
 
     #[test]
     fn sattolo_produces_single_cycle() {
-        let mut rng = SmallRng::seed_from_u64(9);
+        let mut rng = SimRng::seed_from_u64(9);
         let next = sattolo_cycle(100, &mut rng);
         let mut cur = 0u32;
         for _ in 0..99 {

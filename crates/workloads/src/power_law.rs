@@ -1,7 +1,7 @@
 //! Power-law (Zipf-like) rank sampling via continuous inverse-CDF
 //! approximation.
 
-use rand::Rng;
+use simrng::Rng;
 
 /// Samples ranks in `0..n` with probability roughly proportional to
 /// `1 / (rank + 1)^skew`.
@@ -10,11 +10,10 @@ use rand::Rng;
 /// for workload generation and requires O(1) state (no precomputed tables).
 ///
 /// ```
-/// use rand::SeedableRng;
 /// use workloads::PowerLaw;
 ///
 /// let zipf = PowerLaw::new(1024, 1.0);
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let mut rng = simrng::SimRng::seed_from_u64(7);
 /// let r = zipf.sample(&mut rng);
 /// assert!(r < 1024);
 /// ```
@@ -44,7 +43,7 @@ impl PowerLaw {
     }
 
     /// Draws one rank in `0..n`; rank 0 is the most popular.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
         if self.n == 1 {
             return 0;
         }
@@ -66,13 +65,12 @@ impl PowerLaw {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use simrng::SimRng;
 
     #[test]
     fn samples_stay_in_domain() {
         let p = PowerLaw::new(100, 1.2);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         for _ in 0..10_000 {
             assert!(p.sample(&mut rng) < 100);
         }
@@ -81,7 +79,7 @@ mod tests {
     #[test]
     fn rank_zero_is_most_popular() {
         let p = PowerLaw::new(1000, 1.0);
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         let mut counts = [0u32; 4];
         for _ in 0..100_000 {
             let r = p.sample(&mut rng);
@@ -96,7 +94,7 @@ mod tests {
     #[test]
     fn zero_skew_is_roughly_uniform() {
         let p = PowerLaw::new(10, 0.0);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         let mut counts = [0u32; 10];
         for _ in 0..100_000 {
             counts[p.sample(&mut rng) as usize] += 1;
@@ -109,7 +107,7 @@ mod tests {
     #[test]
     fn singleton_domain() {
         let p = PowerLaw::new(1, 2.0);
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = SimRng::seed_from_u64(4);
         assert_eq!(p.sample(&mut rng), 0);
     }
 

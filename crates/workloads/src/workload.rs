@@ -1,8 +1,7 @@
 //! Workload: a named, seeded recipe that can be turned into a deterministic
 //! access stream any number of times.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use simrng::{Rng, SimRng};
 
 use crate::entry::TraceEntry;
 use crate::pattern::{Alloc, Node};
@@ -95,12 +94,12 @@ impl Workload {
 
     /// Builds the infinite, deterministic access stream.
     pub fn stream(&self) -> Stream {
-        let mut build_rng = SmallRng::seed_from_u64(self.seed);
+        let mut build_rng = SimRng::seed_from_u64(self.seed);
         let mut alloc = Alloc::new();
         let root = Node::build(&self.recipe, &mut alloc, &mut build_rng);
         Stream {
             root,
-            rng: SmallRng::seed_from_u64(self.seed ^ 0xA5A5_A5A5_5A5A_5A5A),
+            rng: SimRng::seed_from_u64(self.seed ^ 0xA5A5_A5A5_5A5A_5A5A),
             leading: self.leading,
             local_ratio: self.local_ratio,
             stack_pos: 0,
@@ -122,7 +121,7 @@ const STACK_PC: u64 = 0x0030_0000;
 #[derive(Debug)]
 pub struct Stream {
     root: Node,
-    rng: SmallRng,
+    rng: SimRng,
     leading: (u32, u32),
     local_ratio: f32,
     stack_pos: u64,

@@ -1,84 +1,129 @@
-//! Property-based invariants of the workload generators.
+//! Property-based invariants of the workload generators, on the in-tree
+//! `simrng::prop` harness.
 
-use proptest::prelude::*;
+use simrng::prop::{check, Config, Shrink};
+use simrng::{prop_assert, prop_assert_ne, Rng, SimRng};
 use workloads::{Recipe, Workload};
 
-/// A strategy over small leaf recipes.
-fn leaf() -> impl Strategy<Value = Recipe> {
-    prop_oneof![
-        (1u64..64, 1u64..4).prop_map(|(kb, s)| Recipe::Cyclic {
-            bytes: kb << 10,
-            stride: s * 64,
+/// A generated case: a recipe plus a stream seed. Recipes are structural
+/// (no meaningful halving), so the case does not shrink.
+#[derive(Clone, Debug)]
+struct Case {
+    recipe: Recipe,
+    seed: u64,
+}
+
+impl Shrink for Case {}
+
+/// Draws a small leaf recipe.
+fn leaf(rng: &mut SimRng) -> Recipe {
+    match rng.gen_range(0..5u32) {
+        0 => Recipe::Cyclic {
+            bytes: rng.gen_range(1..64u64) << 10,
+            stride: rng.gen_range(1..4u64) * 64,
             store_ratio: 0.3,
-        }),
-        (1u64..64, 0u16..15).prop_map(|(kb, skew)| Recipe::Zipf {
-            bytes: kb << 10,
-            skew: f64::from(skew) / 10.0,
+        },
+        1 => Recipe::Zipf {
+            bytes: rng.gen_range(1..64u64) << 10,
+            skew: f64::from(rng.gen_range(0..15u16)) / 10.0,
             store_ratio: 0.2,
-        }),
-        (1u64..64,).prop_map(|(kb,)| Recipe::Random { bytes: kb << 10, store_ratio: 0.5 }),
-        (1u64..64,).prop_map(|(kb,)| Recipe::Chase { bytes: kb << 10 }),
-        (1u32..8, 1u64..8).prop_map(|(rows, kb)| Recipe::Stencil {
-            rows,
-            row_bytes: kb << 10,
-        }),
-    ]
+        },
+        2 => Recipe::Random { bytes: rng.gen_range(1..64u64) << 10, store_ratio: 0.5 },
+        3 => Recipe::Chase { bytes: rng.gen_range(1..64u64) << 10 },
+        _ => Recipe::Stencil {
+            rows: rng.gen_range(1..8u32),
+            row_bytes: rng.gen_range(1..8u64) << 10,
+        },
+    }
 }
 
-/// A strategy over composed recipes (one combinator level).
-fn recipe() -> impl Strategy<Value = Recipe> {
-    prop_oneof![
-        leaf(),
-        proptest::collection::vec((1u32..5, leaf()), 1..4).prop_map(Recipe::Mix),
-        proptest::collection::vec((1u64..2000, leaf()), 1..4).prop_map(Recipe::Phased),
-        proptest::collection::vec(leaf(), 1..4).prop_map(Recipe::Interleave),
-    ]
+/// Draws a composed recipe (one combinator level, as the original suite).
+fn recipe(rng: &mut SimRng) -> Recipe {
+    match rng.gen_range(0..4u32) {
+        0 => leaf(rng),
+        1 => Recipe::Mix(
+            (0..rng.gen_range(1..4usize))
+                .map(|_| (rng.gen_range(1..5u32), leaf(rng)))
+                .collect(),
+        ),
+        2 => Recipe::Phased(
+            (0..rng.gen_range(1..4usize))
+                .map(|_| (rng.gen_range(1..2000u64), leaf(rng)))
+                .collect(),
+        ),
+        _ => Recipe::Interleave((0..rng.gen_range(1..4usize)).map(|_| leaf(rng)).collect()),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Streams are infinite, deterministic, and emit sane entries.
+#[test]
+fn streams_are_deterministic_and_sane() {
+    check(
+        "streams_are_deterministic_and_sane",
+        Config::with_cases(48),
+        |rng| Case { recipe: recipe(rng), seed: rng.gen_range(0..1_000_000u64) },
+        |case| {
+            let wl = Workload::new("prop", case.recipe.clone())
+                .with_seed(case.seed)
+                .with_compute(1, 5);
+            let a: Vec<_> = wl.stream().take(300).collect();
+            let b: Vec<_> = wl.stream().take(300).collect();
+            prop_assert!(a == b, "same seed must replay identically");
+            for e in &a {
+                prop_assert!(e.leading <= 5, "leading {} > 5", e.leading);
+                prop_assert!(e.addr > 0);
+                prop_assert!(e.pc > 0);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Streams are infinite, deterministic, and emit sane entries.
-    #[test]
-    fn streams_are_deterministic_and_sane(r in recipe(), seed in 0u64..1_000_000) {
-        let wl = Workload::new("prop", r).with_seed(seed).with_compute(1, 5);
-        let a: Vec<_> = wl.stream().take(300).collect();
-        let b: Vec<_> = wl.stream().take(300).collect();
-        prop_assert_eq!(&a, &b, "same seed must replay identically");
-        for e in &a {
-            prop_assert!(e.leading <= 5);
-            prop_assert!(e.addr > 0);
-            prop_assert!(e.pc > 0);
-        }
-    }
+/// Every data address falls inside the recipe's total footprint envelope
+/// (regions are disjoint and bounded), and local accesses stay in their own
+/// window.
+#[test]
+fn addresses_stay_in_allocated_regions() {
+    check(
+        "addresses_stay_in_allocated_regions",
+        Config::with_cases(48),
+        |rng| Case { recipe: recipe(rng), seed: rng.gen_range(0..1000u64) },
+        |case| {
+            let footprint = case.recipe.data_footprint();
+            let wl = Workload::new("prop", case.recipe.clone())
+                .with_seed(case.seed)
+                .with_local(0.5);
+            const DATA_BASE: u64 = 0x1_0000_0000;
+            const STACK_BASE: u64 = 0xF000_0000_0000;
+            // Regions are 1 MB-aligned; a recipe with n leaves spans at most
+            // footprint + n MB of address space. Our recipes here have <= 4
+            // leaves of <= 64 KB plus stencil grids.
+            let envelope = DATA_BASE + footprint + (16 << 20);
+            for e in wl.stream().take(500) {
+                let in_data = e.addr >= DATA_BASE && e.addr < envelope;
+                let in_stack = e.addr >= STACK_BASE && e.addr < STACK_BASE + (64 << 10);
+                prop_assert!(in_data || in_stack, "address {:#x} outside all regions", e.addr);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Every data address falls inside the recipe's total footprint
-    /// envelope (regions are disjoint and bounded), and local accesses
-    /// stay in their own window.
-    #[test]
-    fn addresses_stay_in_allocated_regions(r in recipe(), seed in 0u64..1000) {
-        let footprint = r.data_footprint();
-        let wl = Workload::new("prop", r).with_seed(seed).with_local(0.5);
-        const DATA_BASE: u64 = 0x1_0000_0000;
-        const STACK_BASE: u64 = 0xF000_0000_0000;
-        // Regions are 1 MB-aligned; a recipe with n leaves spans at most
-        // footprint + n MB of address space. Our recipes here have <= 4
-        // leaves of <= 64 KB plus stencil grids.
-        let envelope = DATA_BASE + footprint + (16 << 20);
-        for e in wl.stream().take(500) {
-            let in_data = e.addr >= DATA_BASE && e.addr < envelope;
-            let in_stack = e.addr >= STACK_BASE && e.addr < STACK_BASE + (64 << 10);
-            prop_assert!(in_data || in_stack, "address {:#x} outside all regions", e.addr);
-        }
-    }
-
-    /// Different seeds diverge for stochastic recipes (Zipf), showing the
-    /// seed actually feeds the generator.
-    #[test]
-    fn seeds_diverge_for_random_recipes(s1 in 0u64..500, s2 in 501u64..1000) {
-        let r = Recipe::Zipf { bytes: 1 << 20, skew: 0.9, store_ratio: 0.5 };
-        let a: Vec<_> = Workload::new("z", r.clone()).with_seed(s1).stream().take(64).collect();
-        let b: Vec<_> = Workload::new("z", r).with_seed(s2).stream().take(64).collect();
-        prop_assert_ne!(a, b);
-    }
+/// Different seeds diverge for stochastic recipes (Zipf), showing the seed
+/// actually feeds the generator.
+#[test]
+fn seeds_diverge_for_random_recipes() {
+    check(
+        "seeds_diverge_for_random_recipes",
+        Config::with_cases(48),
+        |rng| (rng.gen_range(0..500u64), rng.gen_range(501..1000u64)),
+        |&(s1, s2)| {
+            let r = Recipe::Zipf { bytes: 1 << 20, skew: 0.9, store_ratio: 0.5 };
+            let a: Vec<_> =
+                Workload::new("z", r.clone()).with_seed(s1).stream().take(64).collect();
+            let b: Vec<_> = Workload::new("z", r).with_seed(s2).stream().take(64).collect();
+            prop_assert_ne!(a, b);
+            Ok(())
+        },
+    );
 }

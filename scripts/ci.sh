@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Hermetic CI gate: the whole workspace must build, test, and compile its
+# bench targets with zero network/registry access (every dependency is
+# in-tree). Run from anywhere; operates on the workspace root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo bench --no-run --offline"
+cargo bench --no-run --offline --workspace
+
+echo "==> ci.sh: all gates passed"
