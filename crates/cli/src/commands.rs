@@ -4,6 +4,8 @@ use std::fs;
 use std::io::{BufReader, BufWriter};
 
 use cache_sim::{LlcTrace, SingleCoreSystem, SystemConfig};
+use experiments::checkpoint::{self, write_atomic};
+use experiments::runner::{run_tasks_resilient, RunOptions};
 use experiments::{PolicyKind, Table};
 use rl::{Agent, AgentConfig, FeatureSet, LlcModel, Mlp, Trainer};
 use workloads::{Workload, CLOUDSUITE, SPEC2006};
@@ -123,24 +125,63 @@ pub fn compare(args: &Args) -> Result<(), ArgError> {
     let tasks: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|b| (0..all_kinds.len()).map(move |k| (b, k)))
         .collect();
-    let stats = experiments::runner::run_tasks_parallel(&tasks, jobs, |_, &(b, k)| {
-        let mut system = SingleCoreSystem::new(&config, all_kinds[k].build(&config.llc, None));
+    // Failure handling and per-cell resume: a crashing cell is retried
+    // (RLR_RETRIES), then reported as `failed` without aborting the rest;
+    // completed cells are checkpointed so a killed run resumes where it
+    // stopped (disable with RLR_CHECKPOINT=0).
+    let run_opts = RunOptions::from_env();
+    let cache_dir = checkpoint::checkpointing_enabled().then(checkpoint::sweep_cache_dir);
+    let params = format!("cli|i{instructions}|w{warmup}");
+    let benches = args.positional();
+    let cells = run_tasks_resilient(&tasks, jobs, &run_opts, |_, &(b, k)| {
+        let kind = all_kinds[k];
+        let key = cache_dir
+            .is_some()
+            .then(|| checkpoint::cell_key(&benches[b], kind.name(), &params));
+        if let (Some(dir), Some(key)) = (&cache_dir, &key) {
+            if let Some(cached) = checkpoint::load_cell(dir, key) {
+                return cached;
+            }
+        }
+        let mut system = SingleCoreSystem::new(&config, kind.build(&config.llc, None));
         let mut stream = workloads[b].stream();
         system.warm_up(&mut stream, warmup);
-        system.run(stream, instructions)
+        let out = system.run(stream, instructions);
+        if let (Some(dir), Some(key)) = (&cache_dir, &key) {
+            checkpoint::store_cell(dir, key, &out);
+        }
+        out
     });
 
     let mut headers = vec!["benchmark".to_owned(), "LRU IPC".to_owned()];
     headers.extend(kinds.iter().map(|k| k.name().to_owned()));
     let mut table = Table::new("IPC speedup over LRU (%)", headers);
-    for (b, bench) in args.positional().iter().enumerate() {
+    let mut failures: Vec<String> = Vec::new();
+    for (b, bench) in benches.iter().enumerate() {
         let base = b * all_kinds.len();
-        let lru = &stats[base];
-        let mut row = vec![bench.clone(), format!("{:.4}", lru.ipc())];
-        for k in 1..all_kinds.len() {
-            row.push(Table::fmt(stats[base + k].speedup_pct_over(lru)));
+        let mut row = vec![bench.clone()];
+        match &cells[base] {
+            Err(e) => {
+                failures.push(format!("{bench}/LRU: {}", e.kind));
+                row.extend(std::iter::repeat("n/a".to_owned()).take(all_kinds.len()));
+            }
+            Ok(lru) => {
+                row.push(format!("{:.4}", lru.ipc()));
+                for k in 1..all_kinds.len() {
+                    match &cells[base + k] {
+                        Ok(stats) => row.push(Table::fmt(stats.speedup_pct_over(lru))),
+                        Err(e) => {
+                            failures.push(format!("{bench}/{}: {}", all_kinds[k].name(), e.kind));
+                            row.push("failed".to_owned());
+                        }
+                    }
+                }
+            }
         }
         table.push_row(row);
+    }
+    if !failures.is_empty() {
+        table.push_note(format!("failed cells: {}", failures.join("; ")));
     }
     println!("{}", table.render());
     Ok(())
@@ -175,7 +216,10 @@ pub fn capture(args: &Args) -> Result<(), ArgError> {
             break;
         }
     }
-    let mut trace = system.llc_mut().take_capture().expect("capture enabled");
+    let mut trace = system
+        .llc_mut()
+        .take_capture()
+        .ok_or_else(|| ArgError(experiments::RunnerError::CaptureUnavailable.to_string()))?;
     trace.truncate(records);
     let file = fs::File::create(out).map_err(|e| ArgError(format!("create {out}: {e}")))?;
     trace
@@ -257,9 +301,18 @@ pub fn replay(args: &Args) -> Result<(), ArgError> {
 }
 
 /// `rlr train <bench|trace.bin> --out agent.mlp [--epochs N] [--hidden N]
-///  [--records N]` — train a DQN agent and save its network.
+///  [--records N] [--resume] [--checkpoint FILE] [--stop-after N]` — train
+/// a DQN agent and save its network.
+///
+/// Training checkpoints after every epoch (atomically, to `--checkpoint`,
+/// default `<out>.ck`); `--resume` continues an interrupted run from that
+/// checkpoint and is bit-identical to a run that never stopped.
+/// `--stop-after N` deterministically interrupts after N epochs, leaving
+/// the checkpoint behind (used by tests and CI to exercise resume).
 pub fn train(args: &Args) -> Result<(), ArgError> {
-    args.expect_known(&["out", "epochs", "hidden", "records", "seed"])?;
+    args.expect_known(&[
+        "out", "epochs", "hidden", "records", "seed", "resume", "checkpoint", "stop-after",
+    ])?;
     let source = args
         .positional()
         .first()
@@ -271,6 +324,8 @@ pub fn train(args: &Args) -> Result<(), ArgError> {
     let hidden = args.get_num("hidden", 64usize)?;
     let records = args.get_num("records", 60_000usize)?;
     let seed = args.get_num("seed", 0xCAFEu64)?;
+    let ck_path = args.get("checkpoint").map_or_else(|| format!("{out}.ck"), str::to_owned);
+    let stop_after = args.get_num("stop-after", 0usize)?;
 
     let config = SystemConfig::paper_single_core();
     let trace = if source.ends_with(".bin") || source.ends_with(".trace") {
@@ -289,7 +344,10 @@ pub fn train(args: &Args) -> Result<(), ArgError> {
                 break;
             }
         }
-        let mut t = system.llc_mut().take_capture().expect("capture enabled");
+        let mut t = system
+            .llc_mut()
+            .take_capture()
+            .ok_or_else(|| ArgError(experiments::RunnerError::CaptureUnavailable.to_string()))?;
         t.truncate(records);
         t
     };
@@ -300,8 +358,25 @@ pub fn train(args: &Args) -> Result<(), ArgError> {
         features: FeatureSet::full(),
         ..AgentConfig::default()
     };
-    let mut trainer = Trainer::new(agent_config, &config.llc);
-    for epoch in 0..epochs {
+    let mut start_epoch = 0usize;
+    let mut trainer = if args.has_flag("resume") {
+        let file = fs::File::open(&ck_path)
+            .map_err(|e| ArgError(format!("--resume: open {ck_path}: {e}")))?;
+        let (trainer, done) = Trainer::load_checkpoint(BufReader::new(file), &config.llc)
+            .map_err(|e| ArgError(format!("--resume: load {ck_path}: {e}")))?;
+        if *trainer.agent().config() != agent_config {
+            return Err(ArgError(format!(
+                "--resume: {ck_path} was written with different hyperparameters; \
+                 pass the original --hidden/--seed or drop --resume"
+            )));
+        }
+        println!("resuming from {ck_path} after epoch {done}");
+        start_epoch = done as usize;
+        trainer
+    } else {
+        Trainer::new(agent_config, &config.llc)
+    };
+    for epoch in start_epoch..epochs {
         let report = trainer.train_epoch(&trace, &config.llc);
         println!(
             "epoch {epoch}: demand hit {:.1}%, {:.1}% Belady-optimal, TD loss {:.4}",
@@ -309,13 +384,28 @@ pub fn train(args: &Args) -> Result<(), ArgError> {
             report.optimal_rate() * 100.0,
             report.mean_loss
         );
+        let mut bytes = Vec::new();
+        trainer
+            .save_checkpoint(&mut bytes, epoch as u64 + 1)
+            .and_then(|()| write_atomic(std::path::Path::new(&ck_path), &bytes))
+            .map_err(|e| ArgError(format!("write checkpoint {ck_path}: {e}")))?;
+        if stop_after > 0 && epoch + 1 >= stop_after && epoch + 1 < epochs {
+            println!(
+                "stopped after epoch {} (checkpoint at {ck_path}); rerun with --resume to finish",
+                epoch + 1
+            );
+            return Ok(());
+        }
     }
-    let file = fs::File::create(out).map_err(|e| ArgError(format!("create {out}: {e}")))?;
+    let mut bytes = Vec::new();
     trainer
         .agent()
         .net()
-        .save(BufWriter::new(file))
+        .save(&mut bytes)
+        .and_then(|()| write_atomic(std::path::Path::new(out), &bytes))
         .map_err(|e| ArgError(format!("write {out}: {e}")))?;
+    // The finished network supersedes the in-progress checkpoint.
+    let _ = fs::remove_file(&ck_path);
     println!("saved agent network to {out}");
     Ok(())
 }
@@ -379,10 +469,20 @@ COMMANDS:
   capture <bench>               record an LLC trace  --out FILE [--records N]
   replay <trace.bin>            trace-driven replay  [--policy P|belady|agent] [--agent FILE]
   train <bench|trace.bin>       train a DQN agent    --out FILE [--epochs N] [--hidden N]
+                                                     [--resume] [--checkpoint FILE]
+                                                     [--stop-after N]
   analyze                       agent weight heatmap --agent FILE [--top N]
   characterize <bench>          workload personality [--entries N]
   overhead                      Table I (policy metadata budgets)
   help                          this text
+
+FAULT TOLERANCE (compare + bench sweeps):
+  RLR_RETRIES=N       retries per crashing cell (default 1)
+  RLR_BACKOFF_MS=N    base retry backoff, doubled per attempt (default 100)
+  RLR_TASK_BUDGET=N   logical work-unit watchdog per task (default off)
+  RLR_CHECKPOINT=0    disable per-cell result checkpoints (resume-on-rerun)
+  RLR_RESULTS_DIR=D   relocate results/ and its cell-checkpoint cache
+  RLR_FAIL_PLAN=...   deterministic fault injection, e.g. \"panic:3:2;stall:1\"
 
 The full per-figure evaluation lives in `cargo bench -p rlr-bench` (see README)."
     );

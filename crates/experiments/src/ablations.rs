@@ -204,7 +204,8 @@ pub fn rl_extensions(scale: Scale) -> Table {
     // Two representative training benchmarks keep this affordable.
     for name in ["450.soplex", "483.xalancbmk"] {
         let workload = spec2006(name).expect("training benchmark");
-        let trace = crate::runner::capture_llc_trace(&workload, scale, scale.rl_trace_len());
+        let trace = crate::runner::capture_llc_trace(&workload, scale, scale.rl_trace_len())
+            .expect("capture is enabled for the whole run");
         let epochs = scale.rl_epochs().min(3);
 
         let base_config = AgentConfig {
@@ -266,7 +267,8 @@ pub fn hill_climb_selection(scale: Scale) -> Table {
     let mut traces = Vec::new();
     for name in names {
         let workload = spec2006(name).expect("training benchmark");
-        let mut trace = crate::runner::capture_llc_trace(&workload, scale, scale.hill_trace_len());
+        let mut trace = crate::runner::capture_llc_trace(&workload, scale, scale.hill_trace_len())
+            .expect("capture is enabled for the whole run");
         trace.truncate(scale.hill_trace_len());
         traces.push((name, trace));
     }

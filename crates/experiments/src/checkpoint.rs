@@ -1,0 +1,270 @@
+//! Atomic per-cell result checkpoints for experiment sweeps.
+//!
+//! Every completed (workload, policy, config) cell of a sweep is persisted
+//! as a small JSON file under a cache directory, keyed by a fingerprint of
+//! everything that determines its value. Re-running the sweep loads
+//! finished cells instead of recomputing them, so an interrupted run
+//! resumes where it stopped — and because [`cache_sim::RunStats`] is all
+//! `u64`s and the codec is exact ([`crate::json`]), a resumed sweep is
+//! byte-identical to an uninterrupted one.
+//!
+//! Crash safety: files are written to a scratch name and `rename`d into
+//! place, so a kill mid-write leaves either no checkpoint or a complete
+//! one, never a torn file. Loads verify the embedded key string and treat
+//! any mismatch or corruption as a miss (the cell is recomputed).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use cache_sim::{CacheStats, KindCounts, RunStats};
+
+use crate::json::Json;
+
+/// Version prefix baked into every cell key; bump to invalidate all
+/// existing checkpoints when the simulator's semantics change.
+const KEY_VERSION: &str = "v1";
+
+/// Identifies one sweep cell: a human-readable key plus its hash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellKey {
+    /// The full key string (embedded in the checkpoint for verification).
+    pub key: String,
+    /// FNV-1a hash of `key`, used as the file name.
+    pub hash: u64,
+}
+
+impl CellKey {
+    /// File name for this cell's checkpoint.
+    pub fn file_name(&self) -> String {
+        format!("{:016x}.json", self.hash)
+    }
+}
+
+/// Builds the key for one cell from the benchmark, policy, and a free-form
+/// `params` string capturing everything else that affects the result
+/// (scale, instruction counts, config knobs).
+pub fn cell_key(bench: &str, policy: &str, params: &str) -> CellKey {
+    let key = format!("{KEY_VERSION}|{bench}|{policy}|{params}");
+    let hash = fnv1a(key.as_bytes());
+    CellKey { key, hash }
+}
+
+/// 64-bit FNV-1a. Inlined because this crate deliberately has no hashing
+/// dependency and `DefaultHasher` is not stable across releases.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Writes `contents` to `path` atomically: scratch file + `rename`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the parent directory, writing the
+/// scratch file, or renaming it into place.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    fs::create_dir_all(dir)?;
+    // Pid-suffixed scratch name so concurrent processes can't tear each
+    // other's writes; rename within one directory is atomic on POSIX.
+    let scratch = dir.join(format!(
+        ".{}.tmp.{}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("checkpoint"),
+        std::process::id()
+    ));
+    let mut f = fs::File::create(&scratch)?;
+    f.write_all(contents)?;
+    f.sync_all()?;
+    drop(f);
+    match fs::rename(&scratch, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&scratch);
+            Err(e)
+        }
+    }
+}
+
+fn kind_counts_to_json(k: &KindCounts) -> Json {
+    Json::Arr(vec![Json::U64(k.accesses), Json::U64(k.hits)])
+}
+
+fn kind_counts_from_json(v: &Json) -> Option<KindCounts> {
+    let arr = v.as_arr()?;
+    if arr.len() != 2 {
+        return None;
+    }
+    let accesses = arr[0].as_u64()?;
+    let hits = arr[1].as_u64()?;
+    if hits > accesses {
+        return None;
+    }
+    Some(KindCounts { accesses, hits })
+}
+
+fn cache_stats_to_json(s: &CacheStats) -> Json {
+    Json::obj([
+        ("by_kind", Json::Arr(s.by_kind.iter().map(kind_counts_to_json).collect())),
+        ("writebacks_out", Json::U64(s.writebacks_out)),
+        ("bypasses", Json::U64(s.bypasses)),
+        ("evictions", Json::U64(s.evictions)),
+    ])
+}
+
+fn cache_stats_from_json(v: &Json) -> Option<CacheStats> {
+    let kinds = v.get("by_kind")?.as_arr()?;
+    if kinds.len() != 4 {
+        return None;
+    }
+    let mut by_kind = [KindCounts::default(); 4];
+    for (slot, k) in by_kind.iter_mut().zip(kinds) {
+        *slot = kind_counts_from_json(k)?;
+    }
+    Some(CacheStats {
+        by_kind,
+        writebacks_out: v.get("writebacks_out")?.as_u64()?,
+        bypasses: v.get("bypasses")?.as_u64()?,
+        evictions: v.get("evictions")?.as_u64()?,
+    })
+}
+
+/// Encodes a cell checkpoint: the verification key plus the full stats.
+pub fn encode_cell(key: &CellKey, stats: &RunStats) -> String {
+    let body = Json::obj([
+        ("key", Json::Str(key.key.clone())),
+        ("instructions", Json::U64(stats.instructions)),
+        ("cycles", Json::U64(stats.cycles)),
+        ("l1d", cache_stats_to_json(&stats.l1d)),
+        ("l2", cache_stats_to_json(&stats.l2)),
+        ("llc", cache_stats_to_json(&stats.llc)),
+        ("memory_reads", Json::U64(stats.memory_reads)),
+        ("memory_writes", Json::U64(stats.memory_writes)),
+        ("dram_row_hits", Json::U64(stats.dram_row_hits)),
+        ("dram_row_misses", Json::U64(stats.dram_row_misses)),
+    ]);
+    body.encode()
+}
+
+/// Decodes a cell checkpoint, verifying its embedded key matches `key`.
+pub fn decode_cell(text: &str, key: &CellKey) -> Option<RunStats> {
+    let v = Json::parse(text).ok()?;
+    if v.get("key")?.as_str()? != key.key {
+        return None; // hash collision or stale file from another config
+    }
+    Some(RunStats {
+        instructions: v.get("instructions")?.as_u64()?,
+        cycles: v.get("cycles")?.as_u64()?,
+        l1d: cache_stats_from_json(v.get("l1d")?)?,
+        l2: cache_stats_from_json(v.get("l2")?)?,
+        llc: cache_stats_from_json(v.get("llc")?)?,
+        memory_reads: v.get("memory_reads")?.as_u64()?,
+        memory_writes: v.get("memory_writes")?.as_u64()?,
+        dram_row_hits: v.get("dram_row_hits")?.as_u64()?,
+        dram_row_misses: v.get("dram_row_misses")?.as_u64()?,
+    })
+}
+
+/// Loads the checkpoint for `key` from `dir`, or `None` if absent,
+/// corrupt, or written for a different key.
+pub fn load_cell(dir: &Path, key: &CellKey) -> Option<RunStats> {
+    let text = fs::read_to_string(dir.join(key.file_name())).ok()?;
+    decode_cell(&text, key)
+}
+
+/// Persists one completed cell. Failure to write is reported on stderr but
+/// never aborts the sweep — a missing checkpoint only costs recomputation.
+pub fn store_cell(dir: &Path, key: &CellKey, stats: &RunStats) {
+    let path = dir.join(key.file_name());
+    if let Err(e) = write_atomic(&path, encode_cell(key, stats).as_bytes()) {
+        eprintln!("warning: could not write checkpoint {}: {e}", path.display());
+    }
+}
+
+/// Default cell-checkpoint directory for figure/table sweeps.
+pub fn sweep_cache_dir() -> PathBuf {
+    crate::report::results_dir().join("cache").join("sweep")
+}
+
+/// `true` unless checkpointing is disabled via `RLR_CHECKPOINT=0`.
+pub fn checkpointing_enabled() -> bool {
+    !matches!(std::env::var("RLR_CHECKPOINT").as_deref(), Ok("0"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats(seed: u64) -> RunStats {
+        let mut stats = RunStats {
+            instructions: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            cycles: seed + 17,
+            memory_reads: seed * 3,
+            memory_writes: seed / 2,
+            dram_row_hits: u64::MAX - seed,
+            dram_row_misses: 0,
+            ..RunStats::default()
+        };
+        for (i, k) in stats.llc.by_kind.iter_mut().enumerate() {
+            k.accesses = seed + 10 * i as u64;
+            k.hits = (seed + 10 * i as u64) / 2;
+        }
+        stats.llc.evictions = seed;
+        stats.l1d.writebacks_out = seed + 1;
+        stats
+    }
+
+    #[test]
+    fn cell_roundtrips_exactly() {
+        for seed in [0, 1, 12345, u64::MAX / 3] {
+            let key = cell_key("429.mcf", "rlr", "small|i1000");
+            let stats = sample_stats(seed);
+            let decoded = decode_cell(&encode_cell(&key, &stats), &key).expect("roundtrip");
+            assert_eq!(decoded, stats);
+        }
+    }
+
+    #[test]
+    fn key_mismatch_is_a_miss() {
+        let key = cell_key("429.mcf", "rlr", "small");
+        let other = cell_key("429.mcf", "lru", "small");
+        let text = encode_cell(&key, &sample_stats(7));
+        assert!(decode_cell(&text, &other).is_none());
+        assert!(decode_cell("{\"key\":1}", &key).is_none(), "corrupt text is a miss");
+        assert!(decode_cell("", &key).is_none());
+    }
+
+    #[test]
+    fn distinct_cells_get_distinct_files() {
+        let a = cell_key("429.mcf", "rlr", "small");
+        let b = cell_key("429.mcf", "rlr", "medium");
+        let c = cell_key("470.lbm", "rlr", "small");
+        assert_ne!(a.file_name(), b.file_name());
+        assert_ne!(a.file_name(), c.file_name());
+        // Same inputs must always map to the same file (stable hash).
+        assert_eq!(a, cell_key("429.mcf", "rlr", "small"));
+    }
+
+    #[test]
+    fn store_and_load_via_disk() {
+        let dir = std::env::temp_dir().join(format!("rlr_ck_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let key = cell_key("483.xalancbmk", "ship", "small|i5000");
+        assert!(load_cell(&dir, &key).is_none(), "cold cache misses");
+        let stats = sample_stats(99);
+        store_cell(&dir, &key, &stats);
+        assert_eq!(load_cell(&dir, &key), Some(stats));
+        // A torn write (scratch file left behind) must not be visible.
+        assert!(
+            fs::read_dir(&dir).expect("dir exists").all(|e| {
+                !e.expect("entry").file_name().to_string_lossy().contains(".tmp.")
+            }),
+            "no scratch files survive a successful store"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

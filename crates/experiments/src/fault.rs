@@ -1,0 +1,173 @@
+//! Deterministic fault injection for the resilient task pool.
+//!
+//! Failure-handling machinery (panic isolation, retry, the instruction
+//! watchdog) is impossible to test reliably with *real* faults — OOM kills
+//! and wall-clock stalls are flaky by nature. A [`FailPlan`] instead
+//! injects faults at exact, reproducible points: "panic task 3 on its
+//! first two attempts", "stall task 1 until the watchdog fires". Plans are
+//! keyed by *task index* (the item's position in the pool input), which is
+//! stable across worker counts and scheduling orders, so every injected
+//! failure is deterministic.
+//!
+//! Plans parse from the `RLR_FAIL_PLAN` environment variable:
+//!
+//! ```text
+//! RLR_FAIL_PLAN="panic:3"        # panic task 3, first attempt only
+//! RLR_FAIL_PLAN="panic:3:2"      # panic task 3's first two attempts
+//! RLR_FAIL_PLAN="panic:3:*"      # panic task 3 on every attempt
+//! RLR_FAIL_PLAN="stall:1"        # stall task 1 until the watchdog fires
+//! RLR_FAIL_PLAN="panic:0;stall:4:*"  # multiple directives
+//! ```
+
+use std::sync::Mutex;
+
+/// The kind of fault a directive injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic before the task body runs (models a crashing cell).
+    Panic,
+    /// Spin consuming watchdog budget without progress (models a runaway
+    /// or hung workload; requires an armed watchdog to terminate).
+    Stall,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Directive {
+    kind: FaultKind,
+    task: usize,
+    /// Attempts affected; `None` means every attempt.
+    times: Option<u32>,
+}
+
+/// A deterministic schedule of injected faults, keyed by task index.
+#[derive(Debug, Default)]
+pub struct FailPlan {
+    directives: Vec<Directive>,
+    /// Attempts seen so far per directive (same order as `directives`).
+    seen: Mutex<Vec<u32>>,
+}
+
+impl FailPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Reads `RLR_FAIL_PLAN`; unset or empty means no injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed plan: silently ignoring a typo would make a
+    /// fault-injection run indistinguishable from a clean one.
+    pub fn from_env() -> Self {
+        match std::env::var("RLR_FAIL_PLAN") {
+            Ok(raw) if !raw.trim().is_empty() => {
+                Self::parse(&raw).unwrap_or_else(|e| panic!("RLR_FAIL_PLAN: {e}"))
+            }
+            _ => Self::none(),
+        }
+    }
+
+    /// Parses a plan from its textual form (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed directive.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let mut directives = Vec::new();
+        for part in raw.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            let fields: Vec<&str> = part.split(':').collect();
+            if fields.len() < 2 || fields.len() > 3 {
+                return Err(format!("`{part}`: expected kind:task[:times]"));
+            }
+            let kind = match fields[0] {
+                "panic" => FaultKind::Panic,
+                "stall" => FaultKind::Stall,
+                other => return Err(format!("`{other}`: unknown fault kind (panic|stall)")),
+            };
+            let task = fields[1]
+                .parse()
+                .map_err(|_| format!("`{}`: task index must be a number", fields[1]))?;
+            let times = match fields.get(2) {
+                None => Some(1),
+                Some(&"*") => None,
+                Some(n) => Some(
+                    n.parse::<u32>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("`{n}`: times must be a positive number or `*`"))?,
+                ),
+            };
+            directives.push(Directive { kind, task, times });
+        }
+        let seen = Mutex::new(vec![0; directives.len()]);
+        Ok(Self { directives, seen })
+    }
+
+    /// `true` if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.directives.is_empty()
+    }
+
+    /// Consults the plan for one attempt of `task`, advancing the
+    /// directive's attempt counter. Called by the pool immediately before
+    /// the task body runs.
+    pub fn fault_for(&self, task: usize) -> Option<FaultKind> {
+        if self.directives.is_empty() {
+            return None;
+        }
+        let mut seen = self.seen.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (i, d) in self.directives.iter().enumerate() {
+            if d.task != task {
+                continue;
+            }
+            let attempt = seen[i];
+            seen[i] += 1;
+            match d.times {
+                None => return Some(d.kind),
+                Some(times) if attempt < times => return Some(d.kind),
+                Some(_) => return None,
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_directive_form() {
+        let plan = FailPlan::parse("panic:3; stall:1:*;panic:0:2").expect("valid plan");
+        assert_eq!(plan.directives.len(), 3);
+        assert_eq!(plan.directives[0], Directive { kind: FaultKind::Panic, task: 3, times: Some(1) });
+        assert_eq!(plan.directives[1], Directive { kind: FaultKind::Stall, task: 1, times: None });
+        assert_eq!(plan.directives[2], Directive { kind: FaultKind::Panic, task: 0, times: Some(2) });
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        for bad in ["oops:1", "panic", "panic:x", "panic:1:0", "panic:1:2:3"] {
+            assert!(FailPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+        assert!(FailPlan::parse("").expect("empty is a no-op plan").is_empty());
+    }
+
+    #[test]
+    fn counts_attempts_per_directive() {
+        let plan = FailPlan::parse("panic:2:2").expect("valid");
+        assert_eq!(plan.fault_for(2), Some(FaultKind::Panic));
+        assert_eq!(plan.fault_for(2), Some(FaultKind::Panic));
+        assert_eq!(plan.fault_for(2), None, "third attempt succeeds");
+        assert_eq!(plan.fault_for(1), None, "other tasks unaffected");
+    }
+
+    #[test]
+    fn always_directive_never_relents() {
+        let plan = FailPlan::parse("stall:0:*").expect("valid");
+        for _ in 0..10 {
+            assert_eq!(plan.fault_for(0), Some(FaultKind::Stall));
+        }
+    }
+}

@@ -1,6 +1,5 @@
 //! Every figure of the paper's evaluation, as harness functions.
 
-use cache_sim::RunStats;
 use rl::stats::{collect_victim_stats, preuse_reuse_gap};
 use rl::LlcModel;
 use workloads::{random_spec_mixes, spec2006, CLOUDSUITE, SPEC2006};
@@ -8,7 +7,9 @@ use workloads::{random_spec_mixes, spec2006, CLOUDSUITE, SPEC2006};
 use crate::pipeline::TrainedPipeline;
 use crate::report::Table;
 use crate::roster::PolicyKind;
-use crate::runner::{mix_speedup_pct, run_mix, run_single};
+use crate::runner::{
+    mix_speedup_pct, run_mix, run_roster_resilient, run_single, ResilientSweep, SweepOptions,
+};
 use crate::scale::Scale;
 use crate::geomean_speedup_pct;
 
@@ -214,28 +215,49 @@ pub fn fig7(scale: Scale) -> Table {
 }
 
 /// Runs the full single-core sweep used by Figs. 10/12 and Table IV,
-/// sharded over the worker pool (`RLR_JOBS` / available parallelism).
-pub fn single_core_sweep(
-    benchmarks: &[&str],
-    scale: Scale,
-) -> Vec<(String, Vec<(PolicyKind, RunStats)>)> {
+/// sharded over the worker pool (`RLR_JOBS` / available parallelism) with
+/// failure isolation, retries, and per-cell resume (`RLR_RETRIES`,
+/// `RLR_CHECKPOINT`; see [`SweepOptions::from_env`]). Failed cells appear
+/// as `Err` and degrade to annotated gaps in the rendered tables.
+pub fn single_core_sweep(benchmarks: &[&str], scale: Scale) -> ResilientSweep {
     let mut policies = vec![PolicyKind::Lru];
     policies.extend_from_slice(&PolicyKind::SINGLE_CORE);
-    crate::runner::run_roster_parallel(benchmarks, &policies, scale, None)
+    run_roster_resilient(benchmarks, &policies, scale, &SweepOptions::from_env())
+        .expect("roster benchmark names are statically known")
 }
 
-fn speedup_table(title: &str, sweep: &[(String, Vec<(PolicyKind, RunStats)>)]) -> Table {
+/// Builds a speedup-over-LRU table from a resilient sweep, degrading
+/// gracefully: a failed policy cell renders as `failed` (and is excluded
+/// from the Overall geomean), a failed LRU baseline blanks its whole row,
+/// and every failure is listed in a footnote.
+pub fn speedup_table(title: &str, sweep: &ResilientSweep) -> Table {
     let mut headers = vec!["benchmark".to_owned()];
     headers.extend(PolicyKind::SINGLE_CORE.iter().map(|p| p.name().to_owned()));
     let mut table = Table::new(title, headers);
     let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); PolicyKind::SINGLE_CORE.len()];
+    let mut failures: Vec<String> = Vec::new();
     for (name, runs) in sweep {
-        let lru = &runs[0].1;
         let mut row = vec![name.clone()];
-        for (i, (_, stats)) in runs[1..].iter().enumerate() {
-            let s = stats.speedup_pct_over(lru);
-            per_policy[i].push(s);
-            row.push(Table::fmt(s));
+        match &runs[0].1 {
+            Err(e) => {
+                failures.push(format!("{name}/LRU: {}", e.kind));
+                row.extend(std::iter::repeat("n/a".to_owned()).take(PolicyKind::SINGLE_CORE.len()));
+            }
+            Ok(lru) => {
+                for (i, (policy, cell)) in runs[1..].iter().enumerate() {
+                    match cell {
+                        Ok(stats) => {
+                            let s = stats.speedup_pct_over(lru);
+                            per_policy[i].push(s);
+                            row.push(Table::fmt(s));
+                        }
+                        Err(e) => {
+                            failures.push(format!("{name}/{}: {}", policy.name(), e.kind));
+                            row.push("failed".to_owned());
+                        }
+                    }
+                }
+            }
         }
         table.push_row(row);
     }
@@ -244,6 +266,12 @@ fn speedup_table(title: &str, sweep: &[(String, Vec<(PolicyKind, RunStats)>)]) -
         overall.push(Table::fmt(geomean_speedup_pct(col.iter().copied())));
     }
     table.push_row(overall);
+    if !failures.is_empty() {
+        table.push_note(format!(
+            "failed cells (excluded from Overall): {}",
+            failures.join("; ")
+        ));
+    }
     table
 }
 
@@ -266,16 +294,32 @@ pub fn fig12(scale: Scale) -> Table {
     let mut headers = vec!["benchmark".to_owned(), "LRU".to_owned()];
     headers.extend(PolicyKind::SINGLE_CORE.iter().map(|p| p.name().to_owned()));
     let mut table = Table::new("Fig 12: demand MPKI (benchmarks with LRU MPKI > 3)", headers);
+    let mut failures: Vec<String> = Vec::new();
     for (name, runs) in &sweep {
-        let lru_mpki = runs[0].1.llc_demand_mpki();
+        let Ok(lru) = &runs[0].1 else {
+            // Without the LRU baseline the MPKI filter can't be applied;
+            // report the gap instead of silently dropping the benchmark.
+            failures.push(format!("{name}/LRU"));
+            continue;
+        };
+        let lru_mpki = lru.llc_demand_mpki();
         if lru_mpki <= 3.0 {
             continue;
         }
         let mut row = vec![name.clone(), Table::fmt(lru_mpki)];
-        for (_, stats) in &runs[1..] {
-            row.push(Table::fmt(stats.llc_demand_mpki()));
+        for (policy, cell) in &runs[1..] {
+            match cell {
+                Ok(stats) => row.push(Table::fmt(stats.llc_demand_mpki())),
+                Err(_) => {
+                    failures.push(format!("{name}/{}", policy.name()));
+                    row.push("failed".to_owned());
+                }
+            }
         }
         table.push_row(row);
+    }
+    if !failures.is_empty() {
+        table.push_note(format!("failed cells: {}", failures.join("; ")));
     }
     table
 }

@@ -23,7 +23,10 @@
 //! | §V-B ablations + §IV-C sweeps | [`ablations`] |
 
 pub mod ablations;
+pub mod checkpoint;
+pub mod fault;
 pub mod figures;
+pub mod json;
 pub mod pipeline;
 pub mod report;
 pub mod roster;
@@ -33,6 +36,7 @@ pub mod tables;
 
 pub use report::Table;
 pub use roster::PolicyKind;
+pub use runner::{CellResult, RunnerError, TaskFailure};
 pub use scale::Scale;
 
 /// Geometric mean of (1 + x/100) speedup percentages, returned as a

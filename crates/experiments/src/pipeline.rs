@@ -8,6 +8,7 @@ use cache_sim::{CacheConfig, LlcTrace, SystemConfig};
 use rl::{Agent, AgentConfig, FeatureSet, Mlp, Trainer};
 use workloads::{spec2006, TRAINING_SET};
 
+use crate::checkpoint::write_atomic;
 use crate::report::results_dir;
 use crate::runner::capture_llc_trace;
 use crate::scale::Scale;
@@ -50,6 +51,10 @@ fn trace_path(name: &str, scale: Scale) -> PathBuf {
 
 fn net_path(name: &str, scale: Scale) -> PathBuf {
     cache_dir().join(format!("{}_{}.mlp", name.replace('.', "_"), scale))
+}
+
+fn train_ck_path(name: &str, scale: Scale) -> PathBuf {
+    cache_dir().join(format!("{}_{}.ck", name.replace('.', "_"), scale))
 }
 
 /// Captures (or loads from cache) the LLC traces of the eight training
@@ -99,9 +104,13 @@ impl TrainedPipeline {
         }
         eprintln!("[pipeline] {name}: capturing LLC trace...");
         let workload = spec2006(name).expect("training benchmarks are in SPEC2006");
-        let trace = capture_llc_trace(&workload, scale, scale.rl_trace_len());
-        if let Ok(f) = fs::File::create(&path) {
-            let _ = trace.write_to(std::io::BufWriter::new(f));
+        let trace = capture_llc_trace(&workload, scale, scale.rl_trace_len())
+            .unwrap_or_else(|e| panic!("[pipeline] {name}: trace capture failed: {e}"));
+        let mut bytes = Vec::new();
+        if trace.write_to(&mut bytes).is_ok() {
+            // Atomic write: a crash mid-save must not leave a torn trace
+            // that a later run would load as a short (wrong) capture.
+            let _ = write_atomic(&path, &bytes);
         }
         trace
     }
@@ -125,20 +134,49 @@ impl TrainedPipeline {
                 }
             }
         }
-        eprintln!("[pipeline] {name}: training agent ({} epochs)...", scale.rl_epochs());
-        let mut trainer = Trainer::new(config, cache);
-        for epoch in 0..scale.rl_epochs() {
+        let ck_path = train_ck_path(name, scale);
+        // Resume an interrupted training run from its epoch checkpoint;
+        // the checkpoint stores the full trainer state, so the resumed run
+        // is bit-identical to one that never stopped.
+        let mut trainer = None;
+        let mut start_epoch = 0usize;
+        if !retrain {
+            if let Ok(f) = fs::File::open(&ck_path) {
+                match Trainer::load_checkpoint(std::io::BufReader::new(f), cache) {
+                    Ok((t, done)) if *t.agent().config() == config => {
+                        eprintln!("[pipeline] {name}: resuming training after epoch {done}");
+                        start_epoch = done as usize;
+                        trainer = Some(t);
+                    }
+                    Ok(_) => eprintln!("[pipeline] {name}: checkpoint config mismatch; retraining"),
+                    Err(e) => eprintln!("[pipeline] {name}: unusable checkpoint ({e}); retraining"),
+                }
+            }
+        }
+        let mut trainer = trainer.unwrap_or_else(|| Trainer::new(config, cache));
+        eprintln!(
+            "[pipeline] {name}: training agent (epochs {start_epoch}..{})...",
+            scale.rl_epochs()
+        );
+        for epoch in start_epoch..scale.rl_epochs() {
             let report = trainer.train_epoch(trace, cache);
             eprintln!(
                 "[pipeline] {name}: epoch {epoch}: hit rate {:.1}%, {:.1}% Belady-optimal decisions",
                 report.stats.demand_hit_rate() * 100.0,
                 report.optimal_rate() * 100.0,
             );
+            let mut bytes = Vec::new();
+            if trainer.save_checkpoint(&mut bytes, epoch as u64 + 1).is_ok() {
+                let _ = write_atomic(&ck_path, &bytes);
+            }
         }
         let agent = trainer.into_agent();
-        if let Ok(f) = fs::File::create(&path) {
-            let _ = agent.net().save(std::io::BufWriter::new(f));
+        let mut bytes = Vec::new();
+        if agent.net().save(&mut bytes).is_ok() {
+            let _ = write_atomic(&path, &bytes);
         }
+        // The finished network supersedes the in-progress checkpoint.
+        let _ = fs::remove_file(&ck_path);
         agent
     }
 }

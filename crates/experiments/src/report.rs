@@ -145,8 +145,14 @@ fn escape_csv_row(cells: &[String]) -> String {
         .join(",")
 }
 
-/// The output directory for CSV artifacts.
+/// The output directory for CSV artifacts (and, under `cache/`, the
+/// sweep's cell checkpoints). `RLR_RESULTS_DIR` overrides the default.
 pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("RLR_RESULTS_DIR") {
+        if !dir.trim().is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     // CARGO_MANIFEST_DIR points at the invoking crate; hop to the
     // workspace root's results/ directory.
     if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {

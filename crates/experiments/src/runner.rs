@@ -10,15 +10,135 @@
 //! land in pre-assigned slots, and the output of
 //! [`run_roster_parallel`] is byte-identical to a serial sweep regardless
 //! of worker count or interleaving.
+//!
+//! # Fault tolerance
+//!
+//! [`run_tasks_resilient`] isolates each task behind `catch_unwind`: a
+//! panicking cell becomes a structured [`TaskFailure`] instead of
+//! poisoning the pool, with bounded deterministic retry
+//! ([`RunOptions::retries`]) and an optional logical work-unit watchdog
+//! ([`RunOptions::budget`], ticked by cooperative loops via
+//! [`watchdog_tick`]) that aborts runaway tasks without wall-clock timers.
+//! [`run_roster_resilient`] layers per-cell checkpoints on top
+//! ([`crate::checkpoint`]) so interrupted sweeps resume. All failure paths
+//! are exercised deterministically through [`crate::fault::FailPlan`].
 
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use cache_sim::{LlcTrace, MultiCoreSystem, RunStats, SingleCoreSystem, SystemConfig};
 use workloads::{cloudsuite, spec2006, Workload, WorkloadMix};
 
+use crate::checkpoint;
+use crate::fault::{FailPlan, FaultKind};
 use crate::roster::PolicyKind;
 use crate::scale::Scale;
+
+/// An error preventing a task from being *started* (as opposed to a
+/// [`TaskFailure`], which is a task that started and died).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunnerError {
+    /// A benchmark name matched neither the SPEC nor the CloudSuite
+    /// roster. Detected up front, before any worker runs.
+    UnknownBenchmark(String),
+    /// The LLC model produced no capture buffer (capture was not enabled
+    /// or was already taken).
+    CaptureUnavailable,
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownBenchmark(name) => write!(f, "unknown benchmark `{name}`"),
+            Self::CaptureUnavailable => write!(f, "LLC capture buffer unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+/// Why one task attempt (and, after retries, the whole task) failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The task panicked; carries the panic message.
+    Panicked(String),
+    /// The task exceeded its logical work-unit budget (see
+    /// [`watchdog_tick`]).
+    BudgetExceeded {
+        /// The budget that was exhausted, in work units.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Panicked(msg) => write!(f, "panicked: {msg}"),
+            Self::BudgetExceeded { budget } => {
+                write!(f, "exceeded work budget of {budget} units")
+            }
+        }
+    }
+}
+
+/// A task that failed every attempt. The pool keeps running; the failure
+/// is returned in the task's slot for the caller to report or degrade on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// The task's index in the pool's input slice.
+    pub index: usize,
+    /// How many attempts were made (1 + retries).
+    pub attempts: u32,
+    /// The final attempt's failure.
+    pub kind: FailureKind,
+}
+
+impl std::fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} failed after {} attempt(s): {}", self.index, self.attempts, self.kind)
+    }
+}
+
+impl std::error::Error for TaskFailure {}
+
+/// Failure-handling knobs for [`run_tasks_resilient`].
+#[derive(Debug)]
+pub struct RunOptions {
+    /// Retries after the first failed attempt (total attempts = 1 + this).
+    pub retries: u32,
+    /// Base backoff before retry `n` (delay = `backoff_ms << (n-1)`,
+    /// capped at 10 s). Zero disables sleeping entirely.
+    pub backoff_ms: u64,
+    /// Logical work-unit budget per attempt; `None` disables the watchdog.
+    pub budget: Option<u64>,
+    /// Deterministic fault injection schedule (empty in production).
+    pub fail_plan: FailPlan,
+}
+
+impl RunOptions {
+    /// No retries, no watchdog, no injection: a plain isolated pool.
+    pub fn none() -> Self {
+        Self { retries: 0, backoff_ms: 0, budget: None, fail_plan: FailPlan::none() }
+    }
+
+    /// Production defaults, overridable via `RLR_RETRIES`,
+    /// `RLR_BACKOFF_MS`, `RLR_TASK_BUDGET`, and `RLR_FAIL_PLAN`.
+    pub fn from_env() -> Self {
+        Self {
+            retries: env_num("RLR_RETRIES").unwrap_or(1) as u32,
+            backoff_ms: env_num("RLR_BACKOFF_MS").unwrap_or(100),
+            budget: env_num("RLR_TASK_BUDGET").filter(|&b| b > 0),
+            fail_plan: FailPlan::from_env(),
+        }
+    }
+}
+
+fn env_num(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
 
 /// Runs one workload on the paper's single-core system with the given LLC
 /// policy, honouring the scale's warm-up/measure split.
@@ -35,8 +155,20 @@ pub fn run_single(workload: &Workload, policy: PolicyKind, scale: Scale) -> RunS
 /// pipeline (RL training, Belady, Figs. 1 and 3–7).
 ///
 /// The capture is policy-invariant: the LLC access stream does not depend
-/// on the LLC replacement policy in this simulator.
-pub fn capture_llc_trace(workload: &Workload, scale: Scale, max_records: usize) -> LlcTrace {
+/// on the LLC replacement policy in this simulator. Each 1M-instruction
+/// slice ticks the task watchdog, so a workload that never fills its
+/// capture quota is bounded by [`RunOptions::budget`] as well as the
+/// 40×scale instruction ceiling.
+///
+/// # Errors
+///
+/// Returns [`RunnerError::CaptureUnavailable`] if the LLC yields no
+/// capture buffer.
+pub fn capture_llc_trace(
+    workload: &Workload,
+    scale: Scale,
+    max_records: usize,
+) -> Result<LlcTrace, RunnerError> {
     let config = SystemConfig::paper_single_core();
     let mut system = SingleCoreSystem::new(&config, PolicyKind::Lru.build(&config.llc, None));
     let mut stream = workload.stream();
@@ -47,6 +179,7 @@ pub fn capture_llc_trace(workload: &Workload, scale: Scale, max_records: usize) 
     // workloads need far fewer instructions than cache-friendly ones).
     let mut instructions = 0u64;
     loop {
+        watchdog_tick(1);
         instructions += 1_000_000;
         let _ = system.run(&mut stream, instructions);
         let captured = system.llc().accesses_seen() - base;
@@ -54,9 +187,9 @@ pub fn capture_llc_trace(workload: &Workload, scale: Scale, max_records: usize) 
             break;
         }
     }
-    let mut trace = system.llc_mut().take_capture().expect("capture enabled");
+    let mut trace = system.llc_mut().take_capture().ok_or(RunnerError::CaptureUnavailable)?;
     trace.truncate(max_records);
-    trace
+    Ok(trace)
 }
 
 /// Runs a 4-core mix on the paper's quad-core system; returns per-core
@@ -96,14 +229,162 @@ pub fn resolve_jobs(jobs: Option<usize>) -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
-/// Applies `f` to every item on a pool of `jobs` scoped threads.
+// ---------------------------------------------------------------------------
+// Watchdog: a logical, deterministic per-task budget.
+//
+// Wall-clock timeouts make tests flaky and results machine-dependent, so
+// runaway tasks are bounded in *work units* instead: cooperative loops
+// (e.g. the capture slices above) call `watchdog_tick`, and when an armed
+// task exhausts its budget the tick panics with a private payload that the
+// pool classifies as `FailureKind::BudgetExceeded`.
+// ---------------------------------------------------------------------------
+
+/// Panic payload distinguishing a watchdog abort from an organic panic.
+struct WatchdogAbort {
+    budget: u64,
+}
+
+#[derive(Clone, Copy)]
+struct WatchdogState {
+    remaining: u64,
+    budget: u64,
+}
+
+thread_local! {
+    static WATCHDOG: Cell<Option<WatchdogState>> = const { Cell::new(None) };
+}
+
+/// Consumes `units` of the current task's work budget; a no-op when no
+/// watchdog is armed (e.g. serial use outside the pool).
+///
+/// # Panics
+///
+/// Panics with a pool-internal payload once an armed budget is exhausted;
+/// [`run_tasks_resilient`] converts this into
+/// [`FailureKind::BudgetExceeded`].
+pub fn watchdog_tick(units: u64) {
+    WATCHDOG.with(|w| {
+        if let Some(mut state) = w.get() {
+            if units >= state.remaining {
+                w.set(None);
+                std::panic::panic_any(WatchdogAbort { budget: state.budget });
+            }
+            state.remaining -= units;
+            w.set(Some(state));
+        }
+    });
+}
+
+fn watchdog_armed() -> bool {
+    WATCHDOG.with(|w| w.get().is_some())
+}
+
+/// Arms the thread's watchdog for the lifetime of the guard.
+struct WatchdogGuard;
+
+impl WatchdogGuard {
+    fn arm(budget: u64) -> Self {
+        WATCHDOG.with(|w| w.set(Some(WatchdogState { remaining: budget.max(1), budget })));
+        Self
+    }
+}
+
+impl Drop for WatchdogGuard {
+    fn drop(&mut self) {
+        WATCHDOG.with(|w| w.set(None));
+    }
+}
+
+fn inject_fault(kind: FaultKind) {
+    match kind {
+        FaultKind::Panic => std::panic::panic_any("injected fault: panic".to_owned()),
+        FaultKind::Stall => {
+            // A stall only terminates through the watchdog. Injecting one
+            // without an armed budget would hang forever, so that
+            // misconfiguration degrades to an ordinary panic.
+            if !watchdog_armed() {
+                std::panic::panic_any("injected fault: stall with no watchdog armed".to_owned());
+            }
+            loop {
+                watchdog_tick(1);
+            }
+        }
+    }
+}
+
+fn classify_panic(payload: Box<dyn std::any::Any + Send>) -> FailureKind {
+    match payload.downcast::<WatchdogAbort>() {
+        Ok(abort) => FailureKind::BudgetExceeded { budget: abort.budget },
+        Err(other) => {
+            let msg = other
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| other.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            FailureKind::Panicked(msg)
+        }
+    }
+}
+
+fn retry_delay_ms(backoff_ms: u64, failed_attempts: u32) -> u64 {
+    if backoff_ms == 0 {
+        return 0;
+    }
+    let shift = (failed_attempts.saturating_sub(1)).min(16);
+    backoff_ms.saturating_mul(1u64 << shift).min(10_000)
+}
+
+/// Runs one task to completion or final failure under `opts`.
+fn run_one_task<T, R, F>(opts: &RunOptions, index: usize, item: &T, f: &F) -> Result<R, TaskFailure>
+where
+    F: Fn(usize, &T) -> R,
+{
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = opts.budget.map(WatchdogGuard::arm);
+            if let Some(fault) = opts.fail_plan.fault_for(index) {
+                inject_fault(fault);
+            }
+            f(index, item)
+        }));
+        match outcome {
+            Ok(result) => return Ok(result),
+            Err(payload) => {
+                let kind = classify_panic(payload);
+                if attempts <= opts.retries {
+                    let delay = retry_delay_ms(opts.backoff_ms, attempts);
+                    eprintln!(
+                        "[pool] task {index} attempt {attempts} failed ({kind}); \
+                         retrying in {delay} ms"
+                    );
+                    if delay > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(delay));
+                    }
+                } else {
+                    return Err(TaskFailure { index, attempts, kind });
+                }
+            }
+        }
+    }
+}
+
+/// Applies `f` to every item on a pool of `jobs` scoped threads, isolating
+/// each task's failures.
 ///
 /// Work is handed out through an atomic cursor (a sharded work queue, so
 /// an expensive item does not stall the others) and each result is written
 /// to the slot of its input: the returned vector matches input order
-/// exactly, independent of scheduling. A panicking task propagates when
-/// the scope joins.
-pub fn run_tasks_parallel<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+/// exactly, independent of scheduling. A panicking or over-budget task
+/// yields `Err(TaskFailure)` in its slot after exhausting
+/// [`RunOptions::retries`]; every other task still completes.
+pub fn run_tasks_resilient<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    opts: &RunOptions,
+    f: F,
+) -> Vec<Result<R, TaskFailure>>
 where
     T: Sync,
     R: Send,
@@ -111,61 +392,192 @@ where
 {
     let jobs = jobs.clamp(1, items.len().max(1));
     if jobs == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items.iter().enumerate().map(|(i, t)| run_one_task(opts, i, t, &f)).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, TaskFailure>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                let result = f(i, item);
-                *slots[i].lock().expect("slot lock") = Some(result);
+                let result = run_one_task(opts, i, item, &f);
+                // Recover a poisoned slot rather than cascading: the
+                // poisoning panic was already captured as that task's
+                // failure, and the lock protects a plain Option.
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("slot lock").expect("worker filled slot"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("worker filled slot")
+        })
         .collect()
 }
 
-/// Runs the full `benchmarks` × `policies` roster on a worker pool and
-/// regroups the results per benchmark, preserving both input orders.
+/// Applies `f` to every item on a pool of `jobs` scoped threads.
 ///
-/// `jobs: None` defers to [`resolve_jobs`] (so `RLR_JOBS=1` forces a
-/// serial run). Output is identical to the equivalent nested serial loop.
-pub fn run_roster_parallel(
+/// The non-resilient wrapper: no retries, no injection, and any task
+/// failure panics after the whole pool drains (so sibling tasks are never
+/// torn down mid-run). Results match input order exactly.
+///
+/// # Panics
+///
+/// Panics if any task panicked, with that task's failure message.
+pub fn run_tasks_parallel<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_tasks_resilient(items, jobs, &RunOptions::none(), f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+/// One sweep cell: the run's statistics, or why the cell failed.
+pub type CellResult = Result<RunStats, TaskFailure>;
+
+/// A roster sweep's output: per benchmark, per policy, a [`CellResult`].
+pub type ResilientSweep = Vec<(String, Vec<(PolicyKind, CellResult)>)>;
+
+/// Configuration for [`run_roster_resilient`].
+#[derive(Debug)]
+pub struct SweepOptions {
+    /// Worker count; `None` defers to [`resolve_jobs`].
+    pub jobs: Option<usize>,
+    /// Failure handling for the underlying pool.
+    pub run: RunOptions,
+    /// Cell-checkpoint directory; `None` disables checkpointing.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl SweepOptions {
+    /// No checkpointing, no retries — the pure in-memory sweep.
+    pub fn none() -> Self {
+        Self { jobs: None, run: RunOptions::none(), cache_dir: None }
+    }
+
+    /// Production defaults: env-tunable failure handling and cell
+    /// checkpoints under `results/cache/sweep/` (disable with
+    /// `RLR_CHECKPOINT=0`; relocate with `RLR_RESULTS_DIR`).
+    pub fn from_env() -> Self {
+        Self {
+            jobs: None,
+            run: RunOptions::from_env(),
+            cache_dir: checkpoint::checkpointing_enabled()
+                .then(checkpoint::sweep_cache_dir),
+        }
+    }
+}
+
+fn resolve_workload(name: &str) -> Result<Workload, RunnerError> {
+    spec2006(name)
+        .or_else(|| cloudsuite(name))
+        .ok_or_else(|| RunnerError::UnknownBenchmark(name.to_owned()))
+}
+
+fn sweep_params(scale: Scale) -> String {
+    format!("single|{scale}|i{}|w{}", scale.instructions(), scale.warmup())
+}
+
+/// Runs the full `benchmarks` × `policies` roster with failure isolation
+/// and per-cell resume.
+///
+/// Benchmark names are validated *before* any worker starts. Each cell is
+/// first looked up in `opts.cache_dir` (a hit skips the simulation
+/// entirely — this is what makes interrupted sweeps resumable) and stored
+/// there on completion via an atomic write. Failed cells surface as
+/// `Err(TaskFailure)` in their slot; the rest of the sweep completes.
+///
+/// # Errors
+///
+/// Returns [`RunnerError::UnknownBenchmark`] for the first unknown name.
+pub fn run_roster_resilient(
     benchmarks: &[&str],
     policies: &[PolicyKind],
     scale: Scale,
-    jobs: Option<usize>,
-) -> Vec<(String, Vec<(PolicyKind, RunStats)>)> {
+    opts: &SweepOptions,
+) -> Result<ResilientSweep, RunnerError> {
+    let workloads: Vec<Workload> =
+        benchmarks.iter().map(|&name| resolve_workload(name)).collect::<Result<_, _>>()?;
     let tasks: Vec<(usize, usize)> = (0..benchmarks.len())
         .flat_map(|b| (0..policies.len()).map(move |p| (b, p)))
         .collect();
-    let stats = run_tasks_parallel(&tasks, resolve_jobs(jobs), |_, &(b, p)| {
-        let name = benchmarks[b];
-        let workload = spec2006(name)
-            .or_else(|| cloudsuite(name))
-            .unwrap_or_else(|| panic!("unknown benchmark {name}"));
-        let out = run_single(&workload, policies[p], scale);
-        eprintln!("[sweep] {name}/{} done", policies[p].name());
-        out
-    });
-    benchmarks
+    let results =
+        run_tasks_resilient(&tasks, resolve_jobs(opts.jobs), &opts.run, |_, &(b, p)| {
+            let name = benchmarks[b];
+            let policy = policies[p];
+            let key = opts
+                .cache_dir
+                .is_some()
+                .then(|| checkpoint::cell_key(name, policy.name(), &sweep_params(scale)));
+            if let (Some(dir), Some(key)) = (&opts.cache_dir, &key) {
+                if let Some(cached) = checkpoint::load_cell(dir, key) {
+                    eprintln!("[sweep] {name}/{} cached", policy.name());
+                    return cached;
+                }
+            }
+            let out = run_single(&workloads[b], policy, scale);
+            if let (Some(dir), Some(key)) = (&opts.cache_dir, &key) {
+                checkpoint::store_cell(dir, key, &out);
+            }
+            eprintln!("[sweep] {name}/{} done", policy.name());
+            out
+        });
+    Ok(benchmarks
         .iter()
         .enumerate()
         .map(|(b, &name)| {
             let runs = policies
                 .iter()
                 .enumerate()
-                .map(|(p, &policy)| (policy, stats[b * policies.len() + p].clone()))
+                .map(|(p, &policy)| (policy, results[b * policies.len() + p].clone()))
                 .collect();
             (name.to_owned(), runs)
         })
-        .collect()
+        .collect())
+}
+
+/// Runs the full `benchmarks` × `policies` roster on a worker pool and
+/// regroups the results per benchmark, preserving both input orders.
+///
+/// `jobs: None` defers to [`resolve_jobs`] (so `RLR_JOBS=1` forces a
+/// serial run). Output is identical to the equivalent nested serial loop;
+/// no retries or checkpoints are involved, so this path stays a pure
+/// function of its inputs.
+///
+/// # Errors
+///
+/// Returns [`RunnerError::UnknownBenchmark`] for the first unknown name.
+///
+/// # Panics
+///
+/// Panics if a simulation itself panics (no retry is configured here).
+pub fn run_roster_parallel(
+    benchmarks: &[&str],
+    policies: &[PolicyKind],
+    scale: Scale,
+    jobs: Option<usize>,
+) -> Result<Vec<(String, Vec<(PolicyKind, RunStats)>)>, RunnerError> {
+    let opts = SweepOptions { jobs, ..SweepOptions::none() };
+    let sweep = run_roster_resilient(benchmarks, policies, scale, &opts)?;
+    Ok(sweep
+        .into_iter()
+        .map(|(name, runs)| {
+            let runs = runs
+                .into_iter()
+                .map(|(policy, cell)| (policy, cell.unwrap_or_else(|e| panic!("{e}"))))
+                .collect();
+            (name, runs)
+        })
+        .collect())
 }
 
 /// The paper's multicore per-mix metric: the geometric mean over cores of
@@ -189,7 +601,7 @@ mod tests {
     #[test]
     fn capture_produces_bounded_trace() {
         let wl = spec2006("429.mcf").expect("known benchmark");
-        let trace = capture_llc_trace(&wl, Scale::Small, 5_000);
+        let trace = capture_llc_trace(&wl, Scale::Small, 5_000).expect("capture succeeds");
         assert!(trace.len() <= 5_000);
         assert!(trace.len() >= 4_000, "mcf floods the LLC: got {}", trace.len());
     }
@@ -199,5 +611,41 @@ mod tests {
         let stats = RunStats { instructions: 100, cycles: 50, ..RunStats::default() };
         let s = mix_speedup_pct(&[stats, stats], &[stats, stats]);
         assert!(s.abs() < 1e-9);
+    }
+
+    #[test]
+    fn watchdog_is_a_noop_when_disarmed() {
+        // Ticking without an armed budget must never panic.
+        for _ in 0..10 {
+            watchdog_tick(u64::MAX);
+        }
+        assert!(!watchdog_armed());
+    }
+
+    #[test]
+    fn watchdog_guard_disarms_on_drop() {
+        {
+            let _guard = WatchdogGuard::arm(100);
+            assert!(watchdog_armed());
+            watchdog_tick(50);
+        }
+        assert!(!watchdog_armed());
+        watchdog_tick(u64::MAX); // disarmed again: no panic
+    }
+
+    #[test]
+    fn retry_delay_grows_and_caps() {
+        assert_eq!(retry_delay_ms(0, 5), 0);
+        assert_eq!(retry_delay_ms(100, 1), 100);
+        assert_eq!(retry_delay_ms(100, 2), 200);
+        assert_eq!(retry_delay_ms(100, 3), 400);
+        assert_eq!(retry_delay_ms(100, 40), 10_000, "capped");
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_upfront_error() {
+        let err = run_roster_parallel(&["not.a.benchmark"], &[PolicyKind::Lru], Scale::Small, Some(1))
+            .expect_err("must be rejected");
+        assert_eq!(err, RunnerError::UnknownBenchmark("not.a.benchmark".to_owned()));
     }
 }

@@ -70,16 +70,20 @@ pub fn table4(scale: Scale) -> Table {
         ],
     );
 
-    // Single-core sweeps.
+    // Single-core sweeps. Failed cells (or a failed LRU baseline) are
+    // dropped from the geomean rather than aborting the whole table.
     let spec = single_core_sweep(&SPEC2006, scale);
     let cloud = single_core_sweep(&CLOUDSUITE, scale);
-    let overall_1c = |sweep: &[(String, Vec<(PolicyKind, cache_sim::RunStats)>)], kind: PolicyKind| {
-        geomean_speedup_pct(sweep.iter().map(|(_, runs)| {
-            let lru = &runs[0].1;
+    let overall_1c = |sweep: &crate::runner::ResilientSweep, kind: PolicyKind| {
+        geomean_speedup_pct(sweep.iter().filter_map(|(_, runs)| {
+            let lru = runs[0].1.as_ref().ok()?;
             runs.iter()
                 .find(|(p, _)| *p == kind)
-                .map(|(_, s)| s.speedup_pct_over(lru))
                 .expect("policy in sweep")
+                .1
+                .as_ref()
+                .ok()
+                .map(|s| s.speedup_pct_over(lru))
         }))
     };
 

@@ -13,7 +13,7 @@ use experiments::Scale;
 #[test]
 fn capture_is_golden_for_mcf_small() {
     let wl = workloads::spec2006("429.mcf").expect("known benchmark");
-    let trace = capture_llc_trace(&wl, Scale::Small, 5_000);
+    let trace = capture_llc_trace(&wl, Scale::Small, 5_000).expect("capture succeeds");
 
     assert_eq!(trace.len(), 5_000, "record count drifted");
 

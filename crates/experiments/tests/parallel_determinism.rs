@@ -33,11 +33,13 @@ fn fingerprints(sweep: &[(String, Vec<(PolicyKind, RunStats)>)]) -> Vec<(String,
 fn parallel_roster_is_bit_identical_to_serial() {
     let benchmarks = ["429.mcf", "482.sphinx3"];
     let policies = [PolicyKind::Lru, PolicyKind::Rlr];
-    let serial = run_roster_parallel(&benchmarks, &policies, Scale::Small, Some(1));
+    let serial =
+        run_roster_parallel(&benchmarks, &policies, Scale::Small, Some(1)).expect("known roster");
     // More workers than tasks exercises the pool clamp and, on multi-core
     // hosts, true interleaving; on a single-core host it still runs the
     // whole queue through scoped worker threads.
-    let parallel = run_roster_parallel(&benchmarks, &policies, Scale::Small, Some(3));
+    let parallel =
+        run_roster_parallel(&benchmarks, &policies, Scale::Small, Some(3)).expect("known roster");
 
     // Bit-identical stats, per (workload, policy) cell.
     assert_eq!(serial, parallel);

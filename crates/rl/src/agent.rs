@@ -7,6 +7,7 @@ use crate::cachemodel::{LlcModel, ModelStats, StepOutcome};
 use crate::features::{DecisionView, FeatureSet, StateEncoder};
 use crate::mlp::Mlp;
 use crate::replay::{ReplayBuffer, Transition};
+use crate::wire;
 
 /// Hyperparameters of the agent, defaulting to the paper's choices.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -332,6 +333,119 @@ impl Trainer {
         let mut model = LlcModel::new(cache, trace);
         let agent = &self.agent;
         model.run(trace, &mut |view| agent.decide_greedy(view))
+    }
+
+    /// Serializes the complete training state after `epoch` finished
+    /// epochs: hyperparameters, network weights *and* optimizer momentum,
+    /// the frozen target network, both RNG streams, and the replay buffer.
+    /// A trainer restored via [`Trainer::load_checkpoint`] continues
+    /// bit-for-bit as if training had never been interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn save_checkpoint<W: std::io::Write>(&self, mut w: W, epoch: u64) -> std::io::Result<()> {
+        let c = &self.agent.config;
+        w.write_all(b"RLCK")?;
+        wire::write_u32(&mut w, 1)?;
+        wire::write_u64(&mut w, epoch)?;
+        wire::write_u32(&mut w, c.features.bits())?;
+        wire::write_u64(&mut w, c.hidden as u64)?;
+        wire::write_f32(&mut w, c.epsilon)?;
+        wire::write_f32(&mut w, c.gamma)?;
+        wire::write_f32(&mut w, c.learning_rate)?;
+        wire::write_f32(&mut w, c.momentum)?;
+        wire::write_u64(&mut w, c.replay_capacity as u64)?;
+        wire::write_u64(&mut w, c.batch_size as u64)?;
+        wire::write_u32(&mut w, c.train_every)?;
+        wire::write_u32(&mut w, c.target_sync)?;
+        wire::write_u64(&mut w, c.seed)?;
+        for s in self.agent.rng.state().into_iter().chain(self.rng.state()) {
+            wire::write_u64(&mut w, s)?;
+        }
+        wire::write_u32(&mut w, self.agent.updates_since_sync)?;
+        self.agent.net.save_full(&mut w)?;
+        match &self.agent.target_net {
+            Some(t) => {
+                w.write_all(&[1])?;
+                t.save_full(&mut w)?;
+            }
+            None => w.write_all(&[0])?,
+        }
+        self.replay.save(&mut w)
+    }
+
+    /// Restores a trainer from a [`Trainer::save_checkpoint`] stream,
+    /// returning it together with the number of completed epochs. The
+    /// agent configuration is read from the checkpoint itself, so resuming
+    /// cannot silently diverge from the interrupted run's hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure, malformed input, or a network that
+    /// does not match `cache`'s geometry.
+    pub fn load_checkpoint<R: std::io::Read>(
+        mut r: R,
+        cache: &CacheConfig,
+    ) -> std::io::Result<(Self, u64)> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"RLCK" {
+            return Err(wire::bad_data("bad checkpoint magic"));
+        }
+        if wire::read_u32(&mut r)? != 1 {
+            return Err(wire::bad_data("unsupported checkpoint version"));
+        }
+        let epoch = wire::read_u64(&mut r)?;
+        let config = AgentConfig {
+            features: FeatureSet::from_bits(wire::read_u32(&mut r)?),
+            hidden: wire::read_u64(&mut r)? as usize,
+            epsilon: wire::read_f32(&mut r)?,
+            gamma: wire::read_f32(&mut r)?,
+            learning_rate: wire::read_f32(&mut r)?,
+            momentum: wire::read_f32(&mut r)?,
+            replay_capacity: wire::read_u64(&mut r)? as usize,
+            batch_size: wire::read_u64(&mut r)? as usize,
+            train_every: wire::read_u32(&mut r)?,
+            target_sync: wire::read_u32(&mut r)?,
+            seed: wire::read_u64(&mut r)?,
+        };
+        let mut states = [0u64; 8];
+        for s in &mut states {
+            *s = wire::read_u64(&mut r)?;
+        }
+        let updates_since_sync = wire::read_u32(&mut r)?;
+        let net = Mlp::load_full(&mut r)?;
+        let mut target_flag = [0u8; 1];
+        r.read_exact(&mut target_flag)?;
+        let target_net = match target_flag[0] {
+            0 => None,
+            1 => Some(Mlp::load_full(&mut r)?),
+            _ => return Err(wire::bad_data("bad target-network flag")),
+        };
+        let replay = ReplayBuffer::load(&mut r)?;
+
+        let encoder = StateEncoder::new(config.features, cache.ways as usize, cache.sets);
+        if net.inputs() != encoder.dims() || net.outputs() != cache.ways as usize {
+            return Err(wire::bad_data("checkpoint network does not match the cache geometry"));
+        }
+        if config.replay_capacity == 0 || replay.len() > config.replay_capacity {
+            return Err(wire::bad_data("checkpoint replay buffer exceeds its capacity"));
+        }
+        let agent = Agent {
+            net,
+            target_net,
+            updates_since_sync,
+            encoder,
+            config,
+            rng: SimRng::from_state([states[0], states[1], states[2], states[3]]),
+        };
+        let trainer = Self {
+            agent,
+            replay,
+            rng: SimRng::from_state([states[4], states[5], states[6], states[7]]),
+        };
+        Ok((trainer, epoch))
     }
 }
 

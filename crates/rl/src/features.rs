@@ -180,6 +180,18 @@ impl FeatureSet {
         Self((1 << NUM_FEATURES_EXTENDED) - 1)
     }
 
+    /// The raw membership bitmask (bit `i` ⇔ `Feature::ALL[i]`), for
+    /// checkpoint serialization.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a set from a [`FeatureSet::bits`] mask; bits beyond the
+    /// known features are discarded.
+    pub fn from_bits(bits: u32) -> Self {
+        Self(bits & ((1 << NUM_FEATURES_EXTENDED) - 1))
+    }
+
     /// Returns the set plus `feature`.
     #[must_use]
     pub fn with(self, feature: Feature) -> Self {

@@ -31,6 +31,7 @@ mod mlp;
 mod multi;
 mod replay;
 pub mod stats;
+mod wire;
 
 pub use agent::{Agent, AgentConfig, Trainer, TrainingReport};
 pub use cachemodel::{LlcModel, ModelStats, StepOutcome};

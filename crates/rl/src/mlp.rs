@@ -250,6 +250,71 @@ impl Mlp {
         Ok(net)
     }
 
+    /// Serializes the network *including* the SGD momentum buffers, so a
+    /// restored network continues training bit-for-bit where it stopped.
+    /// The backprop scratch (`last_input`/`last_hidden`) is not persisted:
+    /// every [`Mlp::backward`] is preceded by a [`Mlp::forward`] that
+    /// rewrites it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn save_full<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        w.write_all(b"MLPF")?;
+        for dim in [self.inputs as u64, self.hidden as u64, self.outputs as u64] {
+            w.write_all(&dim.to_le_bytes())?;
+        }
+        for buf in [&self.w1, &self.b1, &self.w2, &self.b2, &self.m_w1, &self.m_b1, &self.m_w2, &self.m_b2] {
+            for v in buf.iter() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a network written by [`Mlp::save_full`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or malformed input.
+    pub fn load_full<R: std::io::Read>(mut r: R) -> std::io::Result<Self> {
+        use std::io::{Error, ErrorKind};
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"MLPF" {
+            return Err(Error::new(ErrorKind::InvalidData, "bad full-MLP magic"));
+        }
+        let mut dims = [0u64; 3];
+        for d in &mut dims {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            *d = u64::from_le_bytes(b);
+        }
+        let (inputs, hidden, outputs) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+        if inputs == 0 || hidden == 0 || outputs == 0 || inputs * hidden > (1 << 28) {
+            return Err(Error::new(ErrorKind::InvalidData, "implausible MLP dimensions"));
+        }
+        let mut read_f32s = |n: usize| -> std::io::Result<Vec<f32>> {
+            let mut out = Vec::with_capacity(n);
+            let mut b = [0u8; 4];
+            for _ in 0..n {
+                r.read_exact(&mut b)?;
+                out.push(f32::from_le_bytes(b));
+            }
+            Ok(out)
+        };
+        let mut net = Mlp::new(inputs, hidden, outputs, 0);
+        net.w1 = read_f32s(inputs * hidden)?;
+        net.b1 = read_f32s(hidden)?;
+        net.w2 = read_f32s(hidden * outputs)?;
+        net.b2 = read_f32s(outputs)?;
+        net.m_w1 = read_f32s(inputs * hidden)?;
+        net.m_b1 = read_f32s(hidden)?;
+        net.m_w2 = read_f32s(hidden * outputs)?;
+        net.m_b2 = read_f32s(outputs)?;
+        Ok(net)
+    }
+
     /// Mean-squared-error convenience: forward on `input`, backward against
     /// `target` on the selected `action` output only (other outputs receive
     /// zero gradient, as in DQN), returning the squared error.
@@ -380,5 +445,25 @@ mod tests {
     #[test]
     fn load_rejects_garbage() {
         assert!(Mlp::load(&b"NOT A NET"[..]).is_err());
+        assert!(Mlp::load_full(&b"NOT A NET"[..]).is_err());
+    }
+
+    #[test]
+    fn full_roundtrip_preserves_momentum() {
+        let mut net = Mlp::new(4, 6, 3, 13);
+        for i in 0..40 {
+            net.train_action(&[0.2, -0.4, 0.6, 0.1], i % 3, 0.25, 0.02, 0.9);
+        }
+        let mut buf = Vec::new();
+        net.save_full(&mut buf).expect("in-memory save");
+        let mut back = Mlp::load_full(buf.as_slice()).expect("load");
+        // Training both copies further must stay bit-identical — this only
+        // holds if the momentum buffers survived the roundtrip.
+        for i in 0..40 {
+            let a = net.train_action(&[0.3, 0.1, -0.2, 0.0], i % 3, -0.5, 0.02, 0.9);
+            let b = back.train_action(&[0.3, 0.1, -0.2, 0.0], i % 3, -0.5, 0.02, 0.9);
+            assert_eq!(a, b);
+        }
+        assert_eq!(net.predict(&[0.1; 4]), back.predict(&[0.1; 4]));
     }
 }

@@ -1,0 +1,105 @@
+//! Epoch-granular checkpoint/resume must be invisible to training: a run
+//! interrupted after any epoch and restored from its checkpoint produces
+//! bit-identical networks, RNG streams, and replay contents.
+
+use cache_sim::{AccessKind, CacheConfig, LlcRecord, LlcTrace};
+use rl::{AgentConfig, FeatureSet, Trainer};
+
+fn thrash_trace(lines: u64, len: usize) -> LlcTrace {
+    (0..len)
+        .map(|i| LlcRecord {
+            pc: 0x400 + (i as u64 % lines) * 4,
+            line: i as u64 % lines,
+            kind: AccessKind::Load,
+            core: 0,
+        })
+        .collect()
+}
+
+fn small_cache() -> CacheConfig {
+    CacheConfig { sets: 2, ways: 4, latency: 1 }
+}
+
+fn checkpoint_bytes(trainer: &Trainer, epoch: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    trainer.save_checkpoint(&mut buf, epoch).expect("in-memory save");
+    buf
+}
+
+#[test]
+fn resumed_training_is_bit_identical_to_uninterrupted() {
+    let cache = small_cache();
+    let trace = thrash_trace(12, 3000);
+    let config = AgentConfig::small(FeatureSet::full(), 21);
+    const EPOCHS: usize = 4;
+    const CUT: usize = 2;
+
+    // Uninterrupted reference run.
+    let mut straight = Trainer::new(config, &cache);
+    for _ in 0..EPOCHS {
+        let _ = straight.train_epoch(&trace, &cache);
+    }
+
+    // Interrupted run: train CUT epochs, checkpoint, "crash", restore,
+    // finish the remaining epochs from the checkpoint.
+    let mut first_half = Trainer::new(config, &cache);
+    for _ in 0..CUT {
+        let _ = first_half.train_epoch(&trace, &cache);
+    }
+    let ck = checkpoint_bytes(&first_half, CUT as u64);
+    drop(first_half);
+    let (mut resumed, done) = Trainer::load_checkpoint(ck.as_slice(), &cache).expect("restore");
+    assert_eq!(done, CUT as u64);
+    for _ in done as usize..EPOCHS {
+        let _ = resumed.train_epoch(&trace, &cache);
+    }
+
+    // Byte-level equality of the full training state (weights, momentum,
+    // target net, RNG streams, replay buffer) — not just similar metrics.
+    assert_eq!(
+        checkpoint_bytes(&straight, EPOCHS as u64),
+        checkpoint_bytes(&resumed, EPOCHS as u64),
+        "resumed training state must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(straight.evaluate(&trace, &cache), resumed.evaluate(&trace, &cache));
+}
+
+#[test]
+fn checkpoint_with_target_network_roundtrips() {
+    let cache = small_cache();
+    let trace = thrash_trace(10, 1500);
+    let mut config = AgentConfig::small(FeatureSet::full(), 5);
+    config.target_sync = 64;
+
+    let mut straight = Trainer::new(config, &cache);
+    let mut interrupted = Trainer::new(config, &cache);
+    let _ = straight.train_epoch(&trace, &cache);
+    let _ = interrupted.train_epoch(&trace, &cache);
+    let ck = checkpoint_bytes(&interrupted, 1);
+    let (mut resumed, _) = Trainer::load_checkpoint(ck.as_slice(), &cache).expect("restore");
+
+    let _ = straight.train_epoch(&trace, &cache);
+    let _ = resumed.train_epoch(&trace, &cache);
+    assert_eq!(checkpoint_bytes(&straight, 2), checkpoint_bytes(&resumed, 2));
+}
+
+#[test]
+fn corrupt_or_mismatched_checkpoints_are_rejected() {
+    let cache = small_cache();
+    let trace = thrash_trace(8, 500);
+    let mut trainer = Trainer::new(AgentConfig::small(FeatureSet::full(), 3), &cache);
+    let _ = trainer.train_epoch(&trace, &cache);
+    let ck = checkpoint_bytes(&trainer, 1);
+
+    // Truncation anywhere must fail cleanly, never panic or mis-restore.
+    for cut in [0, 3, 10, ck.len() / 2, ck.len() - 1] {
+        assert!(Trainer::load_checkpoint(&ck[..cut], &cache).is_err(), "cut at {cut}");
+    }
+    // Bad magic.
+    let mut bad = ck.clone();
+    bad[0] = b'X';
+    assert!(Trainer::load_checkpoint(bad.as_slice(), &cache).is_err());
+    // A different cache geometry must be refused, not silently adopted.
+    let other = CacheConfig { sets: 4, ways: 8, latency: 1 };
+    assert!(Trainer::load_checkpoint(ck.as_slice(), &other).is_err());
+}

@@ -15,4 +15,30 @@ cargo test -q --offline --workspace
 echo "==> cargo bench --no-run --offline"
 cargo bench --no-run --offline --workspace
 
+echo "==> fault-injection suite"
+cargo test -q --offline -p experiments --test resilience
+cargo test -q --offline -p rl --test resume
+
+echo "==> CLI resume smoke test"
+# A Small-scale sweep interrupted by an injected crash, then re-run
+# against the same checkpoint directory, must print exactly what an
+# uninterrupted sweep prints — and the interrupted run must mark the
+# crashed cell as failed instead of aborting.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+RLR="./target/release/rlr"
+COMPARE="429.mcf --policies FIFO --instructions 2000000 --warmup 500000 --jobs 2"
+RLR_RESULTS_DIR="$SMOKE_DIR/clean" "$RLR" compare $COMPARE \
+    > "$SMOKE_DIR/clean.txt" 2>/dev/null
+RLR_RESULTS_DIR="$SMOKE_DIR/resume" RLR_FAIL_PLAN="panic:1:*" RLR_RETRIES=0 \
+    "$RLR" compare $COMPARE > "$SMOKE_DIR/interrupted.txt" 2>/dev/null
+grep -q "failed" "$SMOKE_DIR/interrupted.txt" || {
+    echo "ci.sh: injected crash was not reported as a failed cell" >&2; exit 1;
+}
+RLR_RESULTS_DIR="$SMOKE_DIR/resume" "$RLR" compare $COMPARE \
+    > "$SMOKE_DIR/resumed.txt" 2>/dev/null
+diff "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/resumed.txt" || {
+    echo "ci.sh: resumed sweep diverged from the uninterrupted run" >&2; exit 1;
+}
+
 echo "==> ci.sh: all gates passed"
