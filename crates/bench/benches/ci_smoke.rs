@@ -1,0 +1,109 @@
+//! CI bench smoke: guards the hot-path speedup with a sub-second replay.
+//!
+//! Absolute accesses/sec vary wildly across CI machines, so the gate is
+//! the *ratio* between the seed path (reference cache + seed RLR policy)
+//! and the packed hot path, measured
+//! in-process back to back: both paths see the same machine, load, and
+//! frequency scaling, and the ratio cancels them out. The run fails
+//! (non-zero exit) when the measured speedup drops more than 20% below
+//! the checked-in baseline in `crates/bench/ci_baseline.json`.
+//!
+//! Regenerate the baseline after deliberate hot-path changes with
+//! `RLR_UPDATE_BENCH_BASELINE=1 cargo bench --offline -p rlr-bench --bench ci_smoke`.
+
+use std::hint::black_box;
+
+use cache_sim::{Access, LlcTrace, ReferenceCache, SetAssocCache, SingleCoreSystem, SystemConfig};
+use experiments::runner::replay_llc_trace;
+use experiments::PolicyKind;
+use rlr_bench::harness::{self, Throughput};
+
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/ci_baseline.json");
+/// Fail when the measured speedup falls below this fraction of baseline.
+const TOLERANCE: f64 = 0.8;
+
+fn capture_small_trace(config: &SystemConfig) -> LlcTrace {
+    let mut system = SingleCoreSystem::new(config, PolicyKind::Lru.build(&config.llc, None));
+    system.llc_mut().enable_capture();
+    let mut stream = workloads::spec2006("429.mcf").expect("known benchmark").stream();
+    system.warm_up(&mut stream, 100_000);
+    let _ = system.run(stream, 400_000);
+    system.llc_mut().take_capture().expect("capture enabled")
+}
+
+fn baseline_speedup() -> Option<f64> {
+    let text = std::fs::read_to_string(BASELINE_PATH).ok()?;
+    let tail = text.split("\"speedup\":").nth(1)?;
+    tail.trim_start().split(|c: char| c != '.' && !c.is_ascii_digit()).next()?.parse().ok()
+}
+
+fn main() {
+    let _ = rlr_bench::start("ci_smoke");
+    let config = SystemConfig::paper_single_core();
+    let trace = capture_small_trace(&config);
+    let accesses = trace.len() as u64;
+    println!("captured smoke trace: {accesses} LLC accesses");
+
+    let old = harness::bench("ci_smoke/seed", || {
+        let mut cache = ReferenceCache::new(
+            "seed",
+            config.llc,
+            Box::new(rlr::SeedRlrPolicy::optimized(&config.llc)),
+        );
+        let mut hits = 0u64;
+        for (seq, r) in trace.records().iter().enumerate() {
+            let access =
+                Access { pc: r.pc, addr: r.line << 6, kind: r.kind, core: r.core, seq: seq as u64 };
+            hits += u64::from(cache.access(&access).hit);
+        }
+        black_box(hits)
+    });
+    let new = harness::bench("ci_smoke/packed", || {
+        let mut cache =
+            SetAssocCache::new("packed", config.llc, PolicyKind::Rlr.build(&config.llc, None));
+        black_box(replay_llc_trace(&mut cache, &trace).hits)
+    });
+    // Min-over-iters is the stablest estimator on a noisy CI box.
+    let speedup = old.min_ns as f64 / new.min_ns.max(1) as f64;
+    println!("measured packed-vs-seed speedup: {speedup:.2}x");
+
+    harness::write_throughput_json(
+        "ci_smoke",
+        &[
+            Throughput { measurement: old, accesses },
+            Throughput { measurement: new, accesses },
+        ],
+    );
+
+    if std::env::var("RLR_UPDATE_BENCH_BASELINE").is_ok_and(|v| !v.trim().is_empty()) {
+        let json = format!(
+            "{{\"bench\": \"ci_smoke\", \"speedup\": {speedup:.2}, \
+             \"note\": \"packed/reference replay ratio; regenerate with RLR_UPDATE_BENCH_BASELINE=1\"}}\n"
+        );
+        std::fs::write(BASELINE_PATH, json).expect("write baseline");
+        println!("baseline updated: {BASELINE_PATH}");
+        return;
+    }
+
+    match baseline_speedup() {
+        Some(base) => {
+            let floor = base * TOLERANCE;
+            println!("baseline {base:.2}x, floor {floor:.2}x");
+            if speedup < floor {
+                eprintln!(
+                    "ci_smoke: hot-path speedup regressed: {speedup:.2}x < {floor:.2}x \
+                     (baseline {base:.2}x - 20%)"
+                );
+                std::process::exit(1);
+            }
+            println!("ci_smoke: OK");
+        }
+        None => {
+            eprintln!(
+                "ci_smoke: no baseline at {BASELINE_PATH}; \
+                 run with RLR_UPDATE_BENCH_BASELINE=1 to create it"
+            );
+            std::process::exit(1);
+        }
+    }
+}

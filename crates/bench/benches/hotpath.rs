@@ -1,0 +1,136 @@
+//! Perf trajectory of the hot-path rewrite: the frozen reference cache
+//! (array-of-structs, `Box<dyn>` dispatch, unconditional snapshots) vs
+//! the packed, statically dispatched [`SetAssocCache`].
+//!
+//! Two sweeps, both recorded to `results/bench/hotpath.json` in
+//! accesses/sec:
+//!
+//! * **Per policy** — replay of the captured 429.mcf LLC trace (the
+//!   paper's most memory-bound training benchmark) through both
+//!   implementations; the headline number is the packed path's speedup.
+//! * **Per hierarchy level** — demand accesses over cyclic working sets
+//!   resident in L1, L2, and the LLC, through the full
+//!   `CoreHierarchy` + `SharedLlc` stack.
+
+use std::hint::black_box;
+
+use cache_sim::{
+    Access, CoreHierarchy, LlcTrace, ReferenceCache, SetAssocCache, SharedLlc, SingleCoreSystem,
+    SystemConfig,
+};
+use experiments::runner::replay_llc_trace;
+use experiments::PolicyKind;
+use rlr_bench::harness::{self, Throughput};
+
+const WARMUP: u64 = 200_000;
+const MEASURE: u64 = 800_000;
+
+/// The LLC stream is policy-invariant, so one capture serves every
+/// policy.
+fn capture_mcf(config: &SystemConfig) -> LlcTrace {
+    let mut system = SingleCoreSystem::new(config, PolicyKind::Lru.build(&config.llc, None));
+    system.llc_mut().enable_capture();
+    let mut stream = workloads::spec2006("429.mcf").expect("known benchmark").stream();
+    system.warm_up(&mut stream, WARMUP);
+    let _ = system.run(stream, MEASURE);
+    system.llc_mut().take_capture().expect("capture enabled")
+}
+
+/// The old path's replay loop: one virtual-dispatch access per record.
+fn replay_reference(cache: &mut ReferenceCache, trace: &LlcTrace) -> u64 {
+    let mut hits = 0u64;
+    for (seq, r) in trace.records().iter().enumerate() {
+        let access =
+            Access { pc: r.pc, addr: r.line << 6, kind: r.kind, core: r.core, seq: seq as u64 };
+        hits += u64::from(cache.access(&access).hit);
+    }
+    hits
+}
+
+fn main() {
+    let _ = rlr_bench::start("hotpath");
+    let config = SystemConfig::paper_single_core();
+    let trace = capture_mcf(&config);
+    let accesses = trace.len() as u64;
+    println!("captured 429.mcf LLC trace: {accesses} accesses");
+
+    let mut rows: Vec<Throughput> = Vec::new();
+    let mut headline = 0.0f64;
+    println!("llc_trace_replay (429.mcf), reference vs packed:");
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::KpcR,
+        PolicyKind::Ship,
+        PolicyKind::ShipPp,
+        PolicyKind::Hawkeye,
+        PolicyKind::Pdp,
+        PolicyKind::Eva,
+        PolicyKind::Rlr,
+        PolicyKind::RlrUnopt,
+        PolicyKind::RlrMulticore,
+    ] {
+        let old = harness::bench(&format!("llc_replay/{kind:?}/reference"), || {
+            let mut cache =
+                ReferenceCache::new("ref", config.llc, Box::new(kind.build(&config.llc, None)));
+            black_box(replay_reference(&mut cache, &trace))
+        });
+        let new = harness::bench(&format!("llc_replay/{kind:?}/packed"), || {
+            let mut cache = SetAssocCache::new("packed", config.llc, kind.build(&config.llc, None));
+            black_box(replay_llc_trace(&mut cache, &trace).hits)
+        });
+        let speedup = old.median_ns as f64 / new.median_ns.max(1) as f64;
+        println!("    {kind:?}: {speedup:.2}x");
+        if kind == PolicyKind::Rlr {
+            headline = speedup;
+        }
+        rows.push(Throughput { measurement: old, accesses });
+        rows.push(Throughput { measurement: new, accesses });
+    }
+    println!("cache-only: packed RLR replay is {headline:.2}x the reference cache");
+
+    // Headline: the whole overhaul. Old path = seed simulator (AoS cache,
+    // `Box<dyn>` dispatch, unconditional snapshots, seed RLR policy with
+    // three metadata arrays and a triple-age victim scan); new path =
+    // packed cache + packed single-scan policy, batched replay.
+    let seed = harness::bench("llc_replay/Rlr/seed", || {
+        let mut cache = ReferenceCache::new(
+            "seed",
+            config.llc,
+            Box::new(rlr::SeedRlrPolicy::optimized(&config.llc)),
+        );
+        black_box(replay_reference(&mut cache, &trace))
+    });
+    let packed = harness::bench("llc_replay/Rlr/packed_headline", || {
+        let mut cache =
+            SetAssocCache::new("packed", config.llc, PolicyKind::Rlr.build(&config.llc, None));
+        black_box(replay_llc_trace(&mut cache, &trace).hits)
+    });
+    let overall = seed.median_ns as f64 / packed.median_ns.max(1) as f64;
+    println!("headline: packed RLR replay is {overall:.2}x the seed simulator");
+    rows.push(Throughput { measurement: seed, accesses });
+    rows.push(Throughput { measurement: packed, accesses });
+
+    // Per hierarchy level: the private levels are monomorphized TrueLru
+    // caches; drive them with working sets each level can hold.
+    const LEVEL_ACCESSES: u64 = 200_000;
+    println!("hierarchy levels (cyclic resident working sets):");
+    for (label, bytes) in
+        [("l1_resident", 16u64 << 10), ("l2_resident", 128 << 10), ("llc_resident", 1 << 20)]
+    {
+        let lines = bytes / 64;
+        let m = harness::bench(&format!("hierarchy/{label}"), || {
+            let mut core = CoreHierarchy::new(0, &config);
+            let mut llc = SharedLlc::new(&config, PolicyKind::Rlr.build(&config.llc, None));
+            for i in 0..LEVEL_ACCESSES {
+                let addr = (i % lines) * 64;
+                black_box(core.data_access(0x400 + (i % 32) * 4, addr, i % 13 == 0, &mut llc));
+            }
+        });
+        rows.push(Throughput { measurement: m, accesses: LEVEL_ACCESSES });
+    }
+
+    harness::write_throughput_json("hotpath", &rows);
+}

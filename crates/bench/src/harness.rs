@@ -87,6 +87,59 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
     m
 }
 
+/// A [`Measurement`] annotated with how many cache accesses one iteration
+/// performed, from which throughput derives.
+#[derive(Clone, Debug)]
+pub struct Throughput {
+    pub measurement: Measurement,
+    /// Accesses performed per timed iteration.
+    pub accesses: u64,
+}
+
+impl Throughput {
+    /// Median replay throughput in accesses per second.
+    pub fn accesses_per_sec(&self) -> f64 {
+        self.accesses as f64 * 1e9 / self.measurement.median_ns.max(1) as f64
+    }
+}
+
+/// Saves throughput rows as `results/bench/<target>.json` — the
+/// perf-trajectory artifacts: one file per bench target, one row per
+/// (policy, path, level) with both raw timings and accesses/sec.
+pub fn write_throughput_json(target: &str, rows: &[Throughput]) {
+    let dir = experiments::report::results_dir().join("bench");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|t| {
+            let m = &t.measurement;
+            format!(
+                "  {{\"name\": \"{}\", \"iters\": {}, \"median_ns\": {}, \"p90_ns\": {}, \
+                 \"min_ns\": {}, \"max_ns\": {}, \"accesses\": {}, \"accesses_per_sec\": {:.0}}}",
+                m.name.replace('"', "'"),
+                m.iters,
+                m.median_ns,
+                m.p90_ns,
+                m.min_ns,
+                m.max_ns,
+                t.accesses,
+                t.accesses_per_sec(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"target\": \"{}\",\n\"rows\": [\n{}\n]\n}}\n",
+        target.replace('"', "'"),
+        entries.join(",\n"),
+    );
+    let path = dir.join(format!("{target}.json"));
+    if std::fs::write(&path, json).is_ok() {
+        println!("  saved {}", path.display());
+    }
+}
+
 /// Renders a nanosecond figure with a human-scale unit.
 fn format_ns(ns: u64) -> String {
     match ns {

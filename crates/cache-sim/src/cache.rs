@@ -1,5 +1,21 @@
 //! A generic set-associative, write-back, write-allocate cache with a
 //! pluggable replacement policy.
+//!
+//! This is the simulator's hot path. Two layout decisions keep it fast
+//! without changing semantics (the [`crate::reference::ReferenceCache`]
+//! oracle and the `dispatch_equivalence` test wall pin them down):
+//!
+//! * **Static dispatch.** The policy is a type parameter, so a concrete
+//!   `SetAssocCache<TrueLru>` (or an enum of policies) monomorphizes every
+//!   `on_hit`/`on_miss`/`select_victim`/`on_fill` call. The default
+//!   parameter `Box<dyn ReplacementPolicy>` preserves the old dynamic
+//!   behaviour for call sites that need runtime polymorphism.
+//! * **Struct-of-arrays metadata.** Tags live in one contiguous `u64`
+//!   array; valid and dirty bits are one `u32` bitmap per set. A lookup
+//!   touches 8·ways bytes of tag plus 8 bytes of bitmap instead of
+//!   24·ways bytes of `Line` structs, the invalid-way scan is a single
+//!   `trailing_zeros`, and snapshot construction is skipped entirely for
+//!   policies whose [`ReplacementPolicy::uses_line_snapshots`] is `false`.
 
 use crate::access::{Access, AccessKind};
 use crate::config::CacheConfig;
@@ -7,16 +23,8 @@ use crate::replacement::{Decision, LineSnapshot, ReplacementPolicy};
 use crate::stats::CacheStats;
 
 /// Maximum associativity supported without heap allocation on the victim
-/// selection path.
-const MAX_WAYS: usize = 32;
-
-#[derive(Clone, Copy, Debug, Default)]
-struct Line {
-    valid: bool,
-    line: u64,
-    dirty: bool,
-    core: u8,
-}
+/// selection path (also the width of the per-set valid/dirty bitmaps).
+pub(crate) const MAX_WAYS: usize = 32;
 
 /// The result of one cache access.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -39,7 +47,8 @@ pub struct AccessOutcome {
 ///
 /// * misses always allocate (write-allocate); writeback misses allocate the
 ///   line dirty without fetching from below,
-/// * invalid ways are filled before the policy is consulted,
+/// * invalid ways are filled before the policy is consulted (lowest index
+///   first),
 /// * dirty victims produce a writeback to the level below,
 /// * [`Decision::Bypass`] is honoured only when bypass is enabled and the
 ///   access is not a writeback.
@@ -48,16 +57,32 @@ pub struct AccessOutcome {
 /// use cache_sim::{Access, AccessKind, CacheConfig, SetAssocCache, TrueLru};
 ///
 /// let cfg = CacheConfig { sets: 2, ways: 2, latency: 1 };
-/// let mut cache = SetAssocCache::new("L1D", cfg, Box::new(TrueLru::new(&cfg)));
+/// // Statically dispatched: P = TrueLru.
+/// let mut cache = SetAssocCache::new("L1D", cfg, TrueLru::new(&cfg));
 /// let a = Access { pc: 0, addr: 0x80, kind: AccessKind::Load, core: 0, seq: 0 };
 /// assert!(!cache.access(&a).hit); // cold miss
 /// assert!(cache.access(&a).hit); // now resident
 /// ```
-pub struct SetAssocCache {
+pub struct SetAssocCache<P: ReplacementPolicy = Box<dyn ReplacementPolicy>> {
     name: String,
     config: CacheConfig,
-    lines: Vec<Line>,
-    policy: Box<dyn ReplacementPolicy>,
+    /// Line address stored in each way, indexed `set * ways + way`.
+    /// Meaningful only where the corresponding valid bit is set.
+    tags: Vec<u64>,
+    /// Core that inserted or last touched each line.
+    cores: Vec<u8>,
+    /// Per-set valid bitmap (bit `w` = way `w` holds a line).
+    valid: Vec<u32>,
+    /// Per-set dirty bitmap.
+    dirty: Vec<u32>,
+    /// Precomputed `sets - 1` for set indexing.
+    set_mask: u64,
+    /// Precomputed `(1 << ways) - 1`.
+    ways_mask: u32,
+    policy: P,
+    /// Cached [`ReplacementPolicy::uses_line_snapshots`], fixed at
+    /// construction.
+    wants_snapshots: bool,
     stats: CacheStats,
     allow_bypass: bool,
     /// If set, RFO accesses dirty the line (used at L1, where RFO models a
@@ -66,22 +91,33 @@ pub struct SetAssocCache {
     rfo_dirties: bool,
 }
 
-impl SetAssocCache {
+impl<P: ReplacementPolicy> SetAssocCache<P> {
     /// Creates a cache with the given replacement policy.
     ///
     /// # Panics
     ///
     /// Panics if the associativity exceeds the supported maximum (32).
-    pub fn new(name: impl Into<String>, config: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+    pub fn new(name: impl Into<String>, config: CacheConfig, policy: P) -> Self {
         assert!(
             (config.ways as usize) <= MAX_WAYS,
             "associativity above {MAX_WAYS} is not supported"
         );
+        let wants_snapshots = policy.uses_line_snapshots();
         Self {
             name: name.into(),
             config,
-            lines: vec![Line::default(); config.lines() as usize],
+            tags: vec![0; config.lines() as usize],
+            cores: vec![0; config.lines() as usize],
+            valid: vec![0; config.sets as usize],
+            dirty: vec![0; config.sets as usize],
+            set_mask: u64::from(config.sets - 1),
+            ways_mask: if config.ways as usize == MAX_WAYS {
+                u32::MAX
+            } else {
+                (1u32 << config.ways) - 1
+            },
             policy,
+            wants_snapshots,
             stats: CacheStats::default(),
             allow_bypass: false,
             rfo_dirties: false,
@@ -120,68 +156,112 @@ impl SetAssocCache {
     }
 
     /// The replacement policy (e.g. to read policy-specific counters).
-    pub fn policy(&self) -> &dyn ReplacementPolicy {
-        self.policy.as_ref()
+    /// Statically typed: no trait object involved.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable access to the replacement policy.
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
     }
 
     /// Returns whether `addr`'s line is resident (no state change).
     pub fn contains(&self, addr: u64) -> bool {
-        let set = self.config.set_of(addr);
         let line = addr >> 6;
-        self.set_lines(set).iter().any(|l| l.valid && l.line == line)
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.config.ways as usize;
+        let mut v = self.valid[set];
+        while v != 0 {
+            let w = v.trailing_zeros() as usize;
+            if self.tags[base + w] == line {
+                return true;
+            }
+            v &= v - 1;
+        }
+        false
     }
 
-    fn set_base(&self, set: u32) -> usize {
-        set as usize * self.config.ways as usize
+    /// Number of valid lines in `set` (drawn from the valid bitmap).
+    pub fn occupancy(&self, set: u32) -> u32 {
+        self.valid[set as usize].count_ones()
     }
 
-    fn set_lines(&self, set: u32) -> &[Line] {
-        let base = self.set_base(set);
-        &self.lines[base..base + self.config.ways as usize]
+    /// The full per-way state of one set, reconstructed from the packed
+    /// arrays — used by invariant tests to cross-check the bitmaps against
+    /// per-line state and by debugging tooling.
+    pub fn set_snapshot(&self, set: u32) -> Vec<LineSnapshot> {
+        let base = set as usize * self.config.ways as usize;
+        let valid = self.valid[set as usize];
+        let dirty = self.dirty[set as usize];
+        (0..self.config.ways as usize)
+            .map(|w| LineSnapshot {
+                valid: valid & (1 << w) != 0,
+                line: if valid & (1 << w) != 0 { self.tags[base + w] } else { 0 },
+                dirty: dirty & (1 << w) != 0,
+                core: self.cores[base + w],
+            })
+            .collect()
     }
 
     /// Performs one access: lookup, policy update, and fill on miss.
+    #[inline]
     pub fn access(&mut self, access: &Access) -> AccessOutcome {
-        let set = self.config.set_of(access.addr);
         let line = access.line();
-        let base = self.set_base(set);
+        let set = (line & self.set_mask) as usize;
         let ways = self.config.ways as usize;
+        let base = set * ways;
 
-        // Lookup.
+        // Lookup: probe valid ways in ascending index order.
+        let mut probe = self.valid[set];
         let mut hit_way = None;
-        for w in 0..ways {
-            let l = &self.lines[base + w];
-            if l.valid && l.line == line {
+        while probe != 0 {
+            let w = probe.trailing_zeros();
+            if self.tags[base + w as usize] == line {
                 hit_way = Some(w as u16);
                 break;
             }
+            probe &= probe - 1;
         }
 
         if let Some(way) = hit_way {
             self.stats.record(access.kind, true);
-            let l = &mut self.lines[base + way as usize];
-            if access.kind == AccessKind::Writeback || (self.rfo_dirties && access.kind == AccessKind::Rfo) {
-                l.dirty = true;
+            if access.kind == AccessKind::Writeback
+                || (self.rfo_dirties && access.kind == AccessKind::Rfo)
+            {
+                self.dirty[set] |= 1 << way;
             }
-            l.core = access.core;
-            self.policy.on_hit(set, way, access);
+            self.cores[base + way as usize] = access.core;
+            self.policy.on_hit(set as u32, way, access);
             return AccessOutcome { hit: true, way: Some(way), ..AccessOutcome::default() };
         }
 
         self.stats.record(access.kind, false);
-        self.policy.on_miss(set, access);
+        self.policy.on_miss(set as u32, access);
 
-        // Fill an invalid way if one exists.
-        let invalid_way = (0..ways).find(|&w| !self.lines[base + w].valid).map(|w| w as u16);
-        let (victim_way, mut outcome) = if let Some(w) = invalid_way {
+        // Fill the lowest-index invalid way if one exists.
+        let free = !self.valid[set] & self.ways_mask;
+        let (victim_way, mut outcome) = if free != 0 {
+            let w = free.trailing_zeros() as u16;
             (w, AccessOutcome { hit: false, way: Some(w), ..AccessOutcome::default() })
         } else {
-            let mut snapshot = [LineSnapshot { valid: false, line: 0, dirty: false, core: 0 }; MAX_WAYS];
-            for w in 0..ways {
-                let l = &self.lines[base + w];
-                snapshot[w] = LineSnapshot { valid: l.valid, line: l.line, dirty: l.dirty, core: l.core };
-            }
-            match self.policy.select_victim(set, &snapshot[..ways], access) {
+            let decision = if self.wants_snapshots {
+                let dirty = self.dirty[set];
+                let mut snapshot =
+                    [LineSnapshot { valid: false, line: 0, dirty: false, core: 0 }; MAX_WAYS];
+                for (w, slot) in snapshot.iter_mut().enumerate().take(ways) {
+                    *slot = LineSnapshot {
+                        valid: true, // the set is full on this path
+                        line: self.tags[base + w],
+                        dirty: dirty & (1 << w) != 0,
+                        core: self.cores[base + w],
+                    };
+                }
+                self.policy.select_victim(set as u32, &snapshot[..ways], access)
+            } else {
+                self.policy.select_victim(set as u32, &[], access)
+            };
+            match decision {
                 Decision::Evict(w) => {
                     assert!(
                         (w as usize) < ways,
@@ -189,22 +269,7 @@ impl SetAssocCache {
                         self.policy.name(),
                         self.name
                     );
-                    let victim = self.lines[base + w as usize];
-                    let writeback = victim.dirty.then_some(victim.line);
-                    if writeback.is_some() {
-                        self.stats.writebacks_out += 1;
-                    }
-                    self.stats.evictions += 1;
-                    (
-                        w,
-                        AccessOutcome {
-                            hit: false,
-                            way: Some(w),
-                            writeback,
-                            evicted: Some(victim.line),
-                            ..AccessOutcome::default()
-                        },
-                    )
+                    self.evict(set, base, w)
                 }
                 Decision::Bypass => {
                     if self.allow_bypass && access.kind != AccessKind::Writeback {
@@ -212,39 +277,60 @@ impl SetAssocCache {
                         return AccessOutcome { hit: false, bypassed: true, ..AccessOutcome::default() };
                     }
                     // Bypass not permitted here: fall back deterministically.
-                    let victim = self.lines[base];
-                    let writeback = victim.dirty.then_some(victim.line);
-                    if writeback.is_some() {
-                        self.stats.writebacks_out += 1;
-                    }
-                    self.stats.evictions += 1;
-                    (
-                        0,
-                        AccessOutcome {
-                            hit: false,
-                            way: Some(0),
-                            writeback,
-                            evicted: Some(victim.line),
-                            ..AccessOutcome::default()
-                        },
-                    )
+                    self.evict(set, base, 0)
                 }
             }
         };
 
-        let slot = &mut self.lines[base + victim_way as usize];
-        slot.valid = true;
-        slot.line = line;
-        slot.dirty = access.kind == AccessKind::Writeback
+        self.valid[set] |= 1 << victim_way;
+        self.tags[base + victim_way as usize] = line;
+        let dirties = access.kind == AccessKind::Writeback
             || (self.rfo_dirties && access.kind == AccessKind::Rfo);
-        slot.core = access.core;
-        self.policy.on_fill(set, victim_way, access);
+        if dirties {
+            self.dirty[set] |= 1 << victim_way;
+        } else {
+            self.dirty[set] &= !(1 << victim_way);
+        }
+        self.cores[base + victim_way as usize] = access.core;
+        self.policy.on_fill(set as u32, victim_way, access);
         outcome.way = Some(victim_way);
         outcome
     }
+
+    /// Evicts way `w` of a full `set`, accounting the writeback if dirty.
+    #[inline]
+    fn evict(&mut self, set: usize, base: usize, w: u16) -> (u16, AccessOutcome) {
+        let victim_line = self.tags[base + w as usize];
+        let writeback = (self.dirty[set] & (1 << w) != 0).then_some(victim_line);
+        if writeback.is_some() {
+            self.stats.writebacks_out += 1;
+        }
+        self.stats.evictions += 1;
+        (
+            w,
+            AccessOutcome {
+                hit: false,
+                way: Some(w),
+                writeback,
+                evicted: Some(victim_line),
+                ..AccessOutcome::default()
+            },
+        )
+    }
+
+    /// Replays a batch of accesses, appending one outcome per access to
+    /// `outcomes` (which is *not* cleared). Trace-replay drivers use this
+    /// to amortize per-call overhead; results are identical to calling
+    /// [`access`](SetAssocCache::access) in a loop.
+    pub fn access_batch(&mut self, accesses: &[Access], outcomes: &mut Vec<AccessOutcome>) {
+        outcomes.reserve(accesses.len());
+        for access in accesses {
+            outcomes.push(self.access(access));
+        }
+    }
 }
 
-impl std::fmt::Debug for SetAssocCache {
+impl<P: ReplacementPolicy> std::fmt::Debug for SetAssocCache<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SetAssocCache")
             .field("name", &self.name)
@@ -260,9 +346,9 @@ mod tests {
     use super::*;
     use crate::replacement::TrueLru;
 
-    fn cache(sets: u32, ways: u16) -> SetAssocCache {
+    fn cache(sets: u32, ways: u16) -> SetAssocCache<TrueLru> {
         let cfg = CacheConfig { sets, ways, latency: 1 };
-        SetAssocCache::new("test", cfg, Box::new(TrueLru::new(&cfg)))
+        SetAssocCache::new("test", cfg, TrueLru::new(&cfg))
     }
 
     fn load(addr: u64) -> Access {
@@ -340,7 +426,7 @@ mod tests {
         let mut c = cache(4, 2);
         c.access(&load(0));
         c.access(&load(0));
-        c.access(&load(64 * 4)); // different set? same set 0 actually: set_of(256)=0 (4 sets) -> yes set 0
+        c.access(&load(64 * 4)); // same set 0, different tag
         assert_eq!(c.stats().accesses(), 3);
         assert_eq!(c.stats().hits(), 1);
     }
@@ -361,5 +447,41 @@ mod tests {
         c.reset_stats();
         assert_eq!(c.stats().accesses(), 0);
         assert!(c.access(&load(0)).hit, "contents survive stats reset");
+    }
+
+    #[test]
+    fn boxed_policy_still_works_via_default_parameter() {
+        let cfg = CacheConfig { sets: 2, ways: 2, latency: 1 };
+        let mut c: SetAssocCache =
+            SetAssocCache::new("dyn", cfg, Box::new(TrueLru::new(&cfg)) as Box<dyn ReplacementPolicy>);
+        assert!(!c.access(&load(0)).hit);
+        assert!(c.access(&load(0)).hit);
+        assert_eq!(c.policy().name(), "LRU");
+    }
+
+    #[test]
+    fn occupancy_follows_fills_and_full_width_sets_work() {
+        // 32 ways exercises the full bitmap width (ways_mask == u32::MAX).
+        let mut c = cache(1, 32);
+        for i in 0..32 {
+            c.access(&load(i * 64));
+            assert_eq!(c.occupancy(0), i as u32 + 1);
+        }
+        let out = c.access(&load(32 * 64));
+        assert!(out.evicted.is_some());
+        assert_eq!(c.occupancy(0), 32);
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let accesses: Vec<Access> =
+            (0..64u64).map(|i| load((i % 24) * 64)).collect();
+        let mut one = cache(2, 4);
+        let singles: Vec<AccessOutcome> = accesses.iter().map(|a| one.access(a)).collect();
+        let mut two = cache(2, 4);
+        let mut batched = Vec::new();
+        two.access_batch(&accesses, &mut batched);
+        assert_eq!(singles, batched);
+        assert_eq!(one.stats(), two.stats());
     }
 }

@@ -77,8 +77,8 @@ impl LlcOutcome {
     }
 }
 
-pub struct SharedLlc {
-    cache: SetAssocCache,
+pub struct SharedLlc<P: ReplacementPolicy = Box<dyn ReplacementPolicy>> {
+    cache: SetAssocCache<P>,
     seq: u64,
     capture: Option<LlcTrace>,
     dram: crate::dram::DramModel,
@@ -86,9 +86,9 @@ pub struct SharedLlc {
     memory_writes: u64,
 }
 
-impl SharedLlc {
+impl<P: ReplacementPolicy> SharedLlc<P> {
     /// Creates the LLC described by `config` with the given policy.
-    pub fn new(config: &SystemConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+    pub fn new(config: &SystemConfig, policy: P) -> Self {
         Self {
             cache: SetAssocCache::new("LLC", config.llc, policy),
             seq: 0,
@@ -141,6 +141,18 @@ impl SharedLlc {
         }
     }
 
+    /// Replays a chunk of captured LLC records through the cache and DRAM
+    /// model, appending one outcome per record. Equivalent to calling
+    /// [`access`](SharedLlc::access) once per record in order; trace-replay
+    /// drivers use it to process traces in batches rather than one call
+    /// per access.
+    pub fn access_batch(&mut self, records: &[LlcRecord], outcomes: &mut Vec<LlcOutcome>) {
+        outcomes.reserve(records.len());
+        for r in records {
+            outcomes.push(self.access(r.pc, r.line << 6, r.kind, r.core));
+        }
+    }
+
     /// LLC statistics.
     pub fn stats(&self) -> &CacheStats {
         self.cache.stats()
@@ -162,7 +174,7 @@ impl SharedLlc {
     }
 
     /// The underlying cache (for policy inspection).
-    pub fn cache(&self) -> &SetAssocCache {
+    pub fn cache(&self) -> &SetAssocCache<P> {
         &self.cache
     }
 
@@ -181,7 +193,7 @@ impl SharedLlc {
     }
 }
 
-impl std::fmt::Debug for SharedLlc {
+impl<P: ReplacementPolicy> std::fmt::Debug for SharedLlc<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SharedLlc")
             .field("cache", &self.cache)
@@ -214,9 +226,11 @@ const L2_PREFETCH_QUEUE: usize = 64;
 /// RLR's type priority exploits.
 pub struct CoreHierarchy {
     core: u8,
-    l1i: SetAssocCache,
-    l1d: SetAssocCache,
-    l2: SetAssocCache,
+    // L1/L2 always run true LRU (Table III), so their policy calls are
+    // monomorphized — no virtual dispatch anywhere in the private levels.
+    l1i: SetAssocCache<TrueLru>,
+    l1d: SetAssocCache<TrueLru>,
+    l2: SetAssocCache<TrueLru>,
     l1_prefetch: Option<NextLinePrefetcher>,
     l2_prefetch: Option<Box<dyn Prefetcher>>,
     prefetch_buf: Vec<PrefetchRequest>,
@@ -232,13 +246,13 @@ impl CoreHierarchy {
     /// Builds the private hierarchy for `core`. L1 and L2 use true LRU, as
     /// in the paper (replacement innovation is evaluated at the LLC only).
     pub fn new(core: u8, config: &SystemConfig) -> Self {
-        let mut l1d = SetAssocCache::new("L1D", config.l1d, Box::new(TrueLru::new(&config.l1d)));
+        let mut l1d = SetAssocCache::new("L1D", config.l1d, TrueLru::new(&config.l1d));
         l1d.set_rfo_dirties(true);
         Self {
             core,
-            l1i: SetAssocCache::new("L1I", config.l1i, Box::new(TrueLru::new(&config.l1i))),
+            l1i: SetAssocCache::new("L1I", config.l1i, TrueLru::new(&config.l1i)),
             l1d,
-            l2: SetAssocCache::new("L2", config.l2, Box::new(TrueLru::new(&config.l2))),
+            l2: SetAssocCache::new("L2", config.l2, TrueLru::new(&config.l2)),
             l1_prefetch: config.prefetchers.then(NextLinePrefetcher::new),
             l2_prefetch: config.prefetchers.then(|| match config.l2_prefetcher {
                 L2PrefetcherKind::IpStride => {
@@ -283,7 +297,13 @@ impl CoreHierarchy {
     /// Services an L2 access (demand, prefetch, or writeback from L1),
     /// going to the LLC and memory as needed, and running the L2 IP-stride
     /// prefetcher on demand accesses.
-    fn access_l2(&mut self, pc: u64, addr: u64, kind: AccessKind, llc: &mut SharedLlc) -> ServiceLevel {
+    fn access_l2<P: ReplacementPolicy>(
+        &mut self,
+        pc: u64,
+        addr: u64,
+        kind: AccessKind,
+        llc: &mut SharedLlc<P>,
+    ) -> ServiceLevel {
         self.l2_ticks += 1;
         self.drain_ready_prefetches(llc);
 
@@ -337,7 +357,7 @@ impl CoreHierarchy {
     }
 
     /// Completes delayed L2 prefetch fills whose latency has elapsed.
-    fn drain_ready_prefetches(&mut self, llc: &mut SharedLlc) {
+    fn drain_ready_prefetches<P: ReplacementPolicy>(&mut self, llc: &mut SharedLlc<P>) {
         while let Some(&(line, ready_at)) = self.pending_prefetch.front() {
             if ready_at > self.l2_ticks {
                 break;
@@ -357,7 +377,13 @@ impl CoreHierarchy {
 
     /// Performs one demand data access (load or store) and returns the
     /// deepest level that serviced it.
-    pub fn data_access(&mut self, pc: u64, addr: u64, is_store: bool, llc: &mut SharedLlc) -> ServiceLevel {
+    pub fn data_access<P: ReplacementPolicy>(
+        &mut self,
+        pc: u64,
+        addr: u64,
+        is_store: bool,
+        llc: &mut SharedLlc<P>,
+    ) -> ServiceLevel {
         let kind = if is_store { AccessKind::Rfo } else { AccessKind::Load };
         let access = Access { pc, addr, kind, core: self.core, seq: 0 };
         let out = self.l1d.access(&access);
@@ -401,7 +427,7 @@ impl CoreHierarchy {
     }
 
     /// Performs one instruction fetch for the line containing `pc`.
-    pub fn instr_fetch(&mut self, pc: u64, llc: &mut SharedLlc) -> ServiceLevel {
+    pub fn instr_fetch<P: ReplacementPolicy>(&mut self, pc: u64, llc: &mut SharedLlc<P>) -> ServiceLevel {
         let access = Access { pc, addr: pc, kind: AccessKind::Load, core: self.core, seq: 0 };
         let out = self.l1i.access(&access);
         let level = if out.hit {
@@ -438,9 +464,9 @@ impl std::fmt::Debug for CoreHierarchy {
 mod tests {
     use super::*;
 
-    fn system() -> (CoreHierarchy, SharedLlc) {
+    fn system() -> (CoreHierarchy, SharedLlc<TrueLru>) {
         let cfg = SystemConfig::paper_single_core();
-        let llc = SharedLlc::new(&cfg, Box::new(TrueLru::new(&cfg.llc)));
+        let llc = SharedLlc::new(&cfg, TrueLru::new(&cfg.llc));
         (CoreHierarchy::new(0, &cfg), llc)
     }
 
@@ -464,7 +490,7 @@ mod tests {
     #[test]
     fn next_line_prefetch_reaches_llc() {
         let cfg = SystemConfig::paper_single_core();
-        let mut llc = SharedLlc::new(&cfg, Box::new(TrueLru::new(&cfg.llc)));
+        let mut llc = SharedLlc::new(&cfg, TrueLru::new(&cfg.llc));
         let mut h = CoreHierarchy::new(0, &cfg);
         h.data_access(0x400, 0x3000_0000, false, &mut llc);
         let pf = llc.stats().by_kind[AccessKind::Prefetch.index()].accesses;
@@ -474,7 +500,7 @@ mod tests {
     #[test]
     fn prefetchers_can_be_disabled() {
         let cfg = SystemConfig::paper_single_core().without_prefetchers();
-        let mut llc = SharedLlc::new(&cfg, Box::new(TrueLru::new(&cfg.llc)));
+        let mut llc = SharedLlc::new(&cfg, TrueLru::new(&cfg.llc));
         let mut h = CoreHierarchy::new(0, &cfg);
         h.data_access(0x400, 0x3000_0000, false, &mut llc);
         assert_eq!(llc.stats().by_kind[AccessKind::Prefetch.index()].accesses, 0);
@@ -483,7 +509,7 @@ mod tests {
     #[test]
     fn dirty_lines_write_back_through_the_hierarchy() {
         let cfg = SystemConfig::paper_single_core();
-        let mut llc = SharedLlc::new(&cfg, Box::new(TrueLru::new(&cfg.llc)));
+        let mut llc = SharedLlc::new(&cfg, TrueLru::new(&cfg.llc));
         let mut h = CoreHierarchy::new(0, &cfg);
         // Store to one line, then stream enough conflicting lines through the
         // same L1/L2 sets to force the dirty line all the way out.

@@ -32,6 +32,7 @@ mod config;
 mod dram;
 mod hierarchy;
 mod prefetch;
+pub mod reference;
 mod replacement;
 mod stats;
 mod system;
@@ -39,6 +40,7 @@ mod timing;
 
 pub use access::{Access, AccessKind};
 pub use cache::{AccessOutcome, SetAssocCache};
+pub use reference::ReferenceCache;
 pub use capture::{LlcRecord, LlcTrace};
 pub use dram::DramModel;
 pub use config::{CacheConfig, L2PrefetcherKind, SystemConfig};

@@ -64,6 +64,50 @@ pub trait ReplacementPolicy: Send {
 
     /// Metadata storage in bits for a cache of this geometry.
     fn overhead_bits(&self, config: &CacheConfig) -> u64;
+
+    /// Whether [`select_victim`](ReplacementPolicy::select_victim) reads the
+    /// `lines` snapshot. Policies that track all their state internally
+    /// (keyed by `(set, way)` callbacks alone) override this to `false`,
+    /// letting the cache skip snapshot construction on their evictions —
+    /// they are then handed an empty slice. Defaults to `true` (always
+    /// correct, possibly slower).
+    fn uses_line_snapshots(&self) -> bool {
+        true
+    }
+}
+
+/// Boxed policies behave exactly like the policy they wrap, so the generic
+/// [`crate::SetAssocCache`] can fall back to dynamic dispatch
+/// (`SetAssocCache<Box<dyn ReplacementPolicy>>`, the default type
+/// parameter) wherever the concrete policy type is not known statically.
+impl<P: ReplacementPolicy + ?Sized> ReplacementPolicy for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn on_miss(&mut self, set: u32, access: &Access) {
+        (**self).on_miss(set, access);
+    }
+
+    fn select_victim(&mut self, set: u32, lines: &[LineSnapshot], access: &Access) -> Decision {
+        (**self).select_victim(set, lines, access)
+    }
+
+    fn on_hit(&mut self, set: u32, way: u16, access: &Access) {
+        (**self).on_hit(set, way, access);
+    }
+
+    fn on_fill(&mut self, set: u32, way: u16, access: &Access) {
+        (**self).on_fill(set, way, access);
+    }
+
+    fn overhead_bits(&self, config: &CacheConfig) -> u64 {
+        (**self).overhead_bits(config)
+    }
+
+    fn uses_line_snapshots(&self) -> bool {
+        (**self).uses_line_snapshots()
+    }
 }
 
 /// Full (true) LRU with one recency counter per line.
@@ -132,6 +176,10 @@ impl ReplacementPolicy for TrueLru {
     fn overhead_bits(&self, config: &CacheConfig) -> u64 {
         config.lines() * u64::from(config.way_bits())
     }
+
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only the internal stamp table
+    }
 }
 
 /// A trivial pseudo-random policy (xorshift), useful as a floor baseline
@@ -167,6 +215,10 @@ impl ReplacementPolicy for RandomLite {
 
     fn overhead_bits(&self, _config: &CacheConfig) -> u64 {
         0
+    }
+
+    fn uses_line_snapshots(&self) -> bool {
+        false // purely xorshift-driven
     }
 }
 

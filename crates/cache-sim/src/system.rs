@@ -74,11 +74,11 @@ impl RunStats {
 }
 
 /// Runs one core's entry through the hierarchy and timing model.
-fn step(
+fn step<P: ReplacementPolicy>(
     entry: &TraceEntry,
     hierarchy: &mut CoreHierarchy,
     timing: &mut CoreTiming,
-    llc: &mut SharedLlc,
+    llc: &mut SharedLlc<P>,
     config: &SystemConfig,
 ) {
     let fetch_level = hierarchy.instr_fetch(entry.pc, llc);
@@ -100,16 +100,16 @@ fn step(
 /// let stats = sys.run(wl.stream(), 20_000);
 /// assert!(stats.instructions >= 20_000);
 /// ```
-pub struct SingleCoreSystem {
+pub struct SingleCoreSystem<P: ReplacementPolicy = Box<dyn ReplacementPolicy>> {
     config: SystemConfig,
     hierarchy: CoreHierarchy,
-    llc: SharedLlc,
+    llc: SharedLlc<P>,
     timing: CoreTiming,
 }
 
-impl SingleCoreSystem {
+impl<P: ReplacementPolicy> SingleCoreSystem<P> {
     /// Creates the system with the given LLC replacement policy.
-    pub fn new(config: &SystemConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+    pub fn new(config: &SystemConfig, policy: P) -> Self {
         Self {
             config: *config,
             hierarchy: CoreHierarchy::new(0, config),
@@ -119,17 +119,24 @@ impl SingleCoreSystem {
     }
 
     /// Access to the shared LLC (e.g. to enable trace capture).
-    pub fn llc_mut(&mut self) -> &mut SharedLlc {
+    pub fn llc_mut(&mut self) -> &mut SharedLlc<P> {
         &mut self.llc
     }
 
     /// Read access to the shared LLC.
-    pub fn llc(&self) -> &SharedLlc {
+    pub fn llc(&self) -> &SharedLlc<P> {
         &self.llc
     }
 
     /// Runs `instructions` of the stream to warm the caches, then zeroes
     /// all statistics. Mirrors the paper's 200M-instruction warm-up.
+    ///
+    /// Deliberately consumes the stream one entry at a time: warm-up and
+    /// the measured phase share one iterator, so any look-ahead batching
+    /// here would shift the warm-up/measure boundary and change results.
+    /// Batched replay belongs to pure trace-replay paths
+    /// ([`SetAssocCache::access_batch`](crate::SetAssocCache::access_batch),
+    /// [`SharedLlc::access_batch`]).
     pub fn warm_up<I: Iterator<Item = TraceEntry>>(&mut self, stream: &mut I, instructions: u64) {
         let mut local = CoreTiming::new(&self.config);
         while local.instructions() < instructions {
@@ -163,7 +170,7 @@ impl SingleCoreSystem {
     }
 }
 
-impl std::fmt::Debug for SingleCoreSystem {
+impl<P: ReplacementPolicy> std::fmt::Debug for SingleCoreSystem<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SingleCoreSystem").field("llc", &self.llc).finish()
     }
@@ -184,13 +191,13 @@ struct CoreSlot {
 /// When a core reaches the instruction target its statistics are frozen,
 /// but it keeps executing to provide interference until every core has
 /// finished — mirroring the paper's methodology of wrapping traces.
-pub struct MultiCoreSystem {
+pub struct MultiCoreSystem<P: ReplacementPolicy = Box<dyn ReplacementPolicy>> {
     config: SystemConfig,
-    llc: SharedLlc,
+    llc: SharedLlc<P>,
     cores: Vec<CoreSlot>,
 }
 
-impl MultiCoreSystem {
+impl<P: ReplacementPolicy> MultiCoreSystem<P> {
     /// Creates the system; `streams[i]` feeds core `i`.
     ///
     /// # Panics
@@ -198,7 +205,7 @@ impl MultiCoreSystem {
     /// Panics if `streams.len()` does not match `config.cores`.
     pub fn new(
         config: &SystemConfig,
-        policy: Box<dyn ReplacementPolicy>,
+        policy: P,
         streams: Vec<Box<dyn Iterator<Item = TraceEntry> + Send>>,
     ) -> Self {
         assert_eq!(
@@ -220,7 +227,7 @@ impl MultiCoreSystem {
     }
 
     /// Access to the shared LLC.
-    pub fn llc_mut(&mut self) -> &mut SharedLlc {
+    pub fn llc_mut(&mut self) -> &mut SharedLlc<P> {
         &mut self.llc
     }
 
@@ -289,7 +296,7 @@ impl MultiCoreSystem {
     }
 }
 
-impl std::fmt::Debug for MultiCoreSystem {
+impl<P: ReplacementPolicy> std::fmt::Debug for MultiCoreSystem<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MultiCoreSystem")
             .field("cores", &self.cores.len())

@@ -271,26 +271,8 @@ pub fn replay(args: &Args) -> Result<(), ArgError> {
             config.llc,
             kind.build(&config.llc, Some(&trace)),
         );
-        let mut hits = 0u64;
-        let mut demand = 0u64;
-        let mut demand_hits = 0u64;
-        for (i, r) in trace.records().iter().enumerate() {
-            let access = cache_sim::Access {
-                pc: r.pc,
-                addr: r.line << 6,
-                kind: r.kind,
-                core: r.core,
-                seq: i as u64,
-            };
-            let hit = cache.access(&access).hit;
-            hits += u64::from(hit);
-            if r.kind.is_demand() {
-                demand += 1;
-                demand_hits += u64::from(hit);
-            }
-        }
-        let rate = if demand == 0 { 0.0 } else { demand_hits as f64 / demand as f64 };
-        (kind.name().to_owned(), rate, hits, trace.len() as u64)
+        let summary = experiments::runner::replay_llc_trace(&mut cache, &trace);
+        (kind.name().to_owned(), summary.demand_hit_rate(), summary.hits, trace.len() as u64)
     };
 
     println!("trace        {path} ({} records)", trace.len());

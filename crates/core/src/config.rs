@@ -125,7 +125,10 @@ impl RlrConfig {
     /// if widths are zero.
     pub fn validate(&self) {
         assert!(self.age_bits > 0 && self.age_bits <= 16, "age counter width out of range");
-        assert!(self.hit_bits > 0 && self.hit_bits <= 8, "hit counter width out of range");
+        assert!(
+            self.hit_bits > 0 && self.hit_bits <= crate::packed::LineMeta::MAX_HIT_BITS,
+            "hit counter width out of range (packed layout holds at most 6 bits)"
+        );
         assert!(
             self.demand_hit_window.is_power_of_two(),
             "demand-hit window must be a power of two (hardware shift)"
@@ -174,6 +177,14 @@ mod tests {
     fn bad_window_panics() {
         let mut c = RlrConfig::optimized();
         c.demand_hit_window = 33;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hit counter width")]
+    fn hit_counter_wider_than_packed_layout_panics() {
+        let mut c = RlrConfig::optimized();
+        c.hit_bits = 7;
         c.validate();
     }
 

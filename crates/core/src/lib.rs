@@ -56,7 +56,10 @@
 //! ```
 
 mod config;
+pub mod packed;
 mod policy;
+pub mod seed_ref;
 
 pub use config::{AgeUnit, RecencyMode, RlrConfig};
 pub use policy::RlrPolicy;
+pub use seed_ref::SeedRlrPolicy;

@@ -3,6 +3,7 @@
 use cache_sim::{Access, AccessKind, CacheConfig, Decision, LineSnapshot, ReplacementPolicy};
 
 use crate::config::{AgeUnit, RecencyMode, RlrConfig};
+use crate::packed::LineMeta;
 
 /// Saturation bound of the per-core demand-hit counters (12-bit, §IV-D).
 const CORE_HIT_MAX: u32 = (1 << 12) - 1;
@@ -16,6 +17,10 @@ const CORE_HIT_MAX: u32 = (1 << 12) - 1;
 pub struct RlrPolicy {
     config: RlrConfig,
     ways: u16,
+    /// `log2(misses_per_epoch)` — epochs derive from the per-set miss
+    /// counter with a shift (the width is validated to be a power of
+    /// two); 0 when ages count set accesses.
+    epoch_shift: u32,
     /// Per-set access clock (unoptimized age unit + exact recency).
     access_clock: Vec<u64>,
     /// Per-set miss counter (optimized age unit).
@@ -24,12 +29,10 @@ pub struct RlrPolicy {
     access_stamp: Vec<u64>,
     /// Per-line: miss-epoch stamp at last touch.
     epoch_stamp: Vec<u64>,
-    /// Per-line: hits since insertion (saturating at the configured width).
-    hit_count: Vec<u8>,
-    /// Per-line: last access was a prefetch.
-    last_prefetch: Vec<bool>,
-    /// Per-line: last access was a demand access (for the RD filter).
-    last_demand: Vec<bool>,
+    /// Per-line: hit counter plus both access-type flags, packed into one
+    /// byte ([`LineMeta`]) so the victim scan touches a third of the
+    /// metadata memory the unpacked layout did.
+    meta: Vec<LineMeta>,
     /// Predicted reuse distance (age units).
     rd: u64,
     /// Preuse-distance accumulator over the current demand-hit window.
@@ -73,13 +76,15 @@ impl RlrPolicy {
         let cores = usize::from(config.core_priority_cores);
         Self {
             ways: cache.ways,
+            epoch_shift: match config.age_unit {
+                AgeUnit::SetAccesses => 0,
+                AgeUnit::MissEpochs { misses_per_epoch } => misses_per_epoch.trailing_zeros(),
+            },
             access_clock: vec![0; cache.sets as usize],
             miss_count: vec![0; cache.sets as usize],
             access_stamp: vec![0; lines],
             epoch_stamp: vec![0; lines],
-            hit_count: vec![0; lines],
-            last_prefetch: vec![false; lines],
-            last_demand: vec![false; lines],
+            meta: vec![LineMeta::default(); lines],
             // Start fully protective: until the estimator has observed real
             // preuse distances, every line stays inside RD and victim
             // selection falls to the (anti-thrash) recency tie-break.
@@ -111,9 +116,7 @@ impl RlrPolicy {
     fn current_epoch(&self, set: u32) -> u64 {
         match self.config.age_unit {
             AgeUnit::SetAccesses => 0,
-            AgeUnit::MissEpochs { misses_per_epoch } => {
-                self.miss_count[set as usize] / u64::from(misses_per_epoch)
-            }
+            AgeUnit::MissEpochs { .. } => self.miss_count[set as usize] >> self.epoch_shift,
         }
     }
 
@@ -169,29 +172,6 @@ impl RlrPolicy {
             *h /= 2;
         }
     }
-
-    /// The per-line priority `8·P_age + P_type + P_hit + P_core`.
-    fn priority(&self, set: u32, way: u16, line: &LineSnapshot) -> u32 {
-        let i = self.idx(set, way);
-        let p_age = u32::from(self.age(set, way) <= self.rd) * self.config.age_weight;
-        let p_type = u32::from(self.config.use_type_priority && !self.last_prefetch[i]);
-        let p_hit = u32::from(self.config.use_hit_priority && self.hit_count[i] > 0);
-        let p_core = self
-            .core_priority
-            .get(usize::from(line.core))
-            .copied()
-            .unwrap_or(0);
-        p_age + p_type + p_hit + p_core
-    }
-
-    /// Tie-break key: larger = evicted first among equal priorities
-    /// (the *most recently* accessed line goes, then the lowest way).
-    fn recency_key(&self, set: u32, way: u16) -> u64 {
-        match self.config.recency {
-            RecencyMode::Exact => self.access_stamp[self.idx(set, way)],
-            RecencyMode::AgeApprox => u64::MAX - self.age(set, way),
-        }
-    }
 }
 
 impl ReplacementPolicy for RlrPolicy {
@@ -210,30 +190,68 @@ impl ReplacementPolicy for RlrPolicy {
         self.record_access();
     }
 
+    fn uses_line_snapshots(&self) -> bool {
+        // The snapshot is consulted only for the inserting core (P_core);
+        // without the multicore term the cache can skip building it.
+        !self.core_priority.is_empty()
+    }
+
     fn select_victim(&mut self, set: u32, lines: &[LineSnapshot], _access: &Access) -> Decision {
-        let mut best: Option<(u32, u64, u16)> = None;
+        // The victim scan is the policy's hot loop: every set-wide value
+        // (clock/epoch, RD, the configuration knobs, the slice bases) is
+        // hoisted so each way costs one age computation, one metadata
+        // byte, and — only with P_core enabled — one snapshot read.
+        let ways = usize::from(self.ways);
+        let base = self.idx(set, 0);
+        let rd = self.rd;
+        let max_age = self.config.max_age();
+        let weight = self.config.age_weight;
+        let use_type = self.config.use_type_priority;
+        let use_hit = self.config.use_hit_priority;
+        let unit = self.config.age_unit;
+        let exact_recency = self.config.recency == RecencyMode::Exact;
+        let now = match unit {
+            AgeUnit::SetAccesses => self.access_clock[set as usize],
+            AgeUnit::MissEpochs { .. } => self.current_epoch(set),
+        };
+        let access_stamps = &self.access_stamp[base..base + ways];
+        let epoch_stamps = &self.epoch_stamp[base..base + ways];
+        let metas = &self.meta[base..base + ways];
+
+        // Branchless min-reduction: the victim is the minimum of the
+        // lexicographic key (priority, !recency, way). Lowest priority
+        // wins; among equals the *most recently* accessed line goes
+        // (largest recency key, hence the complement); full ties keep the
+        // lowest way index. Keys are unique (the way is in the low bits),
+        // so the minimum is exactly the line the old compare-and-branch
+        // scan selected.
+        let mut best_key = u128::MAX;
         let mut any_past_rd = false;
-        for (w, line) in lines.iter().enumerate() {
-            let way = w as u16;
-            let p = self.priority(set, way, line);
-            let rec = self.recency_key(set, way);
-            if self.age(set, way) > self.rd {
-                any_past_rd = true;
-            }
-            // Strict comparisons keep the lowest way index on full ties.
-            let better = match best {
-                None => true,
-                Some((bp, brec, _)) => p < bp || (p == bp && rec > brec),
+        for way in 0..ways {
+            let raw = match unit {
+                AgeUnit::SetAccesses => now - access_stamps[way],
+                AgeUnit::MissEpochs { .. } => now - epoch_stamps[way],
             };
-            if better {
-                best = Some((p, rec, way));
+            let age = raw.min(max_age);
+            let meta = metas[way];
+            let mut p = u32::from(age <= rd) * weight
+                + u32::from(use_type && !meta.last_prefetch())
+                + u32::from(use_hit && meta.hit_count() > 0);
+            // `lines` is empty when the core priority is off (see
+            // `uses_line_snapshots`); the core is then irrelevant.
+            if let Some(line) = lines.get(way) {
+                p += self.core_priority.get(usize::from(line.core)).copied().unwrap_or(0);
             }
+            let rec = if exact_recency { access_stamps[way] } else { u64::MAX - age };
+            any_past_rd |= age > rd;
+            let key = (u128::from(p) << 96) | (u128::from(!rec) << 16) | way as u128;
+            best_key = best_key.min(key);
         }
         if self.config.bypass && !any_past_rd {
             return Decision::Bypass;
         }
-        let (_, _, way) = best.expect("non-empty set");
-        Decision::Evict(way)
+        debug_assert!(ways > 0, "non-empty set");
+        Decision::Evict((best_key & 0xFFFF) as u16)
     }
 
     fn on_hit(&mut self, set: u32, way: u16, access: &Access) {
@@ -249,7 +267,7 @@ impl ReplacementPolicy for RlrPolicy {
         // round-trip, not reuse.
         let i = self.idx(set, way);
         let counts_for_rd =
-            !self.config.rd_ignores_non_demand_preuse || self.last_demand[i];
+            !self.config.rd_ignores_non_demand_preuse || self.meta[i].last_demand();
         if access.kind.is_demand() {
             if counts_for_rd {
                 self.preuse_accum += preuse;
@@ -273,17 +291,16 @@ impl ReplacementPolicy for RlrPolicy {
         }
 
         let hit_max = (1u32 << self.config.hit_bits) - 1;
-        self.hit_count[i] = (u32::from(self.hit_count[i]) + 1).min(hit_max) as u8;
-        self.last_prefetch[i] = access.kind == AccessKind::Prefetch;
-        self.last_demand[i] = access.kind.is_demand();
+        let meta = &mut self.meta[i];
+        meta.set_hit_count((u32::from(meta.hit_count()) + 1).min(hit_max) as u8);
+        meta.set_access_type(access.kind == AccessKind::Prefetch, access.kind.is_demand());
         self.touch(set, way);
     }
 
     fn on_fill(&mut self, set: u32, way: u16, access: &Access) {
         let i = self.idx(set, way);
-        self.hit_count[i] = 0;
-        self.last_prefetch[i] = access.kind == AccessKind::Prefetch;
-        self.last_demand[i] = access.kind.is_demand();
+        self.meta[i] =
+            LineMeta::filled(access.kind == AccessKind::Prefetch, access.kind.is_demand());
         self.touch(set, way);
     }
 

@@ -1,0 +1,122 @@
+//! Property tests for the packed-metadata codecs (`rlr::packed`): every
+//! field written must read back exactly, writes must not disturb
+//! neighbouring fields, and the 3-bit epoch phase must agree with the
+//! policy's wide-counter arithmetic.
+
+use rlr::packed::{EpochPhase, HwLineState, LineMeta};
+use simrng::prop::{check, Config};
+use simrng::{prop_assert, prop_assert_eq, Rng};
+
+#[test]
+fn hw_line_state_round_trips_exhaustively() {
+    // 4 bits: all 16 states, plus every possible junk high nibble.
+    for nibble in 0u8..16 {
+        let state = HwLineState::unpack(nibble);
+        assert_eq!(state.pack(), nibble, "pack(unpack(n)) must be the identity on nibbles");
+        for junk in 0u8..16 {
+            assert_eq!(
+                HwLineState::unpack(nibble | (junk << 4)),
+                state,
+                "high bits must be ignored"
+            );
+        }
+    }
+}
+
+#[test]
+fn hw_line_state_round_trips_random_fields() {
+    check(
+        "hw_line_state_round_trips_random_fields",
+        Config::default(),
+        |rng| rng.gen_range(0u64..16) as u8,
+        |&bits| {
+            let state = HwLineState {
+                age: bits & HwLineState::MAX_AGE,
+                hit: bits & 4 != 0,
+                prefetched: bits & 8 != 0,
+            };
+            prop_assert_eq!(HwLineState::unpack(state.pack()), state);
+            prop_assert!(state.pack() < 1 << HwLineState::BITS, "must fit the 4-bit budget");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn epoch_phase_round_trips_and_ignores_high_bits() {
+    for raw in 0u8..=255 {
+        let phase = EpochPhase::unpack(raw);
+        assert!(phase.phase() < EpochPhase::MODULUS);
+        assert_eq!(phase.pack(), raw % EpochPhase::MODULUS);
+        assert_eq!(EpochPhase::unpack(phase.pack()), phase);
+    }
+}
+
+/// The 3-bit counter must track `miss_count % 8` and wrap exactly when
+/// the policy's wide counter crosses an epoch boundary — the codec and
+/// `RlrPolicy`'s `miss_count / misses_per_epoch` arithmetic are two views
+/// of the same hardware state.
+#[test]
+fn epoch_phase_matches_wide_counter_arithmetic() {
+    check(
+        "epoch_phase_matches_wide_counter_arithmetic",
+        Config::default(),
+        |rng| rng.gen_range(0u64..500),
+        |&misses| {
+            let mut phase = EpochPhase::default();
+            let mut epochs = 0u64;
+            for _ in 0..misses {
+                if phase.tick() {
+                    epochs += 1;
+                }
+            }
+            prop_assert_eq!(u64::from(phase.phase()), misses % u64::from(EpochPhase::MODULUS));
+            prop_assert_eq!(epochs, misses / u64::from(EpochPhase::MODULUS));
+            Ok(())
+        },
+    );
+}
+
+/// Model-based check of the byte-wide [`LineMeta`] codec: an arbitrary
+/// interleaving of fills, hit-count stores, and type stores must leave the
+/// packed byte equal to an unpacked (count, prefetch, demand) model.
+#[test]
+fn line_meta_matches_unpacked_model() {
+    check(
+        "line_meta_matches_unpacked_model",
+        Config::default(),
+        |rng| {
+            let n = rng.gen_range(1usize..64);
+            (0..n)
+                .map(|_| (rng.gen_range(0u64..3) as u8, rng.gen_range(0u64..256) as u8))
+                .collect::<Vec<(u8, u8)>>()
+        },
+        |ops| {
+            let mut packed = LineMeta::default();
+            let (mut count, mut prefetch, mut demand) = (0u8, false, false);
+            for &(op, arg) in ops {
+                match op {
+                    0 => {
+                        let (p, d) = (arg & 1 != 0, arg & 2 != 0);
+                        packed = LineMeta::filled(p, d);
+                        (count, prefetch, demand) = (0, p, d);
+                    }
+                    1 => {
+                        let c = arg & ((1 << LineMeta::MAX_HIT_BITS) - 1);
+                        packed.set_hit_count(c);
+                        count = c;
+                    }
+                    _ => {
+                        let (p, d) = (arg & 1 != 0, arg & 2 != 0);
+                        packed.set_access_type(p, d);
+                        (prefetch, demand) = (p, d);
+                    }
+                }
+                prop_assert_eq!(packed.hit_count(), count);
+                prop_assert_eq!(packed.last_prefetch(), prefetch);
+                prop_assert_eq!(packed.last_demand(), demand);
+            }
+            Ok(())
+        },
+    );
+}

@@ -8,8 +8,13 @@ use crate::geomean_speedup_pct;
 use crate::report::Table;
 use crate::scale::Scale;
 
-/// Runs a workload with an explicitly configured policy.
-fn run_with(workload: &workloads::Workload, policy: Box<dyn ReplacementPolicy>, scale: Scale) -> cache_sim::RunStats {
+/// Runs a workload with an explicitly configured policy (statically
+/// dispatched — `P` monomorphizes the whole system).
+fn run_with<P: ReplacementPolicy>(
+    workload: &workloads::Workload,
+    policy: P,
+    scale: Scale,
+) -> cache_sim::RunStats {
     let config = SystemConfig::paper_single_core();
     let mut system = SingleCoreSystem::new(&config, policy);
     let mut stream = workload.stream();
@@ -23,16 +28,8 @@ fn geomean_speedup(config: RlrConfig, scale: Scale) -> f64 {
     let system = SystemConfig::paper_single_core();
     geomean_speedup_pct(TRAINING_SET.iter().map(|&name| {
         let workload = spec2006(name).expect("training benchmark");
-        let lru = run_with(
-            &workload,
-            Box::new(cache_sim::TrueLru::new(&system.llc)),
-            scale,
-        );
-        let stats = run_with(
-            &workload,
-            Box::new(RlrPolicy::with_config(config, &system.llc)),
-            scale,
-        );
+        let lru = run_with(&workload, cache_sim::TrueLru::new(&system.llc), scale);
+        let stats = run_with(&workload, RlrPolicy::with_config(config, &system.llc), scale);
         stats.speedup_pct_over(&lru)
     }))
 }

@@ -35,7 +35,7 @@ pub mod scale;
 pub mod tables;
 
 pub use report::Table;
-pub use roster::PolicyKind;
+pub use roster::{LlcPolicy, PolicyKind};
 pub use runner::{CellResult, RunnerError, TaskFailure};
 pub use scale::Scale;
 

@@ -1,12 +1,119 @@
 //! The policy roster: every replacement policy the paper evaluates,
 //! constructible by name.
 
-use cache_sim::{CacheConfig, LlcTrace, RandomLite, ReplacementPolicy, TrueLru};
+use cache_sim::{
+    Access, CacheConfig, Decision, LineSnapshot, LlcTrace, RandomLite, ReplacementPolicy, TrueLru,
+};
 use policies::{
     Belady, Brrip, CounterBased, Drrip, Eva, Fifo, Glider, Hawkeye, KpcR, Mpppb, Pdp, Ship,
     ShipPp, Srrip,
 };
 use rlr::RlrPolicy;
+
+/// Every LLC replacement policy as one concrete enum, so the simulator's
+/// hot path dispatches policy callbacks with a jump table (or better, after
+/// inlining) instead of a virtual call through `Box<dyn ReplacementPolicy>`.
+///
+/// This type lives here — not in `cache-sim` — because it must name every
+/// concrete policy type, and the policy crates depend on `cache-sim`.
+/// [`PolicyKind::build`] constructs it; `SetAssocCache<LlcPolicy>` (via
+/// `SingleCoreSystem::new(&config, kind.build(..))`) monomorphizes the
+/// cache over it. The `ReplacementPolicy` trait remains the construction
+/// boundary: anything that implements it still works boxed through the
+/// cache's default `Box<dyn ReplacementPolicy>` parameter.
+#[derive(Debug)]
+pub enum LlcPolicy {
+    /// True LRU.
+    Lru(TrueLru),
+    /// FIFO.
+    Fifo(Fifo),
+    /// Pseudo-random.
+    Random(RandomLite),
+    /// Static RRIP.
+    Srrip(Srrip),
+    /// Bimodal RRIP.
+    Brrip(Brrip),
+    /// Dynamic RRIP.
+    Drrip(Drrip),
+    /// KPC-R.
+    KpcR(KpcR),
+    /// SHiP.
+    Ship(Ship),
+    /// SHiP++.
+    ShipPp(ShipPp),
+    /// Hawkeye.
+    Hawkeye(Hawkeye),
+    /// Glider.
+    Glider(Glider),
+    /// MPPPB.
+    Mpppb(Box<Mpppb>),
+    /// Counter-based AIP.
+    CounterBased(CounterBased),
+    /// PDP.
+    Pdp(Pdp),
+    /// EVA.
+    Eva(Eva),
+    /// RLR in any of its variants (optimized / unoptimized / multicore —
+    /// all are configurations of [`RlrPolicy`]).
+    Rlr(RlrPolicy),
+    /// Belady's offline optimal.
+    Belady(Box<Belady>),
+}
+
+/// Forwards one trait method to whichever policy the enum holds.
+macro_rules! dispatch {
+    ($self:expr, $p:pat => $body:expr) => {
+        match $self {
+            LlcPolicy::Lru($p) => $body,
+            LlcPolicy::Fifo($p) => $body,
+            LlcPolicy::Random($p) => $body,
+            LlcPolicy::Srrip($p) => $body,
+            LlcPolicy::Brrip($p) => $body,
+            LlcPolicy::Drrip($p) => $body,
+            LlcPolicy::KpcR($p) => $body,
+            LlcPolicy::Ship($p) => $body,
+            LlcPolicy::ShipPp($p) => $body,
+            LlcPolicy::Hawkeye($p) => $body,
+            LlcPolicy::Glider($p) => $body,
+            LlcPolicy::Mpppb($p) => $body,
+            LlcPolicy::CounterBased($p) => $body,
+            LlcPolicy::Pdp($p) => $body,
+            LlcPolicy::Eva($p) => $body,
+            LlcPolicy::Rlr($p) => $body,
+            LlcPolicy::Belady($p) => $body,
+        }
+    };
+}
+
+impl ReplacementPolicy for LlcPolicy {
+    fn name(&self) -> String {
+        dispatch!(self, p => p.name())
+    }
+
+    fn on_miss(&mut self, set: u32, access: &Access) {
+        dispatch!(self, p => p.on_miss(set, access));
+    }
+
+    fn select_victim(&mut self, set: u32, lines: &[LineSnapshot], access: &Access) -> Decision {
+        dispatch!(self, p => p.select_victim(set, lines, access))
+    }
+
+    fn on_hit(&mut self, set: u32, way: u16, access: &Access) {
+        dispatch!(self, p => p.on_hit(set, way, access));
+    }
+
+    fn on_fill(&mut self, set: u32, way: u16, access: &Access) {
+        dispatch!(self, p => p.on_fill(set, way, access));
+    }
+
+    fn overhead_bits(&self, config: &CacheConfig) -> u64 {
+        dispatch!(self, p => p.overhead_bits(config))
+    }
+
+    fn uses_line_snapshots(&self) -> bool {
+        dispatch!(self, p => p.uses_line_snapshots())
+    }
+}
 
 /// A replacement policy selectable by the harness.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -142,30 +249,30 @@ impl PolicyKind {
     /// # Panics
     ///
     /// Panics if Belady is requested without a trace.
-    pub fn build(self, config: &CacheConfig, trace: Option<&LlcTrace>) -> Box<dyn ReplacementPolicy> {
+    pub fn build(self, config: &CacheConfig, trace: Option<&LlcTrace>) -> LlcPolicy {
         match self {
-            PolicyKind::Lru => Box::new(TrueLru::new(config)),
-            PolicyKind::Fifo => Box::new(Fifo::new(config)),
-            PolicyKind::Random => Box::new(RandomLite::new(config)),
-            PolicyKind::Srrip => Box::new(Srrip::new(config)),
-            PolicyKind::Brrip => Box::new(Brrip::new(config)),
-            PolicyKind::Drrip => Box::new(Drrip::new(config)),
-            PolicyKind::KpcR => Box::new(KpcR::new(config)),
-            PolicyKind::Ship => Box::new(Ship::new(config)),
-            PolicyKind::ShipPp => Box::new(ShipPp::new(config)),
-            PolicyKind::Hawkeye => Box::new(Hawkeye::new(config)),
-            PolicyKind::Glider => Box::new(Glider::new(config)),
-            PolicyKind::Mpppb => Box::new(Mpppb::new(config)),
-            PolicyKind::CounterBased => Box::new(CounterBased::new(config)),
-            PolicyKind::Pdp => Box::new(Pdp::new(config)),
-            PolicyKind::Eva => Box::new(Eva::new(config)),
-            PolicyKind::Rlr => Box::new(RlrPolicy::optimized(config)),
-            PolicyKind::RlrUnopt => Box::new(RlrPolicy::unoptimized(config)),
-            PolicyKind::RlrMulticore => Box::new(RlrPolicy::multicore(4, config)),
-            PolicyKind::Belady => Box::new(Belady::from_trace(
+            PolicyKind::Lru => LlcPolicy::Lru(TrueLru::new(config)),
+            PolicyKind::Fifo => LlcPolicy::Fifo(Fifo::new(config)),
+            PolicyKind::Random => LlcPolicy::Random(RandomLite::new(config)),
+            PolicyKind::Srrip => LlcPolicy::Srrip(Srrip::new(config)),
+            PolicyKind::Brrip => LlcPolicy::Brrip(Brrip::new(config)),
+            PolicyKind::Drrip => LlcPolicy::Drrip(Drrip::new(config)),
+            PolicyKind::KpcR => LlcPolicy::KpcR(KpcR::new(config)),
+            PolicyKind::Ship => LlcPolicy::Ship(Ship::new(config)),
+            PolicyKind::ShipPp => LlcPolicy::ShipPp(ShipPp::new(config)),
+            PolicyKind::Hawkeye => LlcPolicy::Hawkeye(Hawkeye::new(config)),
+            PolicyKind::Glider => LlcPolicy::Glider(Glider::new(config)),
+            PolicyKind::Mpppb => LlcPolicy::Mpppb(Box::new(Mpppb::new(config))),
+            PolicyKind::CounterBased => LlcPolicy::CounterBased(CounterBased::new(config)),
+            PolicyKind::Pdp => LlcPolicy::Pdp(Pdp::new(config)),
+            PolicyKind::Eva => LlcPolicy::Eva(Eva::new(config)),
+            PolicyKind::Rlr => LlcPolicy::Rlr(RlrPolicy::optimized(config)),
+            PolicyKind::RlrUnopt => LlcPolicy::Rlr(RlrPolicy::unoptimized(config)),
+            PolicyKind::RlrMulticore => LlcPolicy::Rlr(RlrPolicy::multicore(4, config)),
+            PolicyKind::Belady => LlcPolicy::Belady(Box::new(Belady::from_trace(
                 trace.expect("Belady needs a captured LLC trace"),
                 config,
-            )),
+            ))),
         }
     }
 }

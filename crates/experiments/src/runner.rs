@@ -29,7 +29,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
-use cache_sim::{LlcTrace, MultiCoreSystem, RunStats, SingleCoreSystem, SystemConfig};
+use cache_sim::{
+    Access, AccessOutcome, LlcTrace, MultiCoreSystem, ReplacementPolicy, RunStats,
+    SetAssocCache, SingleCoreSystem, SystemConfig,
+};
 use workloads::{cloudsuite, spec2006, Workload, WorkloadMix};
 
 use crate::checkpoint;
@@ -190,6 +193,68 @@ pub fn capture_llc_trace(
     let mut trace = system.llc_mut().take_capture().ok_or(RunnerError::CaptureUnavailable)?;
     trace.truncate(max_records);
     Ok(trace)
+}
+
+/// Chunk size for batched trace replay: large enough to amortize per-call
+/// overhead, small enough to keep the access buffer in L1/L2.
+const REPLAY_CHUNK: usize = 4096;
+
+/// Aggregate counters of one trace replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Total accesses replayed.
+    pub accesses: u64,
+    /// Hits across all access kinds.
+    pub hits: u64,
+    /// Demand (load + RFO) accesses.
+    pub demand_accesses: u64,
+    /// Demand hits.
+    pub demand_hits: u64,
+}
+
+impl ReplaySummary {
+    /// Demand hit rate in `[0, 1]` (0 when the trace has no demand traffic).
+    pub fn demand_hit_rate(&self) -> f64 {
+        if self.demand_accesses == 0 {
+            0.0
+        } else {
+            self.demand_hits as f64 / self.demand_accesses as f64
+        }
+    }
+}
+
+/// Replays a captured LLC trace through a standalone cache in
+/// [`REPLAY_CHUNK`]-sized batches ([`SetAssocCache::access_batch`]),
+/// sequence-numbering records exactly as a one-at-a-time loop would.
+/// This is the hot loop of trace-driven evaluation (CLI `replay`, benches);
+/// results are identical to per-record [`SetAssocCache::access`] calls.
+pub fn replay_llc_trace<P: ReplacementPolicy>(
+    cache: &mut SetAssocCache<P>,
+    trace: &LlcTrace,
+) -> ReplaySummary {
+    let mut summary = ReplaySummary::default();
+    let mut batch: Vec<Access> = Vec::with_capacity(REPLAY_CHUNK);
+    let mut outcomes: Vec<AccessOutcome> = Vec::with_capacity(REPLAY_CHUNK);
+    let mut seq = 0u64;
+    for chunk in trace.records().chunks(REPLAY_CHUNK) {
+        batch.clear();
+        batch.extend(chunk.iter().map(|r| {
+            let access = Access { pc: r.pc, addr: r.line << 6, kind: r.kind, core: r.core, seq };
+            seq += 1;
+            access
+        }));
+        outcomes.clear();
+        cache.access_batch(&batch, &mut outcomes);
+        for (record, outcome) in chunk.iter().zip(&outcomes) {
+            summary.accesses += 1;
+            summary.hits += u64::from(outcome.hit);
+            if record.kind.is_demand() {
+                summary.demand_accesses += 1;
+                summary.demand_hits += u64::from(outcome.hit);
+            }
+        }
+    }
+    summary
 }
 
 /// Runs a 4-core mix on the paper's quad-core system; returns per-core

@@ -44,7 +44,7 @@ pub fn table1() -> Table {
         table.push_row(vec![
             kind.name().to_owned(),
             if kind.uses_pc() { "yes" } else { "no" }.to_owned(),
-            format!("{:.2}", kb(policy.as_ref())),
+            format!("{:.2}", kb(&policy)),
             paper.to_owned(),
         ]);
     }

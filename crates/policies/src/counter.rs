@@ -77,6 +77,10 @@ impl CounterBased {
 }
 
 impl ReplacementPolicy for CounterBased {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "Counter(AIP)".to_owned()
     }

@@ -113,6 +113,10 @@ impl Eva {
 }
 
 impl ReplacementPolicy for Eva {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "EVA".to_owned()
     }

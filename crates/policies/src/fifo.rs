@@ -23,6 +23,10 @@ impl Fifo {
 }
 
 impl ReplacementPolicy for Fifo {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "FIFO".to_owned()
     }

@@ -197,6 +197,10 @@ impl Glider {
 }
 
 impl ReplacementPolicy for Glider {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "Glider".to_owned()
     }

@@ -154,6 +154,10 @@ impl Hawkeye {
 }
 
 impl ReplacementPolicy for Hawkeye {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "Hawkeye".to_owned()
     }

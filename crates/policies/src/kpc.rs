@@ -31,6 +31,10 @@ impl KpcR {
 }
 
 impl ReplacementPolicy for KpcR {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "KPC-R".to_owned()
     }

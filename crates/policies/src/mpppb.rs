@@ -116,6 +116,10 @@ impl Mpppb {
 }
 
 impl ReplacementPolicy for Mpppb {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "MPPPB".to_owned()
     }

@@ -103,6 +103,10 @@ impl Pdp {
 }
 
 impl ReplacementPolicy for Pdp {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "PDP".to_owned()
     }

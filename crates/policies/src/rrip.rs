@@ -66,6 +66,10 @@ impl Srrip {
 }
 
 impl ReplacementPolicy for Srrip {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "SRRIP".to_owned()
     }
@@ -115,6 +119,10 @@ impl Brrip {
 }
 
 impl ReplacementPolicy for Brrip {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "BRRIP".to_owned()
     }
@@ -185,6 +193,10 @@ impl Drrip {
 }
 
 impl ReplacementPolicy for Drrip {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "DRRIP".to_owned()
     }

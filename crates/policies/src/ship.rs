@@ -54,6 +54,10 @@ impl Ship {
 }
 
 impl ReplacementPolicy for Ship {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "SHiP".to_owned()
     }

@@ -66,6 +66,10 @@ impl ShipPp {
 }
 
 impl ReplacementPolicy for ShipPp {
+    fn uses_line_snapshots(&self) -> bool {
+        false // victim choice reads only internal (set, way) metadata
+    }
+
     fn name(&self) -> String {
         "SHiP++".to_owned()
     }

@@ -15,9 +15,12 @@ fn load(pc: u64, line: u64, seq: u64) -> Access {
 /// One-set workload: a promoted hot pair interleaved with scan bursts.
 /// The hot pair is touched twice up front so promotion-based policies have
 /// their hit bit/RRPV established before the scans begin.
-fn scan_with_hot(cache: &mut SetAssocCache, rounds: u64) -> (u64, u64) {
+fn scan_with_hot<P: cache_sim::ReplacementPolicy>(
+    cache: &mut SetAssocCache<P>,
+    rounds: u64,
+) -> (u64, u64) {
     let mut seq = 0u64;
-    let mut touch = |cache: &mut SetAssocCache, line: u64, pc: u64| {
+    let mut touch = |cache: &mut SetAssocCache<P>, line: u64, pc: u64| {
         let hit = cache.access(&load(pc, line * 4, seq)).hit; // stay in set 0 (4 sets)
         seq += 1;
         hit
@@ -45,8 +48,8 @@ fn scan_with_hot(cache: &mut SetAssocCache, rounds: u64) -> (u64, u64) {
 #[test]
 fn srrip_protects_hot_lines_against_scans_better_than_lru() {
     let cfg = geometry();
-    let mut lru = SetAssocCache::new("lru", cfg, Box::new(TrueLru::new(&cfg)));
-    let mut srrip = SetAssocCache::new("srrip", cfg, Box::new(Srrip::new(&cfg)));
+    let mut lru = SetAssocCache::new("lru", cfg, TrueLru::new(&cfg));
+    let mut srrip = SetAssocCache::new("srrip", cfg, Srrip::new(&cfg));
     let (lru_hits, refs) = scan_with_hot(&mut lru, 1_500);
     let (srrip_hits, _) = scan_with_hot(&mut srrip, 1_500);
     assert!(

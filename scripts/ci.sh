@@ -15,6 +15,13 @@ cargo test -q --offline --workspace
 echo "==> cargo bench --no-run --offline"
 cargo bench --no-run --offline --workspace
 
+echo "==> bench smoke (hot-path speedup gate)"
+# Replays a short captured trace through the frozen seed simulator and the
+# packed hot path; fails if the in-process speedup ratio drops >20% below
+# crates/bench/ci_baseline.json (ratios cancel machine speed, so this is
+# stable across hosts where absolute accesses/sec are not).
+cargo bench --offline -p rlr-bench --bench ci_smoke
+
 echo "==> fault-injection suite"
 cargo test -q --offline -p experiments --test resilience
 cargo test -q --offline -p rl --test resume

@@ -144,3 +144,45 @@ fn rlr_multicore_extension_matches_paper_direction_on_asymmetric_mix() {
         lru_stats[0].llc.demand_hits()
     );
 }
+
+/// Exact LLC demand-hit counters captured on the pre-rewrite (AoS,
+/// `Box<dyn>`-dispatched) simulator for the paper's 8 training benchmarks,
+/// LRU vs RLR, with the harness of [`run`] (200k warm-up, 800k measured).
+///
+/// The hot-path rewrite (static dispatch + packed metadata) must not move
+/// a single counter: any drift here is a semantic change, not a speedup.
+/// If a deliberate behavioural change ever invalidates these numbers,
+/// recapture them with the `ReferenceCache` oracle and say why in the
+/// commit.
+const GOLDEN_DEMAND_HITS: [(&str, [(u64, u64); 2]); 8] = [
+    ("459.GemsFDTD", [(246, 17861), (221, 17861)]),
+    ("403.gcc", [(1124, 9897), (1124, 9897)]),
+    ("429.mcf", [(1624, 31210), (1729, 31210)]),
+    ("450.soplex", [(8489, 25611), (8167, 25611)]),
+    ("470.lbm", [(2684, 27364), (1542, 27364)]),
+    ("437.leslie3d", [(328, 16055), (316, 16055)]),
+    ("471.omnetpp", [(1243, 23337), (1226, 23337)]),
+    ("483.xalancbmk", [(1733, 21261), (1647, 21261)]),
+];
+
+#[test]
+fn golden_training_set_counters_survive_the_hot_path_rewrite() {
+    assert_eq!(
+        GOLDEN_DEMAND_HITS.map(|(name, _)| name),
+        workloads::TRAINING_SET,
+        "training set changed — recapture the golden counters"
+    );
+    for (name, golden) in GOLDEN_DEMAND_HITS {
+        let wl = workloads::spec2006(name).expect("training benchmark");
+        for (kind, (hits, accesses)) in [PolicyKind::Lru, PolicyKind::Rlr].into_iter().zip(golden)
+        {
+            let stats = run(&wl, kind);
+            assert_eq!(
+                (stats.llc.demand_hits(), stats.llc.demand_accesses()),
+                (hits, accesses),
+                "{name}/{}: LLC demand counters drifted from the golden capture",
+                kind.name()
+            );
+        }
+    }
+}
