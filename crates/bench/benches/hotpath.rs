@@ -18,9 +18,10 @@ use cache_sim::{
     Access, CoreHierarchy, LlcTrace, ReferenceCache, SetAssocCache, SharedLlc, SingleCoreSystem,
     SystemConfig,
 };
-use experiments::runner::replay_llc_trace;
+use experiments::runner::{replay_llc_reader, replay_llc_trace};
 use experiments::PolicyKind;
-use rlr_bench::harness::{self, Throughput};
+use rlr_bench::harness::{self, Measurement, Throughput};
+use trace_io::TraceReader;
 
 const WARMUP: u64 = 200_000;
 const MEASURE: u64 = 800_000;
@@ -112,6 +113,44 @@ fn main() {
     println!("headline: packed RLR replay is {overall:.2}x the seed simulator");
     rows.push(Throughput { measurement: seed, accesses });
     rows.push(Throughput { measurement: packed, accesses });
+
+    // Compressed trace container vs the raw fixed-width encoding: codec
+    // throughput, size ratio, and whether streaming replay from the
+    // compressed form keeps up with the in-memory path.
+    let compressed = trace_io::encode_trace(&trace, trace_io::DEFAULT_BLOCK_LEN)
+        .expect("in-memory encode cannot fail");
+    let raw_bytes = 12 + 18 * accesses; // legacy LLCT fixed-width size
+    let pct = compressed.len() as f64 * 100.0 / raw_bytes as f64;
+    println!(
+        "trace_io: container {} bytes vs {} raw fixed-width ({pct:.1}% of raw)",
+        compressed.len(),
+        raw_bytes
+    );
+    let enc = harness::bench("trace_io/encode", || {
+        black_box(
+            trace_io::encode_trace(&trace, trace_io::DEFAULT_BLOCK_LEN).expect("encode").len(),
+        )
+    });
+    let dec = harness::bench("trace_io/decode", || {
+        let reader = TraceReader::new(compressed.as_slice()).expect("valid header");
+        black_box(reader.read_to_trace().expect("valid container").len())
+    });
+    let streamed = harness::bench("llc_replay/Rlr/compressed_stream", || {
+        let mut reader = TraceReader::new(compressed.as_slice()).expect("valid header");
+        let mut cache =
+            SetAssocCache::new("packed", config.llc, PolicyKind::Rlr.build(&config.llc, None));
+        black_box(replay_llc_reader(&mut cache, &mut reader).expect("valid container").hits)
+    });
+    rows.push(Throughput { measurement: enc, accesses });
+    rows.push(Throughput { measurement: dec, accesses });
+    rows.push(Throughput { measurement: streamed, accesses });
+    // The ratio itself rides along in the JSON (percent in `median_ns`,
+    // single-shot), so the perf-over-time report tracks size regressions
+    // alongside speed.
+    rows.push(Throughput {
+        measurement: Measurement::once("trace_io/compressed_pct_of_raw", pct.round() as u64),
+        accesses,
+    });
 
     // Per hierarchy level: the private levels are monomorphized TrueLru
     // caches; drive them with working sets each level can hold.

@@ -109,6 +109,14 @@ impl<P: ReplacementPolicy> SharedLlc<P> {
         self.capture.take()
     }
 
+    /// Returns the records captured so far and *keeps capturing*, letting a
+    /// streaming consumer drain the buffer periodically so capture memory
+    /// stays bounded however long the run. Returns `None` when capture was
+    /// never enabled.
+    pub fn drain_capture(&mut self) -> Option<LlcTrace> {
+        self.capture.as_mut().map(std::mem::take)
+    }
+
     /// Allows the policy's [`crate::Decision::Bypass`] to be honoured.
     pub fn set_allow_bypass(&mut self, allow: bool) {
         self.cache.set_allow_bypass(allow);
@@ -530,6 +538,21 @@ mod tests {
         let trace = llc.take_capture().expect("capture was enabled");
         assert!(!trace.is_empty());
         assert_eq!(trace.records()[0].line, 0x4000_0000 >> 6);
+    }
+
+    #[test]
+    fn drain_capture_keeps_capturing() {
+        let (mut h, mut llc) = system();
+        assert!(llc.drain_capture().is_none(), "capture not enabled yet");
+        llc.enable_capture();
+        h.data_access(0x400, 0x4000_0000, false, &mut llc);
+        let first = llc.drain_capture().expect("capture enabled");
+        assert!(!first.is_empty());
+        // Still capturing after the drain: a new line reaches the buffer.
+        h.data_access(0x404, 0x5000_0000, false, &mut llc);
+        let second = llc.take_capture().expect("capture still enabled");
+        assert!(second.records().iter().any(|r| r.line == 0x5000_0000 >> 6));
+        assert!(!second.records().iter().any(|r| r.line == 0x4000_0000 >> 6));
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod timing;
 pub use access::{Access, AccessKind};
 pub use cache::{AccessOutcome, SetAssocCache};
 pub use reference::ReferenceCache;
-pub use capture::{LlcRecord, LlcTrace};
+pub use capture::{LlcRecord, LlcTrace, TraceFormatError};
 pub use dram::DramModel;
 pub use config::{CacheConfig, L2PrefetcherKind, SystemConfig};
 pub use hierarchy::{CoreHierarchy, LlcOutcome, ServiceLevel, SharedLlc};

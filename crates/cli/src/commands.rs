@@ -2,12 +2,14 @@
 
 use std::fs;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 
 use cache_sim::{LlcTrace, SingleCoreSystem, SystemConfig};
 use experiments::checkpoint::{self, write_atomic};
-use experiments::runner::{run_tasks_resilient, RunOptions};
+use experiments::runner::{replay_llc_reader, run_tasks_resilient, RunOptions};
 use experiments::{PolicyKind, Table};
 use rl::{Agent, AgentConfig, FeatureSet, LlcModel, Mlp, Trainer};
+use trace_io::{TraceFormat, TraceReader, TraceWriter};
 use workloads::{Workload, CLOUDSUITE, SPEC2006};
 
 use crate::args::{ArgError, Args};
@@ -229,28 +231,35 @@ pub fn capture(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Loads a whole trace from either on-disk format (legacy `LLCT` or the
+/// compressed `RLT1` container), sniffed by magic.
 fn load_trace(path: &str) -> Result<LlcTrace, ArgError> {
-    let file = fs::File::open(path).map_err(|e| ArgError(format!("open {path}: {e}")))?;
-    LlcTrace::read_from(BufReader::new(file)).map_err(|e| ArgError(format!("read {path}: {e}")))
+    trace_io::read_trace_file(Path::new(path)).map_err(|e| ArgError(format!("read {path}: {e}")))
 }
 
-/// `rlr replay <trace.bin> [--policy P|belady|agent] [--agent FILE]` —
+/// `rlr replay <trace> [--policy P|belady|agent] [--agent FILE]` —
 /// trace-driven replay through the LLC-only model or a full cache.
+/// Accepts both trace formats; an online policy over an `RLT1` container
+/// replays block-by-block without loading the trace.
 pub fn replay(args: &Args) -> Result<(), ArgError> {
     args.expect_known(&["policy", "agent", "hidden"])?;
     let path = args
         .positional()
         .first()
-        .ok_or_else(|| ArgError("usage: rlr replay <trace.bin> [--policy P]".to_owned()))?;
-    let trace = load_trace(path)?;
+        .ok_or_else(|| ArgError("usage: rlr replay <trace> [--policy P]".to_owned()))?;
+    let format = trace_io::sniff_format(Path::new(path))
+        .map_err(|e| ArgError(format!("read {path}: {e}")))?;
     let config = SystemConfig::paper_single_core();
     let name = args.get_or("policy", "belady").to_lowercase();
 
+    // (policy, demand hit rate, hits, accesses)
     let stats: (String, f64, u64, u64) = if name == "belady" || name == "opt" {
+        let trace = load_trace(path)?;
         let mut model = LlcModel::new(&config.llc, &trace);
         let s = model.run_belady(&trace);
         ("Belady".to_owned(), s.demand_hit_rate(), s.hits, s.accesses)
     } else if name == "agent" {
+        let trace = load_trace(path)?;
         let agent_path = args
             .get("agent")
             .ok_or_else(|| ArgError("--agent <file> required with --policy agent".to_owned()))?;
@@ -266,16 +275,30 @@ pub fn replay(args: &Args) -> Result<(), ArgError> {
         ("RL agent".to_owned(), s.demand_hit_rate(), s.hits, s.accesses)
     } else {
         let kind = policy_by_name(&name)?;
-        let mut cache = cache_sim::SetAssocCache::new(
-            "LLC",
-            config.llc,
-            kind.build(&config.llc, Some(&trace)),
-        );
-        let summary = experiments::runner::replay_llc_trace(&mut cache, &trace);
-        (kind.name().to_owned(), summary.demand_hit_rate(), summary.hits, trace.len() as u64)
+        if format == TraceFormat::Rlt && kind != PolicyKind::Belady {
+            // Online policies don't need the trace up front: stream the
+            // container through the cache with O(block) memory.
+            let file = fs::File::open(path).map_err(|e| ArgError(format!("open {path}: {e}")))?;
+            let mut reader = TraceReader::new(BufReader::new(file))
+                .map_err(|e| ArgError(format!("read {path}: {e}")))?;
+            let mut cache =
+                cache_sim::SetAssocCache::new("LLC", config.llc, kind.build(&config.llc, None));
+            let summary = replay_llc_reader(&mut cache, &mut reader)
+                .map_err(|e| ArgError(format!("replay {path}: {e}")))?;
+            (kind.name().to_owned(), summary.demand_hit_rate(), summary.hits, summary.accesses)
+        } else {
+            let trace = load_trace(path)?;
+            let mut cache = cache_sim::SetAssocCache::new(
+                "LLC",
+                config.llc,
+                kind.build(&config.llc, Some(&trace)),
+            );
+            let summary = experiments::runner::replay_llc_trace(&mut cache, &trace);
+            (kind.name().to_owned(), summary.demand_hit_rate(), summary.hits, trace.len() as u64)
+        }
     };
 
-    println!("trace        {path} ({} records)", trace.len());
+    println!("trace        {path} ({} records)", stats.3);
     println!("policy       {}", stats.0);
     println!("demand hit   {:.2}%", stats.1 * 100.0);
     println!("total hits   {} / {}", stats.2, stats.3);
@@ -435,6 +458,199 @@ pub fn overhead() -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `rlr trace <capture|export|info|verify|convert> ...` — the compressed
+/// trace-container toolbox.
+pub fn trace(args: &Args) -> Result<(), ArgError> {
+    let usage = "usage: rlr trace <capture|export|info|verify|convert> ...";
+    let action = args.positional().first().ok_or_else(|| ArgError(usage.to_owned()))?.clone();
+    match action.as_str() {
+        "capture" => trace_capture(args),
+        "export" => trace_export(args),
+        "info" => trace_info(args),
+        "verify" => trace_verify(args),
+        "convert" => trace_convert(args),
+        other => Err(ArgError(format!("unknown trace action `{other}`; {usage}"))),
+    }
+}
+
+fn open_trace_writer(out: &str, block: u32) -> Result<TraceWriter<BufWriter<fs::File>>, ArgError> {
+    let file = fs::File::create(out).map_err(|e| ArgError(format!("create {out}: {e}")))?;
+    TraceWriter::with_block_len(BufWriter::new(file), block)
+        .map_err(|e| ArgError(format!("write {out}: {e}")))
+}
+
+/// `rlr trace capture <bench> --out FILE [--records N] [--warmup N]
+///  [--block N]` — stream an LLC capture straight into a compressed
+/// container. The capture buffer is drained every simulation slice, so
+/// memory stays bounded by one slice plus one block at any trace length.
+fn trace_capture(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&["out", "records", "warmup", "block"])?;
+    let bench = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| ArgError("usage: rlr trace capture <benchmark> --out trace.rlt".to_owned()))?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("--out <file> is required".to_owned()))?;
+    let records = args.get_num("records", 100_000u64)?;
+    let warmup = args.get_num("warmup", 1_000_000u64)?;
+    let block = args.get_num("block", trace_io::DEFAULT_BLOCK_LEN)?;
+    let workload = workload_by_name(bench)?;
+
+    let mut writer = open_trace_writer(out, block)?;
+    let config = SystemConfig::paper_single_core();
+    let mut system = SingleCoreSystem::new(&config, PolicyKind::Lru.build(&config.llc, None));
+    let mut stream = workload.stream();
+    system.warm_up(&mut stream, warmup);
+    system.llc_mut().enable_capture();
+    let mut written = 0u64;
+    let mut instructions = 0u64;
+    loop {
+        instructions += 1_000_000;
+        let _ = system.run(&mut stream, instructions);
+        let drained = system
+            .llc_mut()
+            .drain_capture()
+            .ok_or_else(|| ArgError(experiments::RunnerError::CaptureUnavailable.to_string()))?;
+        let take = (records - written).min(drained.len() as u64) as usize;
+        writer
+            .extend(&drained.records()[..take])
+            .map_err(|e| ArgError(format!("write {out}: {e}")))?;
+        written += take as u64;
+        if written >= records || instructions > 400_000_000 {
+            break;
+        }
+    }
+    writer.finish().map_err(|e| ArgError(format!("write {out}: {e}")))?;
+    println!("captured {written} LLC records from {bench} into {out}");
+    Ok(())
+}
+
+/// `rlr trace export <bench> --out FILE [--records N] [--block N]` —
+/// write a synthetic workload's raw demand stream (pre-hierarchy) as a
+/// container, without simulating the caches.
+fn trace_export(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&["out", "records", "block"])?;
+    let bench = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| ArgError("usage: rlr trace export <benchmark> --out trace.rlt".to_owned()))?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("--out <file> is required".to_owned()))?;
+    let records = args.get_num("records", 100_000u64)?;
+    let block = args.get_num("block", trace_io::DEFAULT_BLOCK_LEN)?;
+    let workload = workload_by_name(bench)?;
+
+    let mut writer = open_trace_writer(out, block)?;
+    let written = trace_io::export_workload(&workload, records, &mut writer)
+        .map_err(|e| ArgError(format!("write {out}: {e}")))?;
+    writer.finish().map_err(|e| ArgError(format!("write {out}: {e}")))?;
+    println!("exported {written} demand records from {bench} into {out}");
+    Ok(())
+}
+
+/// `rlr trace info <FILE>` — summarize either trace format.
+fn trace_info(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&[])?;
+    let path = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| ArgError("usage: rlr trace info <file>".to_owned()))?;
+    match trace_io::sniff_format(Path::new(path)).map_err(|e| ArgError(format!("{path}: {e}")))? {
+        TraceFormat::Rlt => {
+            let file = fs::File::open(path).map_err(|e| ArgError(format!("open {path}: {e}")))?;
+            let summary = trace_io::scan(BufReader::new(file))
+                .map_err(|e| ArgError(format!("{path}: {e}")))?;
+            println!("{summary}");
+        }
+        TraceFormat::Legacy => {
+            let trace = load_trace(path)?;
+            println!("format       legacy LLCT (fixed-width records)");
+            println!("records      {}", trace.len());
+            println!("size         {} bytes", 12 + 18 * trace.len());
+        }
+    }
+    Ok(())
+}
+
+/// `rlr trace verify <FILE>` — full verifying scan (checksums, structure,
+/// end-frame totals); exits non-zero on the first violation.
+fn trace_verify(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&[])?;
+    let path = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| ArgError("usage: rlr trace verify <file>".to_owned()))?;
+    let file = fs::File::open(path).map_err(|e| ArgError(format!("open {path}: {e}")))?;
+    let summary =
+        trace_io::scan(BufReader::new(file)).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    println!("{path}: OK — {} records in {} blocks verified", summary.records, summary.blocks);
+    Ok(())
+}
+
+/// `rlr trace convert <IN> <OUT> [--block N]` — convert between the legacy
+/// fixed-width format and the compressed container (direction chosen by
+/// the input's magic).
+fn trace_convert(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&["block"])?;
+    let (input, output) = match (args.positional().get(1), args.positional().get(2)) {
+        (Some(i), Some(o)) => (i.clone(), o.clone()),
+        _ => return Err(ArgError("usage: rlr trace convert <in> <out> [--block N]".to_owned())),
+    };
+    let block = args.get_num("block", trace_io::DEFAULT_BLOCK_LEN)?;
+    let format =
+        trace_io::sniff_format(Path::new(&input)).map_err(|e| ArgError(format!("{input}: {e}")))?;
+    let trace = load_trace(&input)?;
+    match format {
+        TraceFormat::Legacy => {
+            trace_io::write_trace_file(Path::new(&output), &trace, block)
+                .map_err(|e| ArgError(format!("write {output}: {e}")))?;
+            println!("converted {input} (legacy) -> {output} (RLT1, {} records)", trace.len());
+        }
+        TraceFormat::Rlt => {
+            let file =
+                fs::File::create(&output).map_err(|e| ArgError(format!("create {output}: {e}")))?;
+            trace
+                .write_to(BufWriter::new(file))
+                .map_err(|e| ArgError(format!("write {output}: {e}")))?;
+            println!("converted {input} (RLT1) -> {output} (legacy, {} records)", trace.len());
+        }
+    }
+    Ok(())
+}
+
+/// `rlr perf-report [--bench TARGET] [--record LABEL]` — the perf-over-time
+/// report built from `results/bench/<target>.json` snapshots.
+pub fn perf_report(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&["bench", "record"])?;
+    let target = args.get_or("bench", "hotpath").to_owned();
+    if let Some(label) = args.get("record") {
+        match experiments::perf::record_snapshot(&target, label)
+            .map_err(|e| ArgError(format!("record snapshot: {e}")))?
+        {
+            Some(snap) => println!(
+                "recorded {} row(s) of `{target}` under label `{}`",
+                snap.rows.len(),
+                snap.label
+            ),
+            None => {
+                return Err(ArgError(format!(
+                    "no bench artifact for `{target}`; run `cargo bench -p rlr-bench --bench {target}` first"
+                )))
+            }
+        }
+    }
+    match experiments::perf::trend_table(&target) {
+        Some(table) => println!("{}", table.render()),
+        None => println!(
+            "no recorded history for `{target}` yet; record one with \
+             `rlr perf-report --bench {target} --record <label>`"
+        ),
+    }
+    Ok(())
+}
+
 /// `rlr help` — usage.
 pub fn help() {
     println!(
@@ -449,13 +665,22 @@ COMMANDS:
   compare <bench...>            speedup-over-LRU     [--policies a,b,c] [--instructions N]
                                                      [--jobs N]
   capture <bench>               record an LLC trace  --out FILE [--records N]
-  replay <trace.bin>            trace-driven replay  [--policy P|belady|agent] [--agent FILE]
+                                                     (legacy format; see `trace capture`)
+  replay <trace>                trace-driven replay  [--policy P|belady|agent] [--agent FILE]
+                                (either format; RLT1 + online policy streams block-by-block)
   train <bench|trace.bin>       train a DQN agent    --out FILE [--epochs N] [--hidden N]
                                                      [--resume] [--checkpoint FILE]
                                                      [--stop-after N]
   analyze                       agent weight heatmap --agent FILE [--top N]
   characterize <bench>          workload personality [--entries N]
   overhead                      Table I (policy metadata budgets)
+  trace capture <bench>         streaming compressed capture  --out FILE [--records N]
+                                                     [--warmup N] [--block N]
+  trace export <bench>          workload demand stream -> container  --out FILE [--records N]
+  trace info <file>             summarize a trace file (either format)
+  trace verify <file>           checksum-verify an RLT1 container
+  trace convert <in> <out>      legacy <-> RLT1 (direction by input magic)  [--block N]
+  perf-report                   perf-over-time table [--bench TARGET] [--record LABEL]
   help                          this text
 
 FAULT TOLERANCE (compare + bench sweeps):

@@ -26,6 +26,8 @@ fn main() {
         "analyze" => commands::analyze(&parsed),
         "characterize" => commands::characterize(&parsed),
         "overhead" => commands::overhead(),
+        "trace" => commands::trace(&parsed),
+        "perf-report" => commands::perf_report(&parsed),
         "help" | "--help" | "-h" => {
             commands::help();
             Ok(())

@@ -134,6 +134,12 @@ impl RlrConfig {
             "demand-hit window must be a power of two (hardware shift)"
         );
         assert!(self.rd_multiplier > 0.0, "RD multiplier must be positive");
+        // The victim scan packs the total priority into a 10-bit key
+        // field; the worst case is age_weight + type + hit + top core rank.
+        assert!(
+            self.age_weight + 2 + u32::from(self.core_priority_cores.saturating_sub(1)) <= 1023,
+            "maximum line priority must fit the victim key's 10-bit field"
+        );
         if let AgeUnit::MissEpochs { misses_per_epoch } = self.age_unit {
             assert!(
                 misses_per_epoch.is_power_of_two() && misses_per_epoch > 0,

@@ -214,18 +214,28 @@ impl ReplacementPolicy for RlrPolicy {
             AgeUnit::SetAccesses => self.access_clock[set as usize],
             AgeUnit::MissEpochs { .. } => self.current_epoch(set),
         };
+        let clock = self.access_clock[set as usize];
         let access_stamps = &self.access_stamp[base..base + ways];
         let epoch_stamps = &self.epoch_stamp[base..base + ways];
         let metas = &self.meta[base..base + ways];
 
         // Branchless min-reduction: the victim is the minimum of the
-        // lexicographic key (priority, !recency, way). Lowest priority
-        // wins; among equals the *most recently* accessed line goes
-        // (largest recency key, hence the complement); full ties keep the
-        // lowest way index. Keys are unique (the way is in the low bits),
-        // so the minimum is exactly the line the old compare-and-branch
-        // scan selected.
-        let mut best_key = u128::MAX;
+        // lexicographic key (priority, staleness, way) packed into a
+        // single u64 — priority in bits [54..64] (≤ 1023, enforced by
+        // `RlrConfig::validate`), staleness in bits [16..54], the way in
+        // the low 16. Lowest priority wins; among equals the *most
+        // recently* accessed line goes (smallest staleness); full ties
+        // keep the lowest way index. Staleness is `clock − stamp` in
+        // exact mode — the old key compared raw stamps complemented, and
+        // `u64::MAX − stamp = (u64::MAX − clock) + (clock − stamp)`
+        // differs only by a constant per scan, so the argmin is the same
+        // line — and the (already clamped) age in approximate mode. 38
+        // bits of staleness cover ~2.7×10^11 set accesses before the
+        // saturating clamp could even fire. Keys are unique (the way is
+        // in the low bits), so the minimum is exactly the line the old
+        // compare-and-branch scan selected.
+        const REC_MASK: u64 = (1 << 38) - 1;
+        let mut best_key = u64::MAX;
         let mut any_past_rd = false;
         for way in 0..ways {
             let raw = match unit {
@@ -242,9 +252,10 @@ impl ReplacementPolicy for RlrPolicy {
             if let Some(line) = lines.get(way) {
                 p += self.core_priority.get(usize::from(line.core)).copied().unwrap_or(0);
             }
-            let rec = if exact_recency { access_stamps[way] } else { u64::MAX - age };
+            let staleness = if exact_recency { clock - access_stamps[way] } else { age };
             any_past_rd |= age > rd;
-            let key = (u128::from(p) << 96) | (u128::from(!rec) << 16) | way as u128;
+            debug_assert!(p < 1024, "priority must fit the key's 10-bit field");
+            let key = (u64::from(p) << 54) | (staleness.min(REC_MASK) << 16) | way as u64;
             best_key = best_key.min(key);
         }
         if self.config.bypass && !any_past_rd {

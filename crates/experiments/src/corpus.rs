@@ -1,0 +1,200 @@
+//! The trace corpus: capture-once / replay-many storage for LLC traces.
+//!
+//! Every trace-driven experiment used to re-capture its traces (or cache
+//! them in the legacy fixed-width format, fully resident). The corpus
+//! stores each `(benchmark, scale)` trace exactly once, as a compressed
+//! `RLT1` container under `results/corpus/`, and hands it to any number of
+//! replays. Publication is atomic ([`crate::checkpoint::write_atomic`]),
+//! so an interrupted capture can never be mistaken for a complete trace —
+//! complementing the container's own end-frame truncation detection — and
+//! an existing legacy `.trace` cache is migrated in place of re-simulating.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+use cache_sim::{LlcTrace, SystemConfig, SingleCoreSystem};
+use trace_io::{TraceIoError, TraceReader, TraceWriter};
+use workloads::{spec2006, Workload};
+
+use crate::checkpoint::write_atomic;
+use crate::report::results_dir;
+use crate::roster::PolicyKind;
+use crate::runner::{capture_llc_trace, watchdog_tick, RunnerError};
+use crate::scale::Scale;
+
+/// Why a corpus trace could not be produced or loaded.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The underlying simulation could not run.
+    Runner(RunnerError),
+    /// Reading or writing the container failed.
+    Trace(TraceIoError),
+    /// Filesystem failure outside the container codec.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Runner(e) => write!(f, "capture failed: {e}"),
+            Self::Trace(e) => write!(f, "trace container: {e}"),
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<RunnerError> for CorpusError {
+    fn from(e: RunnerError) -> Self {
+        Self::Runner(e)
+    }
+}
+
+impl From<TraceIoError> for CorpusError {
+    fn from(e: TraceIoError) -> Self {
+        Self::Trace(e)
+    }
+}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Where corpus containers live (honours `RLR_RESULTS_DIR`).
+pub fn corpus_dir() -> PathBuf {
+    results_dir().join("corpus")
+}
+
+/// The corpus file for one `(benchmark, scale)` pair.
+pub fn corpus_path(name: &str, scale: Scale) -> PathBuf {
+    corpus_dir().join(format!("{}_{}.rlt", name.replace('.', "_"), scale))
+}
+
+/// The legacy pipeline cache file this corpus entry supersedes.
+fn legacy_path(name: &str, scale: Scale) -> PathBuf {
+    results_dir().join("cache").join(format!("{}_{}.trace", name.replace('.', "_"), scale))
+}
+
+/// Captures a workload's LLC trace *directly into* `writer`, draining the
+/// capture buffer every simulation slice so peak memory is one slice of
+/// records plus one container block — never the whole trace. The record
+/// stream is identical to [`capture_llc_trace`] with the same arguments
+/// (same warm-up, same slicing, same instruction ceiling); only the
+/// buffering differs.
+///
+/// Returns the number of records written (≤ `max_records`).
+///
+/// # Errors
+///
+/// Returns [`RunnerError::CaptureUnavailable`] wrapped in
+/// [`CorpusError::Runner`] if the LLC stops yielding its capture buffer,
+/// or any container/I/O error from the writer.
+pub fn capture_stream<W: Write>(
+    workload: &Workload,
+    scale: Scale,
+    max_records: u64,
+    writer: &mut TraceWriter<W>,
+) -> Result<u64, CorpusError> {
+    let config = SystemConfig::paper_single_core();
+    let mut system = SingleCoreSystem::new(&config, PolicyKind::Lru.build(&config.llc, None));
+    let mut stream = workload.stream();
+    system.warm_up(&mut stream, scale.warmup() / 2);
+    system.llc_mut().enable_capture();
+    let mut written = 0u64;
+    let mut instructions = 0u64;
+    loop {
+        watchdog_tick(1);
+        instructions += 1_000_000;
+        let _ = system.run(&mut stream, instructions);
+        let drained =
+            system.llc_mut().drain_capture().ok_or(RunnerError::CaptureUnavailable)?;
+        let take = (max_records - written).min(drained.len() as u64) as usize;
+        writer.extend(&drained.records()[..take])?;
+        written += take as u64;
+        if written >= max_records || instructions >= 40 * scale.instructions() {
+            return Ok(written);
+        }
+    }
+}
+
+/// Loads a `(benchmark, scale)` trace from the corpus, building it if
+/// needed. Resolution order:
+///
+/// 1. an existing corpus container with at least half the scale's target
+///    record count (so a smaller-scale capture is never silently reused);
+/// 2. a legacy `results/cache/*.trace` file, migrated into the corpus;
+/// 3. a fresh capture, published atomically.
+///
+/// `retrain` (the pipeline's `RLR_RETRAIN` switch) skips 1 and 2.
+///
+/// # Errors
+///
+/// Returns any capture or container error; a short or unreadable cached
+/// file is not an error — it falls through to the next source.
+pub fn load_or_capture(
+    name: &'static str,
+    scale: Scale,
+    retrain: bool,
+) -> Result<LlcTrace, CorpusError> {
+    let min_len = scale.rl_trace_len() / 2;
+    let path = corpus_path(name, scale);
+    if !retrain {
+        if let Ok(trace) = trace_io::read_trace_file(&path) {
+            if trace.len() >= min_len {
+                eprintln!("[corpus] {name}: loaded {} records from {}", trace.len(), path.display());
+                return Ok(trace);
+            }
+        }
+        if let Ok(f) = fs::File::open(legacy_path(name, scale)) {
+            if let Ok(trace) = LlcTrace::read_from(std::io::BufReader::new(f)) {
+                if trace.len() >= min_len {
+                    eprintln!("[corpus] {name}: migrating legacy trace ({} records)", trace.len());
+                    publish(&path, &trace)?;
+                    return Ok(trace);
+                }
+            }
+        }
+    }
+    eprintln!("[corpus] {name}: capturing LLC trace...");
+    let workload = spec2006(name).ok_or_else(|| {
+        CorpusError::Runner(RunnerError::UnknownBenchmark(name.to_owned()))
+    })?;
+    let trace = capture_llc_trace(&workload, scale, scale.rl_trace_len())?;
+    publish(&path, &trace)?;
+    Ok(trace)
+}
+
+/// Encodes `trace` and publishes it atomically at `path`.
+fn publish(path: &PathBuf, trace: &LlcTrace) -> Result<(), CorpusError> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let bytes = trace_io::encode_trace(trace, trace_io::DEFAULT_BLOCK_LEN)?;
+    write_atomic(path, &bytes)?;
+    Ok(())
+}
+
+/// Full verification pass over one corpus entry (used by `trace verify`
+/// and the experiment preflight): checksums, structure, and totals.
+///
+/// # Errors
+///
+/// Returns the first container error the scan hits.
+pub fn verify(name: &str, scale: Scale) -> Result<trace_io::TraceSummary, CorpusError> {
+    let f = fs::File::open(corpus_path(name, scale))?;
+    Ok(trace_io::scan(std::io::BufReader::new(f))?)
+}
+
+/// Opens one corpus entry as a streaming reader (bounded-memory replay).
+///
+/// # Errors
+///
+/// Returns any open or header-validation error.
+pub fn open(name: &str, scale: Scale) -> Result<TraceReader<std::io::BufReader<fs::File>>, CorpusError> {
+    let f = fs::File::open(corpus_path(name, scale))?;
+    Ok(TraceReader::new(std::io::BufReader::new(f))?)
+}

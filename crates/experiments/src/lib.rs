@@ -24,9 +24,11 @@
 
 pub mod ablations;
 pub mod checkpoint;
+pub mod corpus;
 pub mod fault;
 pub mod figures;
 pub mod json;
+pub mod perf;
 pub mod pipeline;
 pub mod report;
 pub mod roster;

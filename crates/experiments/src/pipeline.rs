@@ -6,11 +6,10 @@ use std::path::PathBuf;
 
 use cache_sim::{CacheConfig, LlcTrace, SystemConfig};
 use rl::{Agent, AgentConfig, FeatureSet, Mlp, Trainer};
-use workloads::{spec2006, TRAINING_SET};
+use workloads::TRAINING_SET;
 
 use crate::checkpoint::write_atomic;
 use crate::report::results_dir;
-use crate::runner::capture_llc_trace;
 use crate::scale::Scale;
 
 /// One benchmark's trace and trained agent.
@@ -43,10 +42,6 @@ pub fn agent_config(scale: Scale) -> AgentConfig {
 
 fn cache_dir() -> PathBuf {
     results_dir().join("cache")
-}
-
-fn trace_path(name: &str, scale: Scale) -> PathBuf {
-    cache_dir().join(format!("{}_{}.trace", name.replace('.', "_"), scale))
 }
 
 fn net_path(name: &str, scale: Scale) -> PathBuf {
@@ -91,28 +86,12 @@ impl TrainedPipeline {
     }
 
     fn load_or_capture_trace(name: &'static str, scale: Scale, retrain: bool) -> LlcTrace {
-        let path = trace_path(name, scale);
-        if !retrain {
-            if let Ok(f) = fs::File::open(&path) {
-                if let Ok(trace) = LlcTrace::read_from(std::io::BufReader::new(f)) {
-                    if trace.len() >= scale.rl_trace_len() / 2 {
-                        eprintln!("[pipeline] {name}: loaded cached trace ({} records)", trace.len());
-                        return trace;
-                    }
-                }
-            }
-        }
-        eprintln!("[pipeline] {name}: capturing LLC trace...");
-        let workload = spec2006(name).expect("training benchmarks are in SPEC2006");
-        let trace = capture_llc_trace(&workload, scale, scale.rl_trace_len())
-            .unwrap_or_else(|e| panic!("[pipeline] {name}: trace capture failed: {e}"));
-        let mut bytes = Vec::new();
-        if trace.write_to(&mut bytes).is_ok() {
-            // Atomic write: a crash mid-save must not leave a torn trace
-            // that a later run would load as a short (wrong) capture.
-            let _ = write_atomic(&path, &bytes);
-        }
-        trace
+        // The corpus handles the whole resolution chain: an existing
+        // compressed container, migration of this module's old
+        // `results/cache/*.trace` files, or a fresh capture published
+        // atomically.
+        crate::corpus::load_or_capture(name, scale, retrain)
+            .unwrap_or_else(|e| panic!("[pipeline] {name}: trace unavailable: {e}"))
     }
 
     fn load_or_train_agent(

@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use cache_sim::{
-    Access, AccessOutcome, LlcTrace, MultiCoreSystem, ReplacementPolicy, RunStats,
+    Access, AccessOutcome, LlcRecord, LlcTrace, MultiCoreSystem, ReplacementPolicy, RunStats,
     SetAssocCache, SingleCoreSystem, SystemConfig,
 };
 use workloads::{cloudsuite, spec2006, Workload, WorkloadMix};
@@ -223,6 +223,43 @@ impl ReplaySummary {
     }
 }
 
+/// Reusable scratch buffers plus the sequence counter one replay threads
+/// through its chunks, shared by the in-memory and streaming replay paths
+/// so their access streams (and therefore results) are identical.
+#[derive(Default)]
+struct ReplayState {
+    batch: Vec<Access>,
+    outcomes: Vec<AccessOutcome>,
+    seq: u64,
+    summary: ReplaySummary,
+}
+
+impl ReplayState {
+    /// Replays `records` in [`REPLAY_CHUNK`]-sized batches, continuing the
+    /// running sequence numbering.
+    fn feed<P: ReplacementPolicy>(&mut self, cache: &mut SetAssocCache<P>, records: &[LlcRecord]) {
+        for chunk in records.chunks(REPLAY_CHUNK) {
+            self.batch.clear();
+            self.batch.extend(chunk.iter().map(|r| {
+                let access =
+                    Access { pc: r.pc, addr: r.line << 6, kind: r.kind, core: r.core, seq: self.seq };
+                self.seq += 1;
+                access
+            }));
+            self.outcomes.clear();
+            cache.access_batch(&self.batch, &mut self.outcomes);
+            for (record, outcome) in chunk.iter().zip(&self.outcomes) {
+                self.summary.accesses += 1;
+                self.summary.hits += u64::from(outcome.hit);
+                if record.kind.is_demand() {
+                    self.summary.demand_accesses += 1;
+                    self.summary.demand_hits += u64::from(outcome.hit);
+                }
+            }
+        }
+    }
+}
+
 /// Replays a captured LLC trace through a standalone cache in
 /// [`REPLAY_CHUNK`]-sized batches ([`SetAssocCache::access_batch`]),
 /// sequence-numbering records exactly as a one-at-a-time loop would.
@@ -232,29 +269,33 @@ pub fn replay_llc_trace<P: ReplacementPolicy>(
     cache: &mut SetAssocCache<P>,
     trace: &LlcTrace,
 ) -> ReplaySummary {
-    let mut summary = ReplaySummary::default();
-    let mut batch: Vec<Access> = Vec::with_capacity(REPLAY_CHUNK);
-    let mut outcomes: Vec<AccessOutcome> = Vec::with_capacity(REPLAY_CHUNK);
-    let mut seq = 0u64;
-    for chunk in trace.records().chunks(REPLAY_CHUNK) {
-        batch.clear();
-        batch.extend(chunk.iter().map(|r| {
-            let access = Access { pc: r.pc, addr: r.line << 6, kind: r.kind, core: r.core, seq };
-            seq += 1;
-            access
-        }));
-        outcomes.clear();
-        cache.access_batch(&batch, &mut outcomes);
-        for (record, outcome) in chunk.iter().zip(&outcomes) {
-            summary.accesses += 1;
-            summary.hits += u64::from(outcome.hit);
-            if record.kind.is_demand() {
-                summary.demand_accesses += 1;
-                summary.demand_hits += u64::from(outcome.hit);
-            }
-        }
+    let mut state = ReplayState::default();
+    state.feed(cache, trace.records());
+    state.summary
+}
+
+/// Replays a compressed trace container *as it streams* — each decoded
+/// block is fed straight through the same chunked batching as
+/// [`replay_llc_trace`], so peak memory is one container block plus one
+/// replay chunk, and the resulting [`ReplaySummary`] is identical to
+/// loading the whole trace first.
+///
+/// # Errors
+///
+/// Propagates any [`trace_io::TraceIoError`] from the reader (corrupt or
+/// truncated containers fail the replay rather than silently shortening it).
+pub fn replay_llc_reader<P: ReplacementPolicy, R: std::io::Read>(
+    cache: &mut SetAssocCache<P>,
+    reader: &mut trace_io::TraceReader<R>,
+) -> Result<ReplaySummary, trace_io::TraceIoError> {
+    let mut state = ReplayState::default();
+    while let Some(block) = reader.next_block()? {
+        // `feed` borrows the cache, not the reader, so the block slice
+        // stays valid; watchdog ticks keep streamed replays budgetable.
+        watchdog_tick(1);
+        state.feed(cache, block);
     }
-    summary
+    Ok(state.summary)
 }
 
 /// Runs a 4-core mix on the paper's quad-core system; returns per-core

@@ -1,0 +1,83 @@
+//! The trace-io acceptance wall: a captured 429.mcf LLC trace must
+//! round-trip bit-identically through the compressed container, the
+//! streaming capture must produce the identical record stream as the
+//! in-memory capture, streaming replay must produce identical statistics
+//! to in-memory replay, and the container must stay at or under half the
+//! raw fixed-width encoding.
+
+use cache_sim::{SetAssocCache, SystemConfig};
+use experiments::corpus::capture_stream;
+use experiments::runner::{capture_llc_trace, replay_llc_reader, replay_llc_trace};
+use experiments::{PolicyKind, Scale};
+use trace_io::{TraceReader, TraceWriter};
+
+const RECORDS: usize = 20_000;
+
+fn mcf_trace() -> cache_sim::LlcTrace {
+    let wl = workloads::spec2006("429.mcf").expect("known benchmark");
+    capture_llc_trace(&wl, Scale::Small, RECORDS).expect("capture succeeds")
+}
+
+#[test]
+fn container_round_trip_is_bit_identical() {
+    let trace = mcf_trace();
+    assert_eq!(trace.len(), RECORDS);
+    let bytes = trace_io::encode_trace(&trace, trace_io::DEFAULT_BLOCK_LEN).expect("encode");
+    let back = TraceReader::new(bytes.as_slice())
+        .expect("valid header")
+        .read_to_trace()
+        .expect("valid container");
+    assert_eq!(trace, back, "container round-trip must be bit-identical");
+}
+
+#[test]
+fn streaming_capture_matches_in_memory_capture() {
+    let wl = workloads::spec2006("429.mcf").expect("known benchmark");
+    let reference = mcf_trace();
+    let mut writer = TraceWriter::new(Vec::new()).expect("header");
+    let written = capture_stream(&wl, Scale::Small, RECORDS as u64, &mut writer)
+        .expect("streaming capture succeeds");
+    assert_eq!(written, RECORDS as u64);
+    let bytes = writer.finish().expect("finish");
+    let streamed = TraceReader::new(bytes.as_slice())
+        .expect("valid header")
+        .read_to_trace()
+        .expect("valid container");
+    assert_eq!(reference, streamed, "drain-based capture must produce the same stream");
+}
+
+#[test]
+fn streaming_replay_matches_in_memory_replay() {
+    let trace = mcf_trace();
+    let config = SystemConfig::paper_single_core();
+    let in_memory = {
+        let mut cache =
+            SetAssocCache::new("LLC", config.llc, PolicyKind::Rlr.build(&config.llc, None));
+        replay_llc_trace(&mut cache, &trace)
+    };
+    // Deliberately small blocks so the replay crosses many block
+    // boundaries (and the per-block delta restart actually matters).
+    let bytes = trace_io::encode_trace(&trace, 512).expect("encode");
+    let streamed = {
+        let mut reader = TraceReader::new(bytes.as_slice()).expect("valid header");
+        let mut cache =
+            SetAssocCache::new("LLC", config.llc, PolicyKind::Rlr.build(&config.llc, None));
+        replay_llc_reader(&mut cache, &mut reader).expect("valid container")
+    };
+    assert_eq!(in_memory, streamed, "streaming replay must be statistically identical");
+    assert!(in_memory.accesses == RECORDS as u64);
+    assert!(in_memory.demand_hits > 0, "mcf replay should see some demand hits");
+}
+
+#[test]
+fn compression_stays_at_or_under_half_of_raw() {
+    let trace = mcf_trace();
+    let bytes = trace_io::encode_trace(&trace, trace_io::DEFAULT_BLOCK_LEN).expect("encode");
+    let raw = 12 + 18 * trace.len();
+    assert!(
+        bytes.len() * 2 <= raw,
+        "container must be <= 50% of the fixed-width encoding: {} vs {} raw",
+        bytes.len(),
+        raw
+    );
+}

@@ -1,0 +1,823 @@
+//! The `RLT1` versioned trace container and its streaming writer/reader.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! header     "RLT1" | u16 version (=1) | u32 block_len | u16 flags (=0)
+//! block*     0x01 | u32 n_records | u32 raw_len | u32 comp_len
+//!                 | u64 fnv1a(payload) | payload[comp_len]
+//! end        0xFF | u64 total_records | u64 chained digest
+//! ```
+//!
+//! Each block holds up to `block_len` records, columnar-encoded
+//! ([`encode_block`]) and compressed with the in-tree LZ codec; a payload
+//! that does not shrink is stored raw, signalled by `comp_len == raw_len`.
+//! Blocks are self-contained (delta bases restart at zero), so a reader
+//! needs O(block) memory, corruption is confined to one block, and the
+//! per-block checksum is verified *before* any decoding. The end frame
+//! chains every block checksum into one digest and repeats the record
+//! count, so truncation — even at a block boundary — is always detected.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use cache_sim::{AccessKind, LlcRecord, LlcTrace, TraceFormatError};
+
+use crate::lz;
+use crate::varint;
+
+/// Container magic: "RLT" + format generation.
+pub const MAGIC: [u8; 4] = *b"RLT1";
+/// Current schema version.
+pub const VERSION: u16 = 1;
+/// Records per block when the writer is not told otherwise. Large enough
+/// that varint deltas and the LZ window have context to bite on, small
+/// enough that a streaming reader holds ~100 KB, not the trace.
+pub const DEFAULT_BLOCK_LEN: u32 = 4096;
+/// Upper bound on `block_len` accepted from headers and callers; bounds
+/// reader memory even when the header itself is hostile.
+pub const MAX_BLOCK_LEN: u32 = 1 << 20;
+
+const FRAME_BLOCK: u8 = 0x01;
+const FRAME_END: u8 = 0xFF;
+/// Worst-case encoded bytes per record (two max-width varints + kind
+/// 2-bit share + core byte), used to bound declared block sizes.
+const MAX_RECORD_BYTES: u32 = 2 * varint::MAX_VARINT_BYTES as u32 + 2;
+
+/// Why a trace could not be read or verified.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// A future (or garbage) schema version.
+    UnsupportedVersion(u16),
+    /// The stream ended before the structure it promised.
+    Truncated(&'static str),
+    /// A structural invariant was violated; the payload names it.
+    Corrupt(&'static str),
+    /// A block's stored payload does not match its checksum.
+    ChecksumMismatch {
+        /// Zero-based index of the failing block.
+        block: u64,
+        /// Checksum recorded in the block frame.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// The end frame's totals disagree with the blocks that preceded it.
+    CountMismatch {
+        /// Records promised by the end frame.
+        expected: u64,
+        /// Records actually decoded.
+        actual: u64,
+    },
+    /// The file is a legacy `LLCT` trace and failed *that* format's
+    /// validation.
+    Legacy(TraceFormatError),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::BadMagic(m) => write!(f, "not an RLT1 trace (magic {m:02x?})"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            Self::Truncated(what) => write!(f, "truncated trace: {what}"),
+            Self::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            Self::ChecksumMismatch { block, expected, actual } => write!(
+                f,
+                "block {block} checksum mismatch (stored {expected:#018x}, read {actual:#018x})"
+            ),
+            Self::CountMismatch { expected, actual } => {
+                write!(f, "record count mismatch (end frame says {expected}, decoded {actual})")
+            }
+            Self::Legacy(e) => write!(f, "legacy trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Maps mid-structure EOF to [`TraceIoError::Truncated`] so a torn file is
+/// reported as truncation, not a generic I/O error.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], what: &'static str) -> Result<(), TraceIoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceIoError::Truncated(what)
+        } else {
+            TraceIoError::Io(e)
+        }
+    })
+}
+
+/// FNV-1a over `bytes` (the same digest the checkpoint machinery uses).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_continue(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+fn fnv1a_continue(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Block codec: columnar delta/varint encoding of a record slice.
+// ---------------------------------------------------------------------------
+
+/// Encodes `records` into `out`: zigzag-varint PC deltas, zigzag-varint
+/// line deltas, 2-bit-packed kinds (four per byte, low bits first), then
+/// raw core bytes. Delta bases start at zero, keeping every block
+/// independently decodable.
+fn encode_block(records: &[LlcRecord], out: &mut Vec<u8>) {
+    let mut prev = 0u64;
+    for r in records {
+        varint::put_delta(out, prev, r.pc);
+        prev = r.pc;
+    }
+    prev = 0;
+    for r in records {
+        varint::put_delta(out, prev, r.line);
+        prev = r.line;
+    }
+    for chunk in records.chunks(4) {
+        let mut b = 0u8;
+        for (i, r) in chunk.iter().enumerate() {
+            b |= (r.kind.index() as u8) << (2 * i);
+        }
+        out.push(b);
+    }
+    for r in records {
+        out.push(r.core);
+    }
+}
+
+/// Decodes exactly `n` records from `buf`, appending to `records`.
+fn decode_block(buf: &[u8], n: usize, records: &mut Vec<LlcRecord>) -> Result<(), TraceIoError> {
+    let base = records.len();
+    records.reserve(n);
+    let mut pos = 0usize;
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let pc = varint::get_delta(buf, &mut pos, prev)
+            .ok_or(TraceIoError::Corrupt("bad PC varint"))?;
+        prev = pc;
+        records.push(LlcRecord { pc, line: 0, kind: AccessKind::Load, core: 0 });
+    }
+    prev = 0;
+    for i in 0..n {
+        let line = varint::get_delta(buf, &mut pos, prev)
+            .ok_or(TraceIoError::Corrupt("bad line varint"))?;
+        prev = line;
+        records[base + i].line = line;
+    }
+    let kind_bytes = n.div_ceil(4);
+    if pos + kind_bytes + n != buf.len() {
+        return Err(TraceIoError::Corrupt("block payload length mismatch"));
+    }
+    for i in 0..n {
+        let b = buf[pos + i / 4];
+        // Every 2-bit value is a valid AccessKind, so kinds need no
+        // rejection path.
+        records[base + i].kind = AccessKind::ALL[usize::from((b >> (2 * (i % 4))) & 3)];
+    }
+    pos += kind_bytes;
+    for i in 0..n {
+        records[base + i].core = buf[pos + i];
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Streaming trace writer: buffers at most one block of records, so
+/// capture memory is O(`block_len`) regardless of trace length.
+///
+/// Dropping a writer without [`TraceWriter::finish`] leaves the stream
+/// without an end frame, which every reader reports as truncation — a
+/// torn capture can never be mistaken for a complete one.
+pub struct TraceWriter<W: Write> {
+    w: W,
+    block_len: usize,
+    pending: Vec<LlcRecord>,
+    raw_buf: Vec<u8>,
+    comp_buf: Vec<u8>,
+    total_records: u64,
+    digest: u64,
+    compressed_payload: u64,
+    raw_payload: u64,
+    finished: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a container with [`DEFAULT_BLOCK_LEN`] records per block.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the header.
+    pub fn new(w: W) -> Result<Self, TraceIoError> {
+        Self::with_block_len(w, DEFAULT_BLOCK_LEN)
+    }
+
+    /// Starts a container with a caller-chosen block length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Corrupt`] for a zero or over-large block
+    /// length, or any I/O error from writing the header.
+    pub fn with_block_len(mut w: W, block_len: u32) -> Result<Self, TraceIoError> {
+        if block_len == 0 || block_len > MAX_BLOCK_LEN {
+            return Err(TraceIoError::Corrupt("block length out of range"));
+        }
+        let mut header = [0u8; 12];
+        header[0..4].copy_from_slice(&MAGIC);
+        header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        header[6..10].copy_from_slice(&block_len.to_le_bytes());
+        header[10..12].copy_from_slice(&0u16.to_le_bytes()); // flags, reserved
+        w.write_all(&header)?;
+        Ok(Self {
+            w,
+            block_len: block_len as usize,
+            pending: Vec::with_capacity(block_len as usize),
+            raw_buf: Vec::new(),
+            comp_buf: Vec::new(),
+            total_records: 0,
+            // Seeding the chained digest with the header bytes makes the
+            // end frame cover the header fields the magic check doesn't.
+            digest: fnv1a(&header),
+            compressed_payload: 0,
+            raw_payload: 0,
+            finished: false,
+        })
+    }
+
+    /// Appends one record, flushing a block when the buffer fills.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from flushing a completed block.
+    pub fn push(&mut self, record: LlcRecord) -> Result<(), TraceIoError> {
+        self.pending.push(record);
+        if self.pending.len() == self.block_len {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a slice of records (capture slices, converted traces).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from flushing completed blocks.
+    pub fn extend(&mut self, records: &[LlcRecord]) -> Result<(), TraceIoError> {
+        for &r in records {
+            self.push(r)?;
+        }
+        Ok(())
+    }
+
+    /// Records written so far (including any still-buffered partial block).
+    pub fn records_written(&self) -> u64 {
+        self.total_records + self.pending.len() as u64
+    }
+
+    fn flush_block(&mut self) -> Result<(), TraceIoError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.raw_buf.clear();
+        encode_block(&self.pending, &mut self.raw_buf);
+        self.comp_buf.clear();
+        lz::compress(&self.raw_buf, &mut self.comp_buf);
+        // Store raw when compression does not help; `comp_len == raw_len`
+        // is the stored-raw marker.
+        let payload =
+            if self.comp_buf.len() < self.raw_buf.len() { &self.comp_buf } else { &self.raw_buf };
+        let checksum = fnv1a(payload);
+        self.w.write_all(&[FRAME_BLOCK])?;
+        self.w.write_all(&(self.pending.len() as u32).to_le_bytes())?;
+        self.w.write_all(&(self.raw_buf.len() as u32).to_le_bytes())?;
+        self.w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.w.write_all(&checksum.to_le_bytes())?;
+        self.w.write_all(payload)?;
+        self.digest = fnv1a_continue(self.digest, &checksum.to_le_bytes());
+        self.total_records += self.pending.len() as u64;
+        self.compressed_payload += payload.len() as u64;
+        self.raw_payload += self.raw_buf.len() as u64;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Flushes the final partial block, writes the end frame, and returns
+    /// the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the final writes.
+    pub fn finish(mut self) -> Result<W, TraceIoError> {
+        self.flush_block()?;
+        self.w.write_all(&[FRAME_END])?;
+        self.w.write_all(&self.total_records.to_le_bytes())?;
+        self.w.write_all(&self.digest.to_le_bytes())?;
+        self.w.flush()?;
+        self.finished = true;
+        Ok(self.w)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Streaming trace reader: holds one decoded block at a time.
+pub struct TraceReader<R: Read> {
+    r: R,
+    block_len: u32,
+    version: u16,
+    records: Vec<LlcRecord>,
+    payload_buf: Vec<u8>,
+    raw_buf: Vec<u8>,
+    records_read: u64,
+    blocks_read: u64,
+    compressed_payload: u64,
+    raw_payload: u64,
+    digest: u64,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a container, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::BadMagic`], an unsupported version, an
+    /// out-of-range block length, or truncation within the header.
+    pub fn new(mut r: R) -> Result<Self, TraceIoError> {
+        let mut magic = [0u8; 4];
+        read_exact_or(&mut r, &mut magic, "header magic")?;
+        if magic != MAGIC {
+            return Err(TraceIoError::BadMagic(magic));
+        }
+        let mut buf = [0u8; 8];
+        read_exact_or(&mut r, &mut buf, "header fields")?;
+        let version = u16::from_le_bytes([buf[0], buf[1]]);
+        if version != VERSION {
+            return Err(TraceIoError::UnsupportedVersion(version));
+        }
+        let block_len = u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]);
+        if block_len == 0 || block_len > MAX_BLOCK_LEN {
+            return Err(TraceIoError::Corrupt("block length out of range"));
+        }
+        let mut header = [0u8; 12];
+        header[0..4].copy_from_slice(&magic);
+        header[4..12].copy_from_slice(&buf);
+        Ok(Self {
+            r,
+            block_len,
+            version,
+            records: Vec::new(),
+            payload_buf: Vec::new(),
+            raw_buf: Vec::new(),
+            records_read: 0,
+            blocks_read: 0,
+            compressed_payload: 0,
+            raw_payload: 0,
+            digest: fnv1a(&header),
+            done: false,
+        })
+    }
+
+    /// The header's records-per-block bound.
+    pub fn block_len(&self) -> u32 {
+        self.block_len
+    }
+
+    /// The container's schema version.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Records decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Blocks decoded so far.
+    pub fn blocks_read(&self) -> u64 {
+        self.blocks_read
+    }
+
+    /// Stored (possibly compressed) payload bytes consumed so far.
+    pub fn compressed_payload_bytes(&self) -> u64 {
+        self.compressed_payload
+    }
+
+    /// Pre-compression payload bytes represented so far.
+    pub fn raw_payload_bytes(&self) -> u64 {
+        self.raw_payload
+    }
+
+    /// Decodes the next block, returning its records, or `Ok(None)` after
+    /// a valid end frame. The returned slice borrows the reader's reusable
+    /// buffer; memory stays O(block) for any trace length.
+    ///
+    /// # Errors
+    ///
+    /// Returns checksum, structure, count, or truncation errors; EOF
+    /// *before* the end frame is [`TraceIoError::Truncated`].
+    pub fn next_block(&mut self) -> Result<Option<&[LlcRecord]>, TraceIoError> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut tag = [0u8; 1];
+        read_exact_or(&mut self.r, &mut tag, "frame tag (missing end frame)")?;
+        match tag[0] {
+            FRAME_BLOCK => {
+                let mut head = [0u8; 20];
+                read_exact_or(&mut self.r, &mut head, "block header")?;
+                let n_records = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes"));
+                let raw_len = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+                let comp_len = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+                let checksum = u64::from_le_bytes(head[12..20].try_into().expect("8 bytes"));
+                if n_records == 0 || n_records > self.block_len {
+                    return Err(TraceIoError::Corrupt("block record count out of range"));
+                }
+                // Bound both buffers before allocating: a hostile frame
+                // cannot demand more than block_len × worst-case bytes.
+                if raw_len > n_records * MAX_RECORD_BYTES {
+                    return Err(TraceIoError::Corrupt("block raw length out of range"));
+                }
+                if comp_len > raw_len {
+                    return Err(TraceIoError::Corrupt("compressed length exceeds raw length"));
+                }
+                self.payload_buf.resize(comp_len as usize, 0);
+                read_exact_or(&mut self.r, &mut self.payload_buf, "block payload")?;
+                let actual = fnv1a(&self.payload_buf);
+                if actual != checksum {
+                    return Err(TraceIoError::ChecksumMismatch {
+                        block: self.blocks_read,
+                        expected: checksum,
+                        actual,
+                    });
+                }
+                let raw = if comp_len == raw_len {
+                    &self.payload_buf // stored uncompressed
+                } else {
+                    self.raw_buf.clear();
+                    lz::decompress(&self.payload_buf, raw_len as usize, &mut self.raw_buf)
+                        .map_err(TraceIoError::Corrupt)?;
+                    &self.raw_buf
+                };
+                self.records.clear();
+                decode_block(raw, n_records as usize, &mut self.records)?;
+                self.digest = fnv1a_continue(self.digest, &checksum.to_le_bytes());
+                self.records_read += u64::from(n_records);
+                self.blocks_read += 1;
+                self.compressed_payload += u64::from(comp_len);
+                self.raw_payload += u64::from(raw_len);
+                Ok(Some(&self.records))
+            }
+            FRAME_END => {
+                let mut tail = [0u8; 16];
+                read_exact_or(&mut self.r, &mut tail, "end frame")?;
+                let total = u64::from_le_bytes(tail[0..8].try_into().expect("8 bytes"));
+                let digest = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes"));
+                if total != self.records_read {
+                    return Err(TraceIoError::CountMismatch {
+                        expected: total,
+                        actual: self.records_read,
+                    });
+                }
+                if digest != self.digest {
+                    return Err(TraceIoError::Corrupt("chained block digest mismatch"));
+                }
+                self.done = true;
+                Ok(None)
+            }
+            _ => Err(TraceIoError::Corrupt("unknown frame tag")),
+        }
+    }
+
+    /// Drains the remaining blocks into an in-memory [`LlcTrace`] (for
+    /// consumers that need random access, e.g. Belady's next-use table).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`TraceReader::next_block`] error.
+    pub fn read_to_trace(mut self) -> Result<LlcTrace, TraceIoError> {
+        let mut all: Vec<LlcRecord> = Vec::new();
+        while let Some(block) = self.next_block()? {
+            all.extend_from_slice(block);
+        }
+        Ok(all.into_iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-container summaries, file helpers, legacy interop
+// ---------------------------------------------------------------------------
+
+/// What a full verifying scan of a container found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Schema version from the header.
+    pub version: u16,
+    /// Records-per-block bound from the header.
+    pub block_len: u32,
+    /// Blocks decoded.
+    pub blocks: u64,
+    /// Records decoded.
+    pub records: u64,
+    /// Stored payload bytes (after compression).
+    pub compressed_payload: u64,
+    /// Payload bytes before compression.
+    pub raw_payload: u64,
+    /// Records per [`AccessKind`], indexed by [`AccessKind::index`].
+    pub kind_counts: [u64; 4],
+}
+
+impl TraceSummary {
+    /// Equivalent size of the legacy fixed-width (`LLCT`) encoding,
+    /// the baseline the compression ratio is quoted against.
+    pub fn fixed_width_bytes(&self) -> u64 {
+        12 + 18 * self.records
+    }
+
+    /// Stored payload bytes as a percentage of the fixed-width encoding.
+    pub fn compressed_pct_of_fixed(&self) -> f64 {
+        self.compressed_payload as f64 * 100.0 / self.fixed_width_bytes().max(1) as f64
+    }
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "format       RLT version {} ({} records/block)", self.version, self.block_len)?;
+        writeln!(f, "records      {} in {} blocks", self.records, self.blocks)?;
+        writeln!(
+            f,
+            "kinds        {} LD, {} RFO, {} PF, {} WB",
+            self.kind_counts[0], self.kind_counts[1], self.kind_counts[2], self.kind_counts[3]
+        )?;
+        write!(
+            f,
+            "payload      {} bytes compressed / {} encoded / {} fixed-width ({:.1}% of fixed)",
+            self.compressed_payload,
+            self.raw_payload,
+            self.fixed_width_bytes(),
+            self.compressed_pct_of_fixed()
+        )
+    }
+}
+
+/// Reads and verifies every block (checksums, structure, end-frame
+/// totals), returning the summary. This is `trace verify`'s engine.
+///
+/// # Errors
+///
+/// Propagates the first error the streaming reader reports.
+pub fn scan<R: Read>(r: R) -> Result<TraceSummary, TraceIoError> {
+    let mut reader = TraceReader::new(r)?;
+    let mut kind_counts = [0u64; 4];
+    while let Some(block) = reader.next_block()? {
+        for rec in block {
+            kind_counts[rec.kind.index()] += 1;
+        }
+    }
+    Ok(TraceSummary {
+        version: reader.version(),
+        block_len: reader.block_len(),
+        blocks: reader.blocks_read(),
+        records: reader.records_read(),
+        compressed_payload: reader.compressed_payload_bytes(),
+        raw_payload: reader.raw_payload_bytes(),
+        kind_counts,
+    })
+}
+
+/// On-disk trace flavours [`sniff_format`] can tell apart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// This crate's compressed container.
+    Rlt,
+    /// The legacy fixed-width `LLCT` format
+    /// ([`LlcTrace::write_to`]/[`LlcTrace::read_from`]).
+    Legacy,
+}
+
+/// Identifies a trace file by its magic.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::BadMagic`] for anything else, or truncation
+/// for a file shorter than four bytes.
+pub fn sniff_format(path: &Path) -> Result<TraceFormat, TraceIoError> {
+    let mut f = fs::File::open(path)?;
+    let mut magic = [0u8; 4];
+    read_exact_or(&mut f, &mut magic, "file magic")?;
+    match &magic {
+        b"RLT1" => Ok(TraceFormat::Rlt),
+        b"LLCT" => Ok(TraceFormat::Legacy),
+        _ => Err(TraceIoError::BadMagic(magic)),
+    }
+}
+
+/// Loads a whole trace from either format, sniffing the magic.
+///
+/// # Errors
+///
+/// Returns format, validation, or I/O errors from whichever decoder ran.
+pub fn read_trace_file(path: &Path) -> Result<LlcTrace, TraceIoError> {
+    match sniff_format(path)? {
+        TraceFormat::Rlt => {
+            TraceReader::new(io::BufReader::new(fs::File::open(path)?))?.read_to_trace()
+        }
+        TraceFormat::Legacy => LlcTrace::read_from(io::BufReader::new(fs::File::open(path)?))
+            .map_err(TraceIoError::Legacy),
+    }
+}
+
+/// Writes `trace` to `path` as an `RLT1` container.
+///
+/// # Errors
+///
+/// Returns any container or I/O error.
+pub fn write_trace_file(path: &Path, trace: &LlcTrace, block_len: u32) -> Result<(), TraceIoError> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut w = TraceWriter::with_block_len(io::BufWriter::new(fs::File::create(path)?), block_len)?;
+    w.extend(trace.records())?;
+    w.finish()?;
+    Ok(())
+}
+
+/// Encodes `trace` as an in-memory `RLT1` container (tests, benches,
+/// atomic-publish paths that hand bytes to `write_atomic`).
+///
+/// # Errors
+///
+/// Never fails in practice (`Vec` writes are infallible); the signature
+/// matches the streaming writer's.
+pub fn encode_trace(trace: &LlcTrace, block_len: u32) -> Result<Vec<u8>, TraceIoError> {
+    let mut w = TraceWriter::with_block_len(Vec::new(), block_len)?;
+    w.extend(trace.records())?;
+    w.finish()
+}
+
+/// Streams a synthetic workload's demand-access stream into `writer` as
+/// trace records, without running the cache hierarchy: `line = addr >> 6`,
+/// loads vs RFOs by the entry's store flag, core 0. This is the *raw*
+/// reference stream of a workload (every demand touch), as opposed to an
+/// LLC capture, which only sees accesses the private levels missed.
+///
+/// # Errors
+///
+/// Returns any writer error.
+pub fn export_workload<W: Write>(
+    workload: &workloads::Workload,
+    max_records: u64,
+    writer: &mut TraceWriter<W>,
+) -> Result<u64, TraceIoError> {
+    let mut written = 0u64;
+    for entry in workload.stream() {
+        if written == max_records {
+            break;
+        }
+        let kind = if entry.is_store { AccessKind::Rfo } else { AccessKind::Load };
+        writer.push(LlcRecord { pc: entry.pc, line: entry.addr >> 6, kind, core: 0 })?;
+        written += 1;
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> LlcTrace {
+        (0..n)
+            .map(|i| LlcRecord {
+                pc: 0x400_000 + (i % 37) * 4,
+                line: 0x8000 + (i * 7) % 513,
+                kind: AccessKind::ALL[(i % 4) as usize],
+                core: (i % 3) as u8,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_across_block_boundaries() {
+        for n in [0u64, 1, 63, 64, 65, 1000] {
+            let trace = sample(n);
+            let bytes = encode_trace(&trace, 64).expect("encode");
+            let back = TraceReader::new(bytes.as_slice())
+                .expect("header")
+                .read_to_trace()
+                .expect("decode");
+            assert_eq!(trace, back, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn reader_is_streaming_with_bounded_blocks() {
+        let trace = sample(300);
+        let bytes = encode_trace(&trace, 64).expect("encode");
+        let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
+        let mut sizes = Vec::new();
+        while let Some(block) = reader.next_block().expect("block") {
+            sizes.push(block.len());
+        }
+        assert_eq!(sizes, vec![64, 64, 64, 64, 44]);
+        assert_eq!(reader.records_read(), 300);
+        // Idempotent after the end frame.
+        assert!(reader.next_block().expect("done").is_none());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let trace = sample(130);
+        let bytes = encode_trace(&trace, 64).expect("encode");
+        for cut in 0..bytes.len() {
+            let result =
+                TraceReader::new(&bytes[..cut]).and_then(TraceReader::read_to_trace);
+            assert!(result.is_err(), "prefix of {cut} bytes must not verify");
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_is_detected() {
+        let trace = sample(200);
+        let bytes = encode_trace(&trace, 64).expect("encode");
+        // Flip one byte at a time; every position must fail verification
+        // (header, frame headers, payloads, end frame — all covered).
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            let result = TraceReader::new(bad.as_slice()).and_then(|mut r| {
+                while let Some(_) = r.next_block()? {}
+                Ok(())
+            });
+            assert!(result.is_err(), "flipping byte {i} must not verify");
+        }
+    }
+
+    #[test]
+    fn scan_reports_counts_and_sizes() {
+        let trace = sample(256);
+        let bytes = encode_trace(&trace, 64).expect("encode");
+        let summary = scan(bytes.as_slice()).expect("scan");
+        assert_eq!(summary.records, 256);
+        assert_eq!(summary.blocks, 4);
+        assert_eq!(summary.kind_counts, [64, 64, 64, 64]);
+        assert_eq!(summary.fixed_width_bytes(), 12 + 18 * 256);
+        assert!(summary.compressed_payload <= summary.raw_payload);
+    }
+
+    #[test]
+    fn hostile_headers_cannot_demand_memory() {
+        // A block frame claiming u32::MAX records must be rejected from
+        // its header alone, before any allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&64u32.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.push(FRAME_BLOCK);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // n_records
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // raw_len
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // comp_len
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
+        assert!(matches!(reader.next_block(), Err(TraceIoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        assert!(matches!(
+            TraceReader::new(&b"NOPE"[..]),
+            Err(TraceIoError::BadMagic(_))
+        ));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&9u16.to_le_bytes());
+        bytes.extend_from_slice(&64u32.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(
+            TraceReader::new(bytes.as_slice()),
+            Err(TraceIoError::UnsupportedVersion(9))
+        ));
+    }
+}

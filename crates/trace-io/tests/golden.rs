@@ -1,0 +1,64 @@
+//! Golden-fixture wall for the on-disk container format.
+//!
+//! `tests/data/golden_429mcf.rlt` was captured once with
+//! `rlr trace capture 429.mcf --records 8192 --warmup 200000` and is
+//! committed. Every future reader must keep decoding it to the exact
+//! same records: these assertions fail if the wire format, the LZ
+//! codec, or the varint layer changes incompatibly.
+
+use std::io::Cursor;
+use std::path::Path;
+
+use trace_io::{fnv1a, read_trace_file, scan, sniff_format, TraceFormat, TraceReader};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden_429mcf.rlt");
+const RECORDS: u64 = 8192;
+
+/// fnv1a over the decoded records re-serialized in the legacy
+/// fixed-width encoding — i.e. a digest of the *records*, independent
+/// of the container's own framing.
+const DECODED_DIGEST: u64 = 0x688A_2357_FF6D_4736;
+
+#[test]
+fn golden_fixture_scans_clean() {
+    let file = std::fs::File::open(FIXTURE).expect("committed fixture exists");
+    let summary = scan(std::io::BufReader::new(file)).expect("committed fixture verifies");
+    assert_eq!(summary.version, 1);
+    assert_eq!(summary.records, RECORDS);
+    assert_eq!(summary.blocks, 2);
+    assert_eq!(summary.kind_counts, [3610, 328, 3940, 314]);
+    assert!(
+        summary.compressed_pct_of_fixed() <= 50.0,
+        "fixture must stay at or under half of fixed-width: {:.1}%",
+        summary.compressed_pct_of_fixed()
+    );
+}
+
+#[test]
+fn golden_fixture_decodes_to_pinned_records() {
+    let trace = read_trace_file(Path::new(FIXTURE)).expect("committed fixture decodes");
+    assert_eq!(trace.len(), RECORDS as usize);
+    let mut legacy = Vec::new();
+    trace.write_to(&mut legacy).expect("in-memory write");
+    assert_eq!(
+        fnv1a(&legacy),
+        DECODED_DIGEST,
+        "decoded records changed — the container format is no longer stable"
+    );
+}
+
+#[test]
+fn golden_fixture_round_trips_through_legacy() {
+    assert_eq!(sniff_format(Path::new(FIXTURE)).expect("readable"), TraceFormat::Rlt);
+    let trace = read_trace_file(Path::new(FIXTURE)).expect("committed fixture decodes");
+    let mut legacy = Vec::new();
+    trace.write_to(&mut legacy).expect("in-memory write");
+    let back = cache_sim::LlcTrace::read_from(&mut Cursor::new(&legacy)).expect("legacy decodes");
+    assert_eq!(trace, back);
+    let reencoded = trace_io::encode_trace(&back, trace_io::DEFAULT_BLOCK_LEN).expect("encode");
+    let twice = TraceReader::new(reencoded.as_slice())
+        .expect("valid header")
+        .read_to_trace()
+        .expect("valid container");
+    assert_eq!(trace, twice);
+}

@@ -48,4 +48,29 @@ diff "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/resumed.txt" || {
     echo "ci.sh: resumed sweep diverged from the uninterrupted run" >&2; exit 1;
 }
 
+echo "==> trace container smoke test"
+# A captured legacy trace converted to the compressed container must
+# verify, and converting it back must reproduce the legacy file
+# byte-for-byte. Also checks the committed golden fixture still verifies.
+"$RLR" capture 429.mcf --out "$SMOKE_DIR/mcf.trace" --records 4096 \
+    > /dev/null 2>&1
+"$RLR" trace convert "$SMOKE_DIR/mcf.trace" "$SMOKE_DIR/mcf.rlt" > /dev/null
+"$RLR" trace verify "$SMOKE_DIR/mcf.rlt" || {
+    echo "ci.sh: converted container failed verification" >&2; exit 1;
+}
+"$RLR" trace convert "$SMOKE_DIR/mcf.rlt" "$SMOKE_DIR/mcf.back.trace" > /dev/null
+cmp "$SMOKE_DIR/mcf.trace" "$SMOKE_DIR/mcf.back.trace" || {
+    echo "ci.sh: legacy -> container -> legacy round-trip is not byte-identical" >&2
+    exit 1
+}
+"$RLR" trace verify crates/trace-io/tests/data/golden_429mcf.rlt || {
+    echo "ci.sh: committed golden fixture failed verification" >&2; exit 1;
+}
+
+echo "==> perf-over-time report"
+# ci_smoke just wrote results/bench/ci_smoke.json; record it into the
+# bench history and render the trend table so regressions are visible
+# run-over-run.
+"$RLR" perf-report --bench ci_smoke --record ci
+
 echo "==> ci.sh: all gates passed"
