@@ -16,6 +16,8 @@ use std::hint::black_box;
 use cache_sim::{Access, LlcTrace, ReferenceCache, SetAssocCache, SingleCoreSystem, SystemConfig};
 use experiments::runner::replay_llc_trace;
 use experiments::PolicyKind;
+use rlr::packed::LineMeta;
+use rlr::scan::{self, ScanParams, ScanWays};
 use rlr_bench::harness::{self, Throughput};
 
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/ci_baseline.json");
@@ -31,10 +33,79 @@ fn capture_small_trace(config: &SystemConfig) -> LlcTrace {
     system.llc_mut().take_capture().expect("capture enabled")
 }
 
-fn baseline_speedup() -> Option<f64> {
-    let text = std::fs::read_to_string(BASELINE_PATH).ok()?;
-    let tail = text.split("\"speedup\":").nth(1)?;
+/// Pulls one numeric field out of the baseline JSON without a parser dep.
+/// The needle includes the quotes and colon, so `"speedup":` never
+/// false-matches inside `"simd_speedup":`.
+fn baseline_field(text: &str, key: &str) -> Option<f64> {
+    let tail = text.split(&format!("\"{key}\":")).nth(1)?;
     tail.trim_start().split(|c: char| c != '.' && !c.is_ascii_digit()).next()?.parse().ok()
+}
+
+/// The in-process victim-scan ratio: scalar reference vs lane backend over
+/// LLC-shaped sets on deterministic warm-cache data. Returns
+/// `scalar_min_ns / lanes_min_ns` — the SIMD-path speedup this machine
+/// sees right now — plus both measurements for the JSON record.
+fn victim_scan_speedup(config: &SystemConfig) -> (f64, [Throughput; 2]) {
+    let sets = config.llc.sets as usize;
+    let ways = usize::from(config.llc.ways);
+    let lines = sets * ways;
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let now = 1u64 << 20;
+    let clock = 1u64 << 24;
+    let age_stamps: Vec<u64> = (0..lines).map(|_| now - (next() % 8)).collect();
+    let rec_stamps: Vec<u64> = (0..lines).map(|_| clock - (next() % 4096)).collect();
+    let metas: Vec<LineMeta> = (0..lines)
+        .map(|_| {
+            let bits = next();
+            let mut meta = LineMeta::filled(bits & 0x40 != 0, bits & 0x80 != 0);
+            meta.set_hit_count((bits & 0x3) as u8);
+            meta
+        })
+        .collect();
+    let params = ScanParams {
+        now,
+        clock,
+        rd: 4,
+        max_age: 3,
+        age_weight: 8,
+        use_type: true,
+        use_hit: true,
+        exact_recency: false,
+    };
+    let mut mins = [0.0f64; 2];
+    let mut rows: Vec<Throughput> = Vec::with_capacity(2);
+    for (slot, label) in ["scalar", "simd"].into_iter().enumerate() {
+        let m = harness::bench(&format!("ci_smoke/victim_scan_{label}"), || {
+            let mut acc = 0u64;
+            for set in 0..sets {
+                let range = set * ways..(set + 1) * ways;
+                let scan_ways = ScanWays {
+                    age_stamps: &age_stamps[range.clone()],
+                    rec_stamps: &rec_stamps[range.clone()],
+                    metas: &metas[range],
+                    cores: &[],
+                    core_rank: &[],
+                };
+                let outcome = if slot == 0 {
+                    scan::scan_scalar(&params, &scan_ways)
+                } else {
+                    scan::scan_lanes(&params, &scan_ways)
+                };
+                acc ^= outcome.best_key;
+            }
+            black_box(acc)
+        });
+        mins[slot] = m.min_ns.max(1) as f64;
+        rows.push(Throughput { measurement: m, accesses: sets as u64 });
+    }
+    let rows: [Throughput; 2] = rows.try_into().expect("two scan rows");
+    (mins[0] / mins[1], rows)
 }
 
 fn main() {
@@ -67,43 +138,67 @@ fn main() {
     let speedup = old.min_ns as f64 / new.min_ns.max(1) as f64;
     println!("measured packed-vs-seed speedup: {speedup:.2}x");
 
+    let (simd_speedup, scan_rows) = victim_scan_speedup(&config);
+    println!("measured lane-vs-scalar victim-scan speedup: {simd_speedup:.2}x");
+    let [scan_scalar_row, scan_simd_row] = scan_rows;
+
     harness::write_throughput_json(
         "ci_smoke",
         &[
             Throughput { measurement: old, accesses },
             Throughput { measurement: new, accesses },
+            scan_scalar_row,
+            scan_simd_row,
         ],
     );
 
     if std::env::var("RLR_UPDATE_BENCH_BASELINE").is_ok_and(|v| !v.trim().is_empty()) {
         let json = format!(
             "{{\"bench\": \"ci_smoke\", \"speedup\": {speedup:.2}, \
-             \"note\": \"packed/reference replay ratio; regenerate with RLR_UPDATE_BENCH_BASELINE=1\"}}\n"
+             \"simd_speedup\": {simd_speedup:.2}, \
+             \"note\": \"packed/reference replay + lane/scalar scan ratios; \
+             regenerate with RLR_UPDATE_BENCH_BASELINE=1\"}}\n"
         );
         std::fs::write(BASELINE_PATH, json).expect("write baseline");
         println!("baseline updated: {BASELINE_PATH}");
         return;
     }
 
-    match baseline_speedup() {
-        Some(base) => {
-            let floor = base * TOLERANCE;
-            println!("baseline {base:.2}x, floor {floor:.2}x");
-            if speedup < floor {
-                eprintln!(
-                    "ci_smoke: hot-path speedup regressed: {speedup:.2}x < {floor:.2}x \
-                     (baseline {base:.2}x - 20%)"
-                );
-                std::process::exit(1);
-            }
-            println!("ci_smoke: OK");
-        }
-        None => {
+    let text = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(text) => text,
+        Err(_) => {
             eprintln!(
                 "ci_smoke: no baseline at {BASELINE_PATH}; \
                  run with RLR_UPDATE_BENCH_BASELINE=1 to create it"
             );
             std::process::exit(1);
         }
+    };
+    let mut failed = false;
+    for (label, measured, base) in [
+        ("hot-path", speedup, baseline_field(&text, "speedup")),
+        ("victim-scan SIMD", simd_speedup, baseline_field(&text, "simd_speedup")),
+    ] {
+        let Some(base) = base else {
+            eprintln!(
+                "ci_smoke: baseline at {BASELINE_PATH} lacks the {label} field; \
+                 regenerate with RLR_UPDATE_BENCH_BASELINE=1"
+            );
+            failed = true;
+            continue;
+        };
+        let floor = base * TOLERANCE;
+        println!("{label}: baseline {base:.2}x, floor {floor:.2}x");
+        if measured < floor {
+            eprintln!(
+                "ci_smoke: {label} speedup regressed: {measured:.2}x < {floor:.2}x \
+                 (baseline {base:.2}x - 20%)"
+            );
+            failed = true;
+        }
     }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("ci_smoke: OK");
 }

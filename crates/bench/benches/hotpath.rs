@@ -18,8 +18,12 @@ use cache_sim::{
     Access, CoreHierarchy, LlcTrace, ReferenceCache, SetAssocCache, SharedLlc, SingleCoreSystem,
     SystemConfig,
 };
-use experiments::runner::{replay_llc_reader, replay_llc_trace};
+use experiments::runner::{
+    demand_requests, replay_hierarchy, replay_llc_reader, replay_llc_trace, HierarchyReplayMode,
+};
 use experiments::PolicyKind;
+use rlr::packed::LineMeta;
+use rlr::scan::{self, ScanParams, ScanWays};
 use rlr_bench::harness::{self, Measurement, Throughput};
 use trace_io::TraceReader;
 
@@ -171,5 +175,107 @@ fn main() {
         rows.push(Throughput { measurement: m, accesses: LEVEL_ACCESSES });
     }
 
+    // Full three-level replay of the captured 429.mcf demand stream:
+    // per-access dispatch vs the staged L1/L2 batch path (both are wall-
+    // checked bit-identical by `experiments/tests/hierarchy_batch.rs`).
+    let requests = demand_requests(&trace);
+    let demand = requests.len() as u64;
+    println!("hierarchy_replay (429.mcf demand stream, {demand} requests):");
+    let mut replay_rows = [0.0f64; 2];
+    for (slot, (label, mode)) in [
+        ("per_access", HierarchyReplayMode::PerAccess),
+        ("batched", HierarchyReplayMode::Batched),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let m = harness::bench(&format!("hierarchy_replay/{label}"), || {
+            let mut core = CoreHierarchy::new(0, &config);
+            let mut llc = SharedLlc::new(&config, PolicyKind::Rlr.build(&config.llc, None));
+            black_box(replay_hierarchy(&mut core, &mut llc, &requests, mode).len())
+        });
+        replay_rows[slot] = m.median_ns as f64;
+        rows.push(Throughput { measurement: m, accesses: demand });
+    }
+    println!(
+        "    batched replay is {:.2}x the per-access path",
+        replay_rows[0] / replay_rows[1].max(1.0)
+    );
+
+    // The victim scan in isolation: the RLR per-way key computation over
+    // LLC-shaped sets, scalar reference vs lane-parallel backend. Both
+    // backends stay compiled in every build, so the bench always compares
+    // them directly regardless of the `scalar-scan` feature.
+    let (params, age_stamps, rec_stamps, metas) = scan_fixture(&config);
+    let sets = config.llc.sets as usize;
+    let ways = usize::from(config.llc.ways);
+    let mut scan_rows = [0.0f64; 2];
+    for (slot, label) in ["scalar", "simd"].into_iter().enumerate() {
+        let m = harness::bench(&format!("victim_scan/{label}"), || {
+            let mut acc = 0u64;
+            for set in 0..sets {
+                let range = set * ways..(set + 1) * ways;
+                let scan_ways = ScanWays {
+                    age_stamps: &age_stamps[range.clone()],
+                    rec_stamps: &rec_stamps[range.clone()],
+                    metas: &metas[range],
+                    cores: &[],
+                    core_rank: &[],
+                };
+                let outcome = if slot == 0 {
+                    scan::scan_scalar(&params, &scan_ways)
+                } else {
+                    scan::scan_lanes(&params, &scan_ways)
+                };
+                acc ^= outcome.best_key;
+            }
+            black_box(acc)
+        });
+        scan_rows[slot] = m.min_ns as f64;
+        rows.push(Throughput { measurement: m, accesses: sets as u64 });
+    }
+    println!(
+        "victim_scan: lane backend is {:.2}x the scalar reference \
+         ({sets} sets x {ways} ways per call)",
+        scan_rows[0] / scan_rows[1].max(1.0)
+    );
+
     harness::write_throughput_json("hotpath", &rows);
+}
+
+/// Deterministic per-way scan inputs shaped like a warm LLC: epoch-unit
+/// ages a few epochs deep, recency stamps spread over the last few
+/// thousand accesses, mixed access types and hit counts.
+fn scan_fixture(config: &SystemConfig) -> (ScanParams, Vec<u64>, Vec<u64>, Vec<LineMeta>) {
+    let lines = config.llc.sets as usize * usize::from(config.llc.ways);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let now = 1 << 20;
+    let clock = 1 << 24;
+    let age_stamps: Vec<u64> = (0..lines).map(|_| now - (next() % 8)).collect();
+    let rec_stamps: Vec<u64> = (0..lines).map(|_| clock - (next() % 4096)).collect();
+    let metas: Vec<LineMeta> = (0..lines)
+        .map(|_| {
+            let bits = next();
+            let mut meta = LineMeta::filled(bits & 0x40 != 0, bits & 0x80 != 0);
+            meta.set_hit_count((bits & 0x3) as u8);
+            meta
+        })
+        .collect();
+    let params = ScanParams {
+        now,
+        clock,
+        rd: 4,
+        max_age: 3,
+        age_weight: 8,
+        use_type: true,
+        use_hit: true,
+        exact_recency: false,
+    };
+    (params, age_stamps, rec_stamps, metas)
 }

@@ -221,6 +221,67 @@ const L2_PREFETCH_DROP_PERIOD: u64 = 4;
 /// Bound on in-flight delayed L2 prefetches.
 const L2_PREFETCH_QUEUE: usize = 64;
 
+/// Sentinel for an unoccupied [`PrefetchQueue`] slot. Line addresses are
+/// byte addresses shifted right by 6, so a real line can never reach it.
+const PREFETCH_SLOT_EMPTY: u64 = u64::MAX;
+
+/// Fixed-capacity FIFO of in-flight delayed L2 prefetches.
+///
+/// Replaces a `VecDeque<(u64, u64)>`: the line addresses live in one
+/// contiguous array whose empty slots hold a sentinel, so the per-issue
+/// membership test is a branch-free sweep of the whole array (a reduce-or
+/// the compiler turns into vector compares) instead of a short-circuiting
+/// scan over strided tuples.
+struct PrefetchQueue {
+    /// Prefetched line addresses; [`PREFETCH_SLOT_EMPTY`] when unoccupied.
+    lines: [u64; L2_PREFETCH_QUEUE],
+    /// L2 tick at which each line's fill completes.
+    ready: [u64; L2_PREFETCH_QUEUE],
+    head: usize,
+    len: usize,
+}
+
+impl PrefetchQueue {
+    fn new() -> Self {
+        Self {
+            lines: [PREFETCH_SLOT_EMPTY; L2_PREFETCH_QUEUE],
+            ready: [0; L2_PREFETCH_QUEUE],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Whether `line` is already in flight.
+    fn contains(&self, line: u64) -> bool {
+        debug_assert_ne!(line, PREFETCH_SLOT_EMPTY);
+        self.lines.iter().fold(false, |found, &l| found | (l == line))
+    }
+
+    /// The oldest in-flight prefetch, if any.
+    fn front(&self) -> Option<(u64, u64)> {
+        (self.len > 0).then(|| (self.lines[self.head], self.ready[self.head]))
+    }
+
+    fn pop_front(&mut self) {
+        debug_assert!(self.len > 0);
+        self.lines[self.head] = PREFETCH_SLOT_EMPTY;
+        self.head = (self.head + 1) % L2_PREFETCH_QUEUE;
+        self.len -= 1;
+    }
+
+    /// Appends an in-flight prefetch, evicting the oldest when full.
+    fn push_back(&mut self, line: u64, ready_at: u64) {
+        debug_assert_ne!(line, PREFETCH_SLOT_EMPTY);
+        if self.len == L2_PREFETCH_QUEUE {
+            self.pop_front();
+        }
+        let tail = (self.head + self.len) % L2_PREFETCH_QUEUE;
+        self.lines[tail] = line;
+        self.ready[tail] = ready_at;
+        self.len += 1;
+    }
+}
+
 /// One core's private cache hierarchy (L1I, L1D, unified L2) plus its
 /// prefetchers (next-line at both L1s, IP-stride at L2, per Table III).
 ///
@@ -244,10 +305,37 @@ pub struct CoreHierarchy {
     prefetch_buf: Vec<PrefetchRequest>,
     /// L2 access counter used to time delayed prefetch fills.
     l2_ticks: u64,
-    /// In-flight L2 prefetches: (line address, ready tick).
-    pending_prefetch: std::collections::VecDeque<(u64, u64)>,
+    /// In-flight L2 prefetches awaiting their delayed fill.
+    pending_prefetch: PrefetchQueue,
     /// Total L2 prefetches considered for issue (drives the drop pattern).
     prefetch_issued: u64,
+    /// Deferred L2-and-below work, reused across [`data_access_batch`]
+    /// calls so batching never allocates in steady state.
+    batch_ops: Vec<L2Op>,
+}
+
+/// One demand data access in a batched hierarchy replay
+/// ([`CoreHierarchy::data_access_batch`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DataRequest {
+    /// Program counter of the load/store.
+    pub pc: u64,
+    /// Byte address accessed.
+    pub addr: u64,
+    /// `true` for a store (RFO), `false` for a load.
+    pub is_store: bool,
+}
+
+/// L2-and-below work deferred by the L1 stage of a batched replay, in the
+/// exact order the per-access path would have issued it.
+#[derive(Clone, Copy, Debug)]
+enum L2Op {
+    /// A demand L1D miss; `idx` locates the request's slot in the output.
+    Demand { idx: u32, pc: u64, addr: u64, kind: AccessKind },
+    /// An L1 next-line prefetch that missed L1D.
+    Prefetch { pc: u64, addr: u64 },
+    /// A dirty line evicted from L1D.
+    Writeback { line: u64 },
 }
 
 impl CoreHierarchy {
@@ -270,8 +358,9 @@ impl CoreHierarchy {
             }),
             prefetch_buf: Vec::with_capacity(4),
             l2_ticks: 0,
-            pending_prefetch: std::collections::VecDeque::new(),
+            pending_prefetch: PrefetchQueue::new(),
             prefetch_issued: 0,
+            batch_ops: Vec::new(),
         }
     }
 
@@ -341,8 +430,7 @@ impl CoreHierarchy {
                     }
                     let target = request.line;
                     let pf_addr = target << 6;
-                    let in_flight = self.pending_prefetch.iter().any(|&(l, _)| l == target);
-                    if self.l2.contains(pf_addr) || in_flight {
+                    if self.l2.contains(pf_addr) || self.pending_prefetch.contains(target) {
                         continue;
                     }
                     // The LLC is filled at issue; L2 receives the line after
@@ -353,10 +441,7 @@ impl CoreHierarchy {
                     if !request.fill_l2 {
                         continue;
                     }
-                    if self.pending_prefetch.len() == L2_PREFETCH_QUEUE {
-                        self.pending_prefetch.pop_front();
-                    }
-                    self.pending_prefetch.push_back((target, self.l2_ticks + L2_PREFETCH_DELAY));
+                    self.pending_prefetch.push_back(target, self.l2_ticks + L2_PREFETCH_DELAY);
                 }
                 self.prefetch_buf = targets;
             }
@@ -366,7 +451,7 @@ impl CoreHierarchy {
 
     /// Completes delayed L2 prefetch fills whose latency has elapsed.
     fn drain_ready_prefetches<P: ReplacementPolicy>(&mut self, llc: &mut SharedLlc<P>) {
-        while let Some(&(line, ready_at)) = self.pending_prefetch.front() {
+        while let Some((line, ready_at)) = self.pending_prefetch.front() {
             if ready_at > self.l2_ticks {
                 break;
             }
@@ -432,6 +517,90 @@ impl CoreHierarchy {
             }
         }
         level
+    }
+
+    /// Replays a chunk of demand data accesses, appending one
+    /// [`ServiceLevel`] per request. Equivalent to calling
+    /// [`data_access`](CoreHierarchy::data_access) once per request in
+    /// order, but staged by level: the L1D runs to completion over the
+    /// whole chunk first, then the deferred L2/LLC work drains.
+    ///
+    /// The staging is exact, not approximate: the hierarchy is simulated
+    /// functionally, so L1D behaviour never depends on L2/LLC outcomes —
+    /// reordering L2 work *after* the chunk's L1 work changes no L1
+    /// decision, and the deferred ops replay in the same relative order
+    /// the per-access path interleaves them (demand miss, then L1
+    /// writeback, then L1 next-line prefetch and its writeback), so the
+    /// L2 and LLC see byte-identical request streams. The batch
+    /// equivalence suite in `experiments` locks this down against the
+    /// per-access path on the golden 429.mcf fixture.
+    pub fn data_access_batch<P: ReplacementPolicy>(
+        &mut self,
+        requests: &[DataRequest],
+        llc: &mut SharedLlc<P>,
+        levels: &mut Vec<ServiceLevel>,
+    ) {
+        let start = levels.len();
+        levels.resize(start + requests.len(), ServiceLevel::L1);
+        let mut ops = std::mem::take(&mut self.batch_ops);
+        ops.clear();
+
+        // Stage 1: the private L1D, deferring everything below it.
+        for (idx, request) in requests.iter().enumerate() {
+            let kind = if request.is_store { AccessKind::Rfo } else { AccessKind::Load };
+            let access =
+                Access { pc: request.pc, addr: request.addr, kind, core: self.core, seq: 0 };
+            let out = self.l1d.access(&access);
+            if !out.hit {
+                ops.push(L2Op::Demand { idx: idx as u32, pc: request.pc, addr: request.addr, kind });
+            }
+            if let Some(wb) = out.writeback {
+                ops.push(L2Op::Writeback { line: wb });
+            }
+            if self.l1_prefetch.is_some() && !out.hit {
+                let pf_addr = request.addr + crate::LINE_BYTES;
+                if !self.l1d.contains(pf_addr) {
+                    let pf = Access {
+                        pc: request.pc,
+                        addr: pf_addr,
+                        kind: AccessKind::Prefetch,
+                        core: self.core,
+                        seq: 0,
+                    };
+                    let pf_out = self.l1d.access(&pf);
+                    ops.push(L2Op::Prefetch { pc: request.pc, addr: pf_addr });
+                    if let Some(wb) = pf_out.writeback {
+                        ops.push(L2Op::Writeback { line: wb });
+                    }
+                }
+            }
+        }
+
+        // Stage 2: L2 and below, in the per-access path's issue order.
+        for &op in &ops {
+            match op {
+                L2Op::Demand { idx, pc, addr, kind } => {
+                    levels[start + idx as usize] = self.access_l2(pc, addr, kind, llc);
+                }
+                L2Op::Prefetch { pc, addr } => {
+                    self.access_l2(pc, addr, AccessKind::Prefetch, llc);
+                }
+                L2Op::Writeback { line } => {
+                    let wb_access = Access {
+                        pc: 0,
+                        addr: line << 6,
+                        kind: AccessKind::Writeback,
+                        core: self.core,
+                        seq: 0,
+                    };
+                    let wb_out = self.l2.access(&wb_access);
+                    if let Some(wb2) = wb_out.writeback {
+                        llc.access(0, wb2 << 6, AccessKind::Writeback, self.core);
+                    }
+                }
+            }
+        }
+        self.batch_ops = ops;
     }
 
     /// Performs one instruction fetch for the line containing `pc`.

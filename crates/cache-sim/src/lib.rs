@@ -31,6 +31,7 @@ mod capture;
 mod config;
 mod dram;
 mod hierarchy;
+pub mod lanes;
 mod prefetch;
 pub mod reference;
 mod replacement;
@@ -44,7 +45,7 @@ pub use reference::ReferenceCache;
 pub use capture::{LlcRecord, LlcTrace, TraceFormatError};
 pub use dram::DramModel;
 pub use config::{CacheConfig, L2PrefetcherKind, SystemConfig};
-pub use hierarchy::{CoreHierarchy, LlcOutcome, ServiceLevel, SharedLlc};
+pub use hierarchy::{CoreHierarchy, DataRequest, LlcOutcome, ServiceLevel, SharedLlc};
 pub use prefetch::{IpStridePrefetcher, KpcPrefetcher, NextLinePrefetcher, PrefetchRequest, Prefetcher};
 pub use replacement::{Decision, LineSnapshot, RandomLite, ReplacementPolicy, TrueLru};
 pub use stats::{CacheStats, KindCounts};

@@ -158,11 +158,19 @@ impl ReplacementPolicy for TrueLru {
     }
 
     fn select_victim(&mut self, set: u32, _lines: &[LineSnapshot], _access: &Access) -> Decision {
+        // Packed-key lane scan: `(stamp << way_bits) | way`. Stamps are
+        // unique whenever non-zero (the clock ticks on every touch), and
+        // zero-stamp ties resolve to the lowest way because the way sits in
+        // the low bits — exactly the first-minimum the old `min_by_key`
+        // scan returned. 6 way bits leave 2^58 clock ticks of headroom.
         let base = self.idx(set, 0);
-        let victim = (0..self.ways)
-            .min_by_key(|&w| self.stamps[base + w as usize])
-            .expect("cache has at least one way");
-        Decision::Evict(victim)
+        let stamps = &self.stamps[base..base + usize::from(self.ways)];
+        let mut keys = [u64::MAX; crate::cache::MAX_WAYS];
+        for (way, (&stamp, key)) in stamps.iter().zip(&mut keys).enumerate() {
+            debug_assert!(stamp < 1 << 58, "LRU clock exceeds the packed-key range");
+            *key = (stamp << 6) | way as u64;
+        }
+        Decision::Evict((crate::lanes::min_key(&keys[..stamps.len()]) & 0x3F) as u16)
     }
 
     fn on_hit(&mut self, set: u32, way: u16, _access: &Access) {

@@ -74,6 +74,12 @@ fn assert_equivalent(
         );
         outcomes.push(b);
     }
+    assert_same_final_state(label, old, new);
+    outcomes
+}
+
+/// Final-state bit-identity: statistics, per-way line state, occupancy.
+fn assert_same_final_state(label: &str, old: &ReferenceCache, new: &SetAssocCache<LlcPolicy>) {
     assert_eq!(old.stats(), new.stats(), "[{label}] final statistics diverged");
     let cfg = *new.config();
     for set in 0..cfg.sets {
@@ -94,7 +100,6 @@ fn assert_equivalent(
             "[{label}] occupancy bitmap disagrees with per-line valid state at set {set}"
         );
     }
-    outcomes
 }
 
 fn run_kind(kind: PolicyKind, trace: Option<&LlcTrace>, stream: &[Access]) {
@@ -215,12 +220,72 @@ fn snapshot_flags_match_roster_expectations() {
     for kind in PolicyKind::ALL_ONLINE {
         let policy = kind.build(&cfg, None);
         let wants = policy.uses_line_snapshots();
-        let expect = matches!(kind, PolicyKind::RlrMulticore);
-        assert_eq!(
-            wants,
-            expect,
-            "{}: uses_line_snapshots() = {wants}, roster expects {expect}",
+        // Every online policy owns its scan inputs — multicore RLR keeps a
+        // per-line core mirror, so even P_core reads no snapshot.
+        assert!(
+            !wants,
+            "{}: uses_line_snapshots() = {wants}, but the whole roster elides snapshots",
             kind.name()
         );
+    }
+}
+
+/// Multicore RLR through the snapshot-elided packed path: four cores with
+/// private PC pools and partially-overlapping address regions, round-robin
+/// interleaved so P_core re-rankings decide real evictions. The packed
+/// policy reads its own per-line core mirror (it gets an empty snapshot
+/// slice); the oracle feeds the frozen `ReferenceCache`'s full snapshots —
+/// per-access outcomes, per-core hit counters, final statistics, and line
+/// state must all stay bit-identical.
+#[test]
+fn multicore_rlr_interleaved_streams_match_reference() {
+    let cfg = geometry();
+    let lines = u64::from(cfg.sets) * u64::from(cfg.ways) * 4;
+    let mut rng = SimRng::seed_from_u64(0x3C0_0006);
+    let stream: Vec<Access> = (0..40_000u64)
+        .map(|seq| {
+            let core = (seq % 4) as u8;
+            // Half the traffic hits a shared region (cross-core conflict),
+            // half a per-core private region (hit-rate asymmetry drives the
+            // re-ranking apart).
+            let addr = if rng.gen_range(0..2u64) == 0 {
+                rng.gen_range(0..lines / 2) << 6
+            } else {
+                (lines / 2 + u64::from(core) * (lines / 8) + rng.gen_range(0..lines / 8)) << 6
+            };
+            Access {
+                pc: 0x400 + u64::from(core) * 0x1000 + rng.gen_range(0..8u64) * 4,
+                addr,
+                kind: kind_of(rng.gen_range(0..10u64)),
+                core,
+                seq,
+            }
+        })
+        .collect();
+
+    let kind = PolicyKind::RlrMulticore;
+    let mut old = ReferenceCache::new("ref", cfg, Box::new(kind.build(&cfg, None)));
+    let mut new = SetAssocCache::new("packed", cfg, kind.build(&cfg, None));
+    let mut reference_hits = [0u64; 4];
+    let mut packed_hits = [0u64; 4];
+    let mut evictions = 0u64;
+    for (i, access) in stream.iter().enumerate() {
+        let a = old.access(access);
+        let b = new.access(access);
+        assert_eq!(
+            a, b,
+            "[RLR-MC] outcome diverged at access {i} ({access:?}): \
+             reference {a:?} vs packed {b:?}"
+        );
+        let core = usize::from(access.core);
+        reference_hits[core] += u64::from(a.hit);
+        packed_hits[core] += u64::from(b.hit);
+        evictions += u64::from(b.evicted.is_some());
+    }
+    assert_eq!(reference_hits, packed_hits, "[RLR-MC] per-core hit counters diverged");
+    assert_same_final_state("RLR-MC", &old, &new);
+    assert!(evictions > 0, "[RLR-MC] stream produced no evictions");
+    for (core, &hits) in packed_hits.iter().enumerate() {
+        assert!(hits > 0, "[RLR-MC] core {core} produced no hits — not a real exercise");
     }
 }

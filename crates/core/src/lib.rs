@@ -58,6 +58,7 @@
 mod config;
 pub mod packed;
 mod policy;
+pub mod scan;
 pub mod seed_ref;
 
 pub use config::{AgeUnit, RecencyMode, RlrConfig};

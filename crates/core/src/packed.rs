@@ -27,12 +27,22 @@
 /// whether it was a demand access (the RD filter's "last touch was a
 /// demand" bit).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(transparent)]
 pub struct LineMeta(u8);
 
 impl LineMeta {
-    const HIT_MASK: u8 = (1 << Self::MAX_HIT_BITS) - 1;
-    const PREFETCH_BIT: u8 = 1 << 6;
+    /// Mask of the hit-counter field within [`Self::bits`].
+    pub const HIT_MASK: u8 = (1 << Self::MAX_HIT_BITS) - 1;
+    /// The "last access was a prefetch" flag within [`Self::bits`].
+    pub const PREFETCH_BIT: u8 = 1 << 6;
     const DEMAND_BIT: u8 = 1 << 7;
+
+    /// The raw packed byte. `repr(transparent)` guarantees a
+    /// `&[LineMeta]` is byte-for-byte a `&[u8]` of these, which the
+    /// vectorized victim scan relies on to load four metas at once.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
 
     /// Widest hit counter the packed layout can hold.
     pub const MAX_HIT_BITS: u32 = 6;

@@ -4,6 +4,7 @@ use cache_sim::{Access, AccessKind, CacheConfig, Decision, LineSnapshot, Replace
 
 use crate::config::{AgeUnit, RecencyMode, RlrConfig};
 use crate::packed::LineMeta;
+use crate::scan::{self, ScanParams, ScanWays};
 
 /// Saturation bound of the per-core demand-hit counters (12-bit, §IV-D).
 const CORE_HIT_MAX: u32 = (1 << 12) - 1;
@@ -41,12 +42,21 @@ pub struct RlrPolicy {
     window_hits: u32,
     /// LLC accesses since the last RD update (stale-RD escape).
     accesses_since_rd_update: u64,
+    /// Per-line: core that inserted or last touched the line, maintained
+    /// from the `on_fill`/`on_hit` callbacks exactly where the cache would
+    /// update its own tag-store copy. Owning this mirror is what lets the
+    /// multicore variant skip the per-eviction [`LineSnapshot`] build —
+    /// `uses_line_snapshots` is `false` for every RLR variant. Empty when
+    /// P_core is off.
+    line_core: Vec<u8>,
     /// Per-core demand-hit counters (multicore extension).
     core_hits: Vec<u32>,
     /// Per-core priority levels from the last re-ranking.
     core_priority: Vec<u32>,
-    /// Total LLC accesses (drives core-priority re-ranking).
-    accesses: u64,
+    /// Accesses left until the next core re-ranking — a countdown instead
+    /// of `accesses % period` so the hot path never divides. Unused
+    /// (stays at the period) when P_core is off.
+    until_rerank: u64,
 }
 
 impl RlrPolicy {
@@ -92,9 +102,10 @@ impl RlrPolicy {
             preuse_accum: 0,
             window_hits: 0,
             accesses_since_rd_update: 0,
+            line_core: if cores > 0 { vec![0; lines] } else { Vec::new() },
             core_hits: vec![0; cores],
             core_priority: vec![0; cores],
-            accesses: 0,
+            until_rerank: config.core_update_period,
             config,
         }
     }
@@ -146,9 +157,12 @@ impl RlrPolicy {
     const RD_STALE_LIMIT: u64 = 2048;
 
     fn record_access(&mut self) {
-        self.accesses += 1;
-        if !self.core_hits.is_empty() && self.accesses.is_multiple_of(self.config.core_update_period) {
-            self.rerank_cores();
+        if !self.core_hits.is_empty() {
+            self.until_rerank -= 1;
+            if self.until_rerank == 0 {
+                self.until_rerank = self.config.core_update_period;
+                self.rerank_cores();
+            }
         }
         self.accesses_since_rd_update += 1;
         if self.accesses_since_rd_update > Self::RD_STALE_LIMIT {
@@ -191,78 +205,52 @@ impl ReplacementPolicy for RlrPolicy {
     }
 
     fn uses_line_snapshots(&self) -> bool {
-        // The snapshot is consulted only for the inserting core (P_core);
-        // without the multicore term the cache can skip building it.
-        !self.core_priority.is_empty()
+        // Every input of the victim scan — including the per-line core for
+        // P_core — lives in the policy's own tables, so the cache never
+        // needs to build a snapshot for RLR.
+        false
     }
 
-    fn select_victim(&mut self, set: u32, lines: &[LineSnapshot], _access: &Access) -> Decision {
+    fn select_victim(&mut self, set: u32, _lines: &[LineSnapshot], _access: &Access) -> Decision {
         // The victim scan is the policy's hot loop: every set-wide value
         // (clock/epoch, RD, the configuration knobs, the slice bases) is
-        // hoisted so each way costs one age computation, one metadata
-        // byte, and — only with P_core enabled — one snapshot read.
+        // hoisted here, and the per-way argmin over the packed
+        // `(priority | staleness | way)` key runs in [`crate::scan`] —
+        // lane-parallel by default, scalar under the `scalar-scan`
+        // feature, bit-identical either way (see the module docs for the
+        // key layout and the order-insensitivity argument).
         let ways = usize::from(self.ways);
         let base = self.idx(set, 0);
-        let rd = self.rd;
-        let max_age = self.config.max_age();
-        let weight = self.config.age_weight;
-        let use_type = self.config.use_type_priority;
-        let use_hit = self.config.use_hit_priority;
         let unit = self.config.age_unit;
-        let exact_recency = self.config.recency == RecencyMode::Exact;
-        let now = match unit {
-            AgeUnit::SetAccesses => self.access_clock[set as usize],
-            AgeUnit::MissEpochs { .. } => self.current_epoch(set),
+        let params = ScanParams {
+            now: match unit {
+                AgeUnit::SetAccesses => self.access_clock[set as usize],
+                AgeUnit::MissEpochs { .. } => self.current_epoch(set),
+            },
+            clock: self.access_clock[set as usize],
+            rd: self.rd,
+            max_age: self.config.max_age(),
+            age_weight: self.config.age_weight,
+            use_type: self.config.use_type_priority,
+            use_hit: self.config.use_hit_priority,
+            exact_recency: self.config.recency == RecencyMode::Exact,
         };
-        let clock = self.access_clock[set as usize];
         let access_stamps = &self.access_stamp[base..base + ways];
-        let epoch_stamps = &self.epoch_stamp[base..base + ways];
-        let metas = &self.meta[base..base + ways];
-
-        // Branchless min-reduction: the victim is the minimum of the
-        // lexicographic key (priority, staleness, way) packed into a
-        // single u64 — priority in bits [54..64] (≤ 1023, enforced by
-        // `RlrConfig::validate`), staleness in bits [16..54], the way in
-        // the low 16. Lowest priority wins; among equals the *most
-        // recently* accessed line goes (smallest staleness); full ties
-        // keep the lowest way index. Staleness is `clock − stamp` in
-        // exact mode — the old key compared raw stamps complemented, and
-        // `u64::MAX − stamp = (u64::MAX − clock) + (clock − stamp)`
-        // differs only by a constant per scan, so the argmin is the same
-        // line — and the (already clamped) age in approximate mode. 38
-        // bits of staleness cover ~2.7×10^11 set accesses before the
-        // saturating clamp could even fire. Keys are unique (the way is
-        // in the low bits), so the minimum is exactly the line the old
-        // compare-and-branch scan selected.
-        const REC_MASK: u64 = (1 << 38) - 1;
-        let mut best_key = u64::MAX;
-        let mut any_past_rd = false;
-        for way in 0..ways {
-            let raw = match unit {
-                AgeUnit::SetAccesses => now - access_stamps[way],
-                AgeUnit::MissEpochs { .. } => now - epoch_stamps[way],
-            };
-            let age = raw.min(max_age);
-            let meta = metas[way];
-            let mut p = u32::from(age <= rd) * weight
-                + u32::from(use_type && !meta.last_prefetch())
-                + u32::from(use_hit && meta.hit_count() > 0);
-            // `lines` is empty when the core priority is off (see
-            // `uses_line_snapshots`); the core is then irrelevant.
-            if let Some(line) = lines.get(way) {
-                p += self.core_priority.get(usize::from(line.core)).copied().unwrap_or(0);
-            }
-            let staleness = if exact_recency { clock - access_stamps[way] } else { age };
-            any_past_rd |= age > rd;
-            debug_assert!(p < 1024, "priority must fit the key's 10-bit field");
-            let key = (u64::from(p) << 54) | (staleness.min(REC_MASK) << 16) | way as u64;
-            best_key = best_key.min(key);
-        }
-        if self.config.bypass && !any_past_rd {
+        let scan_ways = ScanWays {
+            age_stamps: match unit {
+                AgeUnit::SetAccesses => access_stamps,
+                AgeUnit::MissEpochs { .. } => &self.epoch_stamp[base..base + ways],
+            },
+            rec_stamps: access_stamps,
+            metas: &self.meta[base..base + ways],
+            cores: if self.line_core.is_empty() { &[] } else { &self.line_core[base..base + ways] },
+            core_rank: &self.core_priority,
+        };
+        let outcome = scan::scan(&params, &scan_ways);
+        if self.config.bypass && !outcome.any_past_rd {
             return Decision::Bypass;
         }
-        debug_assert!(ways > 0, "non-empty set");
-        Decision::Evict((best_key & 0xFFFF) as u16)
+        Decision::Evict(outcome.victim())
     }
 
     fn on_hit(&mut self, set: u32, way: u16, access: &Access) {
@@ -305,6 +293,13 @@ impl ReplacementPolicy for RlrPolicy {
         let meta = &mut self.meta[i];
         meta.set_hit_count((u32::from(meta.hit_count()) + 1).min(hit_max) as u8);
         meta.set_access_type(access.kind == AccessKind::Prefetch, access.kind.is_demand());
+        // Mirror the tag store's "core that inserted or last touched"
+        // field — the cache updates its copy on every hit and fill, so the
+        // mirror must too (any divergence would show up as a different
+        // P_core than a snapshot-fed scan computes).
+        if let Some(core) = self.line_core.get_mut(i) {
+            *core = access.core;
+        }
         self.touch(set, way);
     }
 
@@ -312,6 +307,9 @@ impl ReplacementPolicy for RlrPolicy {
         let i = self.idx(set, way);
         self.meta[i] =
             LineMeta::filled(access.kind == AccessKind::Prefetch, access.kind.is_demand());
+        if let Some(core) = self.line_core.get_mut(i) {
+            *core = access.core;
+        }
         self.touch(set, way);
     }
 

@@ -1,0 +1,462 @@
+//! The RLR victim scan as a standalone, differential-testable kernel.
+//!
+//! [`RlrPolicy::select_victim`](crate::RlrPolicy) reduces a set to the
+//! minimum of a packed per-way key:
+//!
+//! ```text
+//! bits [54..64]  priority  (≤ 1023, enforced by RlrConfig::validate)
+//! bits [16..54]  staleness (clock − stamp, saturated to 38 bits)
+//! bits [ 0..16]  way index
+//! ```
+//!
+//! Lowest priority loses, most-recent (smallest staleness) breaks priority
+//! ties, and the way index in the low bits makes every key unique — so the
+//! scan is an argmin over unique u64 keys, and `min` over them is an
+//! associative, commutative fold whose result cannot depend on reduction
+//! order. That order-insensitivity is what licenses the lane backend
+//! ([`scan_lanes`]): four independent accumulator lanes consume the ways
+//! in stripes, then a horizontal min merges the lanes; any non-multiple-of-
+//! four remainder folds in scalarly. [`scan_scalar`] is the one-accumulator
+//! reference, kept compiled in every build for the differential property
+//! suite (`tests/simd_scan_equivalence.rs`).
+//!
+//! [`scan`] picks the backend at build time: lanes by default, the scalar
+//! reference under the `scalar-scan` cargo feature (which also switches
+//! cache-sim's own lane scans). Both backends are bit-identical by
+//! construction and oracle-checked twice per commit by `scripts/ci.sh`.
+
+use crate::packed::LineMeta;
+
+/// Accumulator lanes in the vectorized scan.
+pub const LANES: usize = 4;
+
+/// Width mask of the staleness field: 38 bits cover ~2.7×10¹¹ set accesses
+/// before the saturating clamp could fire.
+pub const REC_MASK: u64 = (1 << 38) - 1;
+
+/// Loop-invariant inputs of one victim scan, hoisted by the caller.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanParams {
+    /// Current value of the configured age clock (set accesses or epochs).
+    pub now: u64,
+    /// Current per-set access clock (exact-recency staleness).
+    pub clock: u64,
+    /// Predicted reuse distance, in age units.
+    pub rd: u64,
+    /// Saturation bound of the age counter.
+    pub max_age: u64,
+    /// Weight of the age term (`8` in the paper's P_line).
+    pub age_weight: u32,
+    /// Whether the type term (penalize unreused prefetches) is active.
+    pub use_type: bool,
+    /// Whether the hit term is active.
+    pub use_hit: bool,
+    /// Exact recency: staleness is `clock − access stamp` rather than the
+    /// clamped age.
+    pub exact_recency: bool,
+}
+
+/// Per-way inputs: parallel slices, one element per way.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanWays<'a> {
+    /// Stamp of the last touch in the configured age unit.
+    pub age_stamps: &'a [u64],
+    /// Stamp of the last touch on the per-set access clock.
+    pub rec_stamps: &'a [u64],
+    /// Packed hit/type metadata.
+    pub metas: &'a [LineMeta],
+    /// Core that inserted or last touched each way; consulted only when
+    /// `core_rank` is non-empty. May be empty otherwise.
+    pub cores: &'a [u8],
+    /// Per-core priority levels; empty disables the P_core term.
+    pub core_rank: &'a [u32],
+}
+
+/// What a scan found: the minimum packed key (victim way in the low 16
+/// bits) and whether any way aged past RD (the bypass predicate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Minimum `(priority | staleness | way)` key over the set.
+    pub best_key: u64,
+    /// `true` when at least one way's age exceeded RD.
+    pub any_past_rd: bool,
+}
+
+impl ScanOutcome {
+    /// The victim way encoded in the winning key.
+    #[must_use]
+    pub fn victim(self) -> u16 {
+        (self.best_key & 0xFFFF) as u16
+    }
+}
+
+/// Key and bypass flag for a single way — the shared per-element kernel of
+/// both backends, so they can only differ in reduction schedule.
+#[inline(always)]
+fn way_key(p: &ScanParams, ways: &ScanWays, way: usize) -> (u64, bool) {
+    let age = (p.now - ways.age_stamps[way]).min(p.max_age);
+    let meta = ways.metas[way];
+    let mut prio = u32::from(age <= p.rd) * p.age_weight
+        + u32::from(p.use_type && !meta.last_prefetch())
+        + u32::from(p.use_hit && meta.hit_count() > 0);
+    if !ways.core_rank.is_empty() {
+        let core = ways.cores[way];
+        prio += ways.core_rank.get(usize::from(core)).copied().unwrap_or(0);
+    }
+    let staleness = if p.exact_recency { p.clock - ways.rec_stamps[way] } else { age };
+    debug_assert!(prio < 1024, "priority must fit the key's 10-bit field");
+    let key = (u64::from(prio) << 54) | (staleness.min(REC_MASK) << 16) | way as u64;
+    (key, age > p.rd)
+}
+
+fn check_shape(ways: &ScanWays) -> usize {
+    let n = ways.age_stamps.len();
+    assert!(n > 0, "victim scan over an empty set");
+    assert!(n <= 0xFFFF, "way index must fit the key's 16-bit field");
+    assert_eq!(ways.rec_stamps.len(), n, "recency stamps must cover every way");
+    assert_eq!(ways.metas.len(), n, "metadata must cover every way");
+    if !ways.core_rank.is_empty() {
+        assert_eq!(ways.cores.len(), n, "core ids must cover every way");
+    }
+    n
+}
+
+/// One-accumulator reference scan, compiled in every build as the oracle
+/// for the lane backend.
+pub fn scan_scalar(params: &ScanParams, ways: &ScanWays) -> ScanOutcome {
+    let n = check_shape(ways);
+    let mut best_key = u64::MAX;
+    let mut any_past_rd = false;
+    for way in 0..n {
+        let (key, past_rd) = way_key(params, ways, way);
+        best_key = best_key.min(key);
+        any_past_rd |= past_rd;
+    }
+    ScanOutcome { best_key, any_past_rd }
+}
+
+/// Lane-parallel scan: [`LANES`] independent accumulators consume the ways
+/// in stripes, the remainder folds in scalarly, and a horizontal min/or
+/// merges the lanes. Identical result to [`scan_scalar`] for any input —
+/// the keys are unique, so the min is reduction-order-insensitive, and the
+/// bypass flag is an `or`, which is too.
+pub fn scan_lanes(params: &ScanParams, ways: &ScanWays) -> ScanOutcome {
+    if ways.core_rank.is_empty() {
+        dispatch::<CORE_OFF>(params, ways)
+    } else if ways.core_rank.len() <= 8 && ways.core_rank.iter().all(|&r| r <= 0xFF) {
+        // The common multicore shape (≤ 8 cores, tiny rank values): the
+        // whole rank table packs into one u64 and the per-way lookup
+        // becomes a variable shift, which vectorizes where a gather
+        // cannot.
+        dispatch::<CORE_PACKED>(params, ways)
+    } else {
+        dispatch::<CORE_GATHER>(params, ways)
+    }
+}
+
+/// P_core is off ([`ScanWays::core_rank`] empty).
+const CORE_OFF: u8 = 0;
+/// P_core reads a rank table packed into one u64, one byte per core.
+const CORE_PACKED: u8 = 1;
+/// P_core falls back to an indexed load per way (rank table too big or
+/// rank values too large to pack).
+const CORE_GATHER: u8 = 2;
+
+/// Routes one scan to the widest kernel this machine can run. Every
+/// candidate compiles the *same* `#[inline(always)]` body
+/// ([`scan_lanes_impl`]) — the `#[target_feature]` wrappers only let the
+/// compiler use wider registers for it — so the result is bit-identical
+/// across targets by construction, and the differential wall only ever
+/// has to compare two schedules (scalar vs lanes), not one per ISA.
+#[inline]
+fn dispatch<const MODE: u8>(params: &ScanParams, ways: &ScanWays) -> ScanOutcome {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Detection results are cached by std; steady state is one
+        // predictable load+branch per scan. The hand-vectorized kernel
+        // does not implement the (rare) gather fallback — that shape
+        // stays on the portable body.
+        if MODE != CORE_GATHER
+            && std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            // SAFETY: feature presence was just verified at runtime.
+            return unsafe { avx512::scan::<MODE>(params, ways) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: feature presence was just verified at runtime.
+            return unsafe { scan_lanes_avx2::<MODE>(params, ways) };
+        }
+    }
+    scan_lanes_impl::<MODE>(params, ways)
+}
+
+/// [`scan_lanes_impl`] compiled with 256-bit vectors available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scan_lanes_avx2<const MODE: u8>(params: &ScanParams, ways: &ScanWays) -> ScanOutcome {
+    scan_lanes_impl::<MODE>(params, ways)
+}
+
+/// The hand-vectorized stripe kernel: AVX-512VL gives unsigned 64-bit
+/// min (`vpminuq`), unsigned 64-bit compares into mask registers, and
+/// per-lane variable shifts — everything the packed-key argmin needs as
+/// single instructions over 4×u64 lanes. Autovectorization never fires
+/// on the portable body (the mix of u8 widening, bool selects, and u64
+/// min defeats SLP), so this path writes the lanes explicitly.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    use super::{
+        way_key, ScanOutcome, ScanParams, ScanWays, CORE_PACKED, LANES, REC_MASK,
+    };
+    use crate::packed::LineMeta;
+
+    /// Lane-by-lane identical to [`super::scan_lanes_impl`]: the same
+    /// terms in the same widths, only expressed as explicit 256-bit ops.
+    ///
+    /// # Safety
+    /// Caller must have verified `avx512f` and `avx512vl` at runtime.
+    #[target_feature(enable = "avx512f,avx512vl")]
+    pub unsafe fn scan<const MODE: u8>(params: &ScanParams, ways: &ScanWays) -> ScanOutcome {
+        let n = super::check_shape(ways);
+        let p = *params;
+        let splat = |v: u64| _mm256_set1_epi64x(v as i64);
+        let now = splat(p.now);
+        let max_age = splat(p.max_age);
+        let rd = splat(p.rd);
+        let weight = splat(u64::from(p.age_weight));
+        let type_on = splat(u64::from(p.use_type));
+        let hit_on = splat(u64::from(p.use_hit));
+        let clock = splat(p.clock);
+        // All-ones selects the exact recency clock, all-zeros the age.
+        let exact = splat((p.exact_recency as u64).wrapping_neg());
+        let rec_mask = splat(REC_MASK);
+        let pf_bit = splat(u64::from(LineMeta::PREFETCH_BIT));
+        let hit_mask = splat(u64::from(LineMeta::HIT_MASK));
+        // CORE_PACKED: the rank table as one u64, byte `c` = core c's rank.
+        let rank_table = splat(
+            ways.core_rank
+                .iter()
+                .enumerate()
+                .fold(0u64, |t, (c, &r)| t | (u64::from(r) << (8 * c))),
+        );
+        let rank_len = splat(ways.core_rank.len() as u64);
+
+        let mut best = splat(u64::MAX);
+        let mut past: __mmask8 = 0;
+        let mut idx = _mm256_set_epi64x(3, 2, 1, 0);
+        let step = splat(LANES as u64);
+        let mut way = 0;
+        while way + LANES <= n {
+            // SAFETY: `check_shape` proved every slice holds `n` elements
+            // and `way + LANES <= n`, so all four-lane loads are in
+            // bounds; LineMeta is `repr(transparent)` over u8.
+            let age_stamps =
+                _mm256_loadu_si256(ways.age_stamps.as_ptr().add(way).cast::<__m256i>());
+            let rec_stamps =
+                _mm256_loadu_si256(ways.rec_stamps.as_ptr().add(way).cast::<__m256i>());
+            let meta_bytes = ways.metas.as_ptr().add(way).cast::<u32>().read_unaligned();
+            let metas = _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(meta_bytes as i32));
+
+            let age = _mm256_min_epu64(_mm256_sub_epi64(now, age_stamps), max_age);
+            // P_age: + weight where age ≤ RD.
+            let le_rd = _mm256_cmple_epu64_mask(age, rd);
+            let mut prio = _mm256_maskz_mov_epi64(le_rd, weight);
+            // P_type: + use_type where the last access was not a prefetch.
+            let pf_clear = _mm256_testn_epi64_mask(metas, pf_bit);
+            prio = _mm256_add_epi64(prio, _mm256_maskz_mov_epi64(pf_clear, type_on));
+            // P_hit: + use_hit where the hit counter is non-zero.
+            let hit_nz = _mm256_test_epi64_mask(metas, hit_mask);
+            prio = _mm256_add_epi64(prio, _mm256_maskz_mov_epi64(hit_nz, hit_on));
+            if MODE == CORE_PACKED {
+                let core_bytes = ways.cores.as_ptr().add(way).cast::<u32>().read_unaligned();
+                let cores = _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(core_bytes as i32));
+                // rank = byte `core` of the table, 0 when out of range.
+                let keep = _mm256_cmplt_epu64_mask(cores, rank_len);
+                let shift = _mm256_slli_epi64(_mm256_and_si256(cores, splat(7)), 3);
+                let rank =
+                    _mm256_and_si256(_mm256_srlv_epi64(rank_table, shift), splat(0xFF));
+                prio = _mm256_add_epi64(prio, _mm256_maskz_mov_epi64(keep, rank));
+            }
+            // staleness = exact ? clock − rec_stamp : age, clamped.
+            let rec = _mm256_sub_epi64(clock, rec_stamps);
+            let staleness = _mm256_or_si256(
+                _mm256_and_si256(exact, rec),
+                _mm256_andnot_si256(exact, age),
+            );
+            let staleness = _mm256_min_epu64(staleness, rec_mask);
+            let key = _mm256_or_si256(
+                _mm256_or_si256(_mm256_slli_epi64(prio, 54), _mm256_slli_epi64(staleness, 16)),
+                idx,
+            );
+            best = _mm256_min_epu64(best, key);
+            past |= _mm256_cmpgt_epu64_mask(age, rd);
+            idx = _mm256_add_epi64(idx, step);
+            way += LANES;
+        }
+
+        let mut lanes = [0u64; LANES];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), best);
+        let mut best_key = lanes.into_iter().fold(u64::MAX, u64::min);
+        let mut any_past_rd = past != 0;
+        while way < n {
+            let (key, past_rd) = way_key(params, ways, way);
+            best_key = best_key.min(key);
+            any_past_rd |= past_rd;
+            way += 1;
+        }
+        ScanOutcome { best_key, any_past_rd }
+    }
+}
+
+/// The lane kernel, monomorphized on the P_core mode. The stripe body is
+/// branch-free u64 arithmetic over fixed-size array views, so the compiler
+/// sees no bounds checks and no data-dependent control flow; every term
+/// matches [`way_key`] bit for bit (priority sums stay < 1024, so widening
+/// the math to u64 cannot change a result, and in `CORE_PACKED` mode the
+/// byte extracted by the shift equals the table entry the gather would
+/// load, with out-of-range cores masked to the same 0).
+#[inline(always)]
+fn scan_lanes_impl<const MODE: u8>(params: &ScanParams, ways: &ScanWays) -> ScanOutcome {
+    let n = check_shape(ways);
+    let p = *params;
+    let weight = u64::from(p.age_weight);
+    let type_on = u64::from(p.use_type);
+    let hit_on = u64::from(p.use_hit);
+    // All-ones when staleness is the exact recency clock, all-zeros when it
+    // reuses the clamped age — a branchless select below.
+    let exact = (p.exact_recency as u64).wrapping_neg();
+    // CORE_PACKED: the whole rank table as one u64, byte `c` holding
+    // core `c`'s rank.
+    let rank_table = if MODE == CORE_PACKED {
+        ways.core_rank.iter().enumerate().fold(0u64, |t, (c, &r)| t | (u64::from(r) << (8 * c)))
+    } else {
+        0
+    };
+    let rank_len = ways.core_rank.len() as u64;
+    let mut best = [u64::MAX; LANES];
+    let mut past = [0u64; LANES];
+    let mut way = 0;
+    while way + LANES <= n {
+        let stripe = way..way + LANES;
+        let age_s: &[u64; LANES] = ways.age_stamps[stripe.clone()].try_into().expect("stripe");
+        let rec_s: &[u64; LANES] = ways.rec_stamps[stripe.clone()].try_into().expect("stripe");
+        let metas: &[LineMeta; LANES] = ways.metas[stripe.clone()].try_into().expect("stripe");
+        let cores: &[u8; LANES] = if MODE == CORE_OFF {
+            &[0; LANES]
+        } else {
+            ways.cores[stripe.clone()].try_into().expect("stripe")
+        };
+        for lane in 0..LANES {
+            let age = (p.now - age_s[lane]).min(p.max_age);
+            let meta = metas[lane];
+            let mut prio = u64::from(age <= p.rd) * weight
+                + (type_on & u64::from(!meta.last_prefetch()))
+                + (hit_on & u64::from(meta.hit_count() > 0));
+            if MODE == CORE_PACKED {
+                let core = u64::from(cores[lane]);
+                let keep = ((core < rank_len) as u64).wrapping_neg();
+                prio += (rank_table >> ((core & 7) * 8)) & 0xFF & keep;
+            } else if MODE == CORE_GATHER {
+                let core = usize::from(cores[lane]);
+                prio += u64::from(ways.core_rank.get(core).copied().unwrap_or(0));
+            }
+            // wrapping_sub: the difference is only meaningful (and only
+            // kept) when `exact` selects it, and then rec ≤ clock holds.
+            let staleness = (exact & p.clock.wrapping_sub(rec_s[lane])) | (!exact & age);
+            let key = (prio << 54) | (staleness.min(REC_MASK) << 16) | (way + lane) as u64;
+            best[lane] = best[lane].min(key);
+            past[lane] |= u64::from(age > p.rd);
+        }
+        way += LANES;
+    }
+    let mut best_key = best.into_iter().fold(u64::MAX, u64::min);
+    let mut any_past_rd = past.into_iter().fold(0, |a, b| a | b) != 0;
+    while way < n {
+        let (key, past_rd) = way_key(params, ways, way);
+        best_key = best_key.min(key);
+        any_past_rd |= past_rd;
+        way += 1;
+    }
+    ScanOutcome { best_key, any_past_rd }
+}
+
+/// The build-selected backend: [`scan_lanes`] by default, [`scan_scalar`]
+/// under the `scalar-scan` feature.
+#[inline]
+pub fn scan(params: &ScanParams, ways: &ScanWays) -> ScanOutcome {
+    if cfg!(feature = "scalar-scan") {
+        scan_scalar(params, ways)
+    } else {
+        scan_lanes(params, ways)
+    }
+}
+
+/// `true` when [`scan`] resolves to the lane backend in this build.
+#[must_use]
+pub const fn lanes_enabled() -> bool {
+    !cfg!(feature = "scalar-scan")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ScanParams {
+        ScanParams {
+            now: 10,
+            clock: 10,
+            rd: 4,
+            max_age: 31,
+            age_weight: 8,
+            use_type: true,
+            use_hit: true,
+            exact_recency: true,
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_a_mixed_set() {
+        let age_stamps = [0, 7, 9, 3, 10, 10, 2];
+        let rec_stamps = [1, 7, 9, 3, 10, 10, 2];
+        let metas: Vec<LineMeta> = [(0u8, false), (1, false), (0, true), (2, false), (0, true), (1, false), (0, false)]
+            .iter()
+            .map(|&(hits, pf)| {
+                let mut m = LineMeta::filled(pf, !pf);
+                m.set_hit_count(hits);
+                m
+            })
+            .collect();
+        let cores = [0u8, 1, 2, 3, 0, 1, 9];
+        let core_rank = [3u32, 2, 1, 0];
+        let ways = ScanWays {
+            age_stamps: &age_stamps,
+            rec_stamps: &rec_stamps,
+            metas: &metas,
+            cores: &cores,
+            core_rank: &core_rank,
+        };
+        let p = params();
+        assert_eq!(scan_scalar(&p, &ways), scan_lanes(&p, &ways));
+        assert_eq!(scan(&p, &ways), scan_scalar(&p, &ways));
+    }
+
+    #[test]
+    fn full_tie_picks_the_lowest_way() {
+        let age_stamps = [5u64; 6];
+        let metas = vec![LineMeta::filled(false, true); 6];
+        let ways = ScanWays {
+            age_stamps: &age_stamps,
+            rec_stamps: &age_stamps,
+            metas: &metas,
+            cores: &[],
+            core_rank: &[],
+        };
+        let p = params();
+        assert_eq!(scan_lanes(&p, &ways).victim(), 0);
+        assert_eq!(scan_scalar(&p, &ways).victim(), 0);
+    }
+}

@@ -30,8 +30,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use cache_sim::{
-    Access, AccessOutcome, LlcRecord, LlcTrace, MultiCoreSystem, ReplacementPolicy, RunStats,
-    SetAssocCache, SingleCoreSystem, SystemConfig,
+    Access, AccessKind, AccessOutcome, CoreHierarchy, DataRequest, LlcRecord, LlcTrace,
+    MultiCoreSystem, ReplacementPolicy, RunStats, ServiceLevel, SetAssocCache, SharedLlc,
+    SingleCoreSystem, SystemConfig,
 };
 use workloads::{cloudsuite, spec2006, Workload, WorkloadMix};
 
@@ -296,6 +297,54 @@ pub fn replay_llc_reader<P: ReplacementPolicy, R: std::io::Read>(
         state.feed(cache, block);
     }
     Ok(state.summary)
+}
+
+/// How [`replay_hierarchy`] drives the private levels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HierarchyReplayMode {
+    /// One [`CoreHierarchy::data_access`] call per request.
+    PerAccess,
+    /// [`CoreHierarchy::data_access_batch`] over [`REPLAY_CHUNK`]-sized
+    /// chunks — the fast path, bit-identical to `PerAccess` (the batch
+    /// equivalence suite locks the two together on the golden fixture).
+    Batched,
+}
+
+/// Replays a demand data stream through one core's private hierarchy and a
+/// shared LLC, returning the [`ServiceLevel`] of every request in order.
+pub fn replay_hierarchy<P: ReplacementPolicy>(
+    core: &mut CoreHierarchy,
+    llc: &mut SharedLlc<P>,
+    requests: &[DataRequest],
+    mode: HierarchyReplayMode,
+) -> Vec<ServiceLevel> {
+    let mut levels = Vec::with_capacity(requests.len());
+    match mode {
+        HierarchyReplayMode::PerAccess => {
+            for r in requests {
+                levels.push(core.data_access(r.pc, r.addr, r.is_store, llc));
+            }
+        }
+        HierarchyReplayMode::Batched => {
+            for chunk in requests.chunks(REPLAY_CHUNK) {
+                core.data_access_batch(chunk, llc, &mut levels);
+            }
+        }
+    }
+    levels
+}
+
+/// Extracts a demand-request stream from a captured LLC trace for
+/// hierarchy replay: loads and RFOs keep their PC and address; prefetches
+/// and writebacks are dropped, since a replayed private hierarchy
+/// regenerates its own.
+pub fn demand_requests(trace: &LlcTrace) -> Vec<DataRequest> {
+    trace
+        .records()
+        .iter()
+        .filter(|r| r.kind.is_demand())
+        .map(|r| DataRequest { pc: r.pc, addr: r.line << 6, is_store: r.kind == AccessKind::Rfo })
+        .collect()
 }
 
 /// Runs a 4-core mix on the paper's quad-core system; returns per-core

@@ -1,0 +1,118 @@
+//! Hierarchy batching equivalence: the staged
+//! [`CoreHierarchy::data_access_batch`] path against the per-access
+//! [`CoreHierarchy::data_access`] path, on the demand stream of the golden
+//! `429.mcf` RLT fixture. Batched replay must be **bit-identical** — the
+//! same service level for every request and the same hit/miss/writeback
+//! counters at L1D, L1I, L2, the LLC, and memory — because the staging
+//! only reorders L2-and-below work *after* L1 work it cannot influence.
+
+use cache_sim::{CoreHierarchy, SharedLlc, SystemConfig};
+use experiments::runner::{demand_requests, replay_hierarchy, HierarchyReplayMode};
+use experiments::PolicyKind;
+
+const FIXTURE: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../trace-io/tests/data/golden_429mcf.rlt");
+
+fn fixture_requests() -> Vec<cache_sim::DataRequest> {
+    let trace = trace_io::read_trace_file(std::path::Path::new(FIXTURE))
+        .expect("golden fixture is committed and verifies");
+    let requests = demand_requests(&trace);
+    assert!(requests.len() > 3000, "fixture must carry a real demand stream");
+    requests
+}
+
+/// Replays `requests` through a fresh hierarchy + LLC in the given mode
+/// and returns everything observable about the run.
+fn replay(
+    llc_policy: PolicyKind,
+    requests: &[cache_sim::DataRequest],
+    mode: HierarchyReplayMode,
+) -> (Vec<cache_sim::ServiceLevel>, Vec<cache_sim::CacheStats>, u64, u64) {
+    let config = SystemConfig::paper_single_core();
+    let mut core = CoreHierarchy::new(0, &config);
+    let mut llc = SharedLlc::new(&config, llc_policy.build(&config.llc, None));
+    let levels = replay_hierarchy(&mut core, &mut llc, requests, mode);
+    let stats = vec![
+        core.l1d_stats().clone(),
+        core.l1i_stats().clone(),
+        core.l2_stats().clone(),
+        llc.stats().clone(),
+    ];
+    (levels, stats, llc.memory_reads(), llc.memory_writes())
+}
+
+fn assert_modes_identical(llc_policy: PolicyKind, requests: &[cache_sim::DataRequest]) {
+    let (levels_single, stats_single, reads_single, writes_single) =
+        replay(llc_policy, requests, HierarchyReplayMode::PerAccess);
+    let (levels_batch, stats_batch, reads_batch, writes_batch) =
+        replay(llc_policy, requests, HierarchyReplayMode::Batched);
+    assert_eq!(
+        levels_single.len(),
+        levels_batch.len(),
+        "[{}] batched replay lost or invented requests",
+        llc_policy.name()
+    );
+    if let Some(i) = (0..levels_single.len()).find(|&i| levels_single[i] != levels_batch[i]) {
+        panic!(
+            "[{}] service level diverged at request {i}: per-access {:?} vs batched {:?}",
+            llc_policy.name(),
+            levels_single[i],
+            levels_batch[i]
+        );
+    }
+    for (stats, level) in stats_single.iter().zip(["L1D", "L1I", "L2", "LLC"]) {
+        let batched = &stats_batch[match level {
+            "L1D" => 0,
+            "L1I" => 1,
+            "L2" => 2,
+            _ => 3,
+        }];
+        assert_eq!(
+            stats, batched,
+            "[{}] {level} hit/miss/writeback counters diverged",
+            llc_policy.name()
+        );
+    }
+    assert_eq!(reads_single, reads_batch, "[{}] memory reads diverged", llc_policy.name());
+    assert_eq!(writes_single, writes_batch, "[{}] memory writes diverged", llc_policy.name());
+}
+
+/// The golden 429.mcf demand stream, batched vs per-access, with the
+/// paper's RLR at the LLC.
+#[test]
+fn batched_replay_matches_per_access_on_golden_mcf() {
+    let requests = fixture_requests();
+    assert_modes_identical(PolicyKind::Rlr, &requests);
+}
+
+/// Same wall with LRU (the TrueLru lane scan also runs at the LLC here)
+/// and snapshot-elided multicore RLR.
+#[test]
+fn batched_replay_matches_per_access_across_llc_policies() {
+    let requests = fixture_requests();
+    assert_modes_identical(PolicyKind::Lru, &requests);
+    assert_modes_identical(PolicyKind::RlrMulticore, &requests);
+}
+
+/// Chunk-size invariance: any batch boundary must land on the same state,
+/// so odd chunk sizes (including 1) reproduce the full-batch replay.
+#[test]
+fn batch_boundaries_do_not_leak_into_results() {
+    let requests: Vec<_> = fixture_requests().into_iter().take(2500).collect();
+    let config = SystemConfig::paper_single_core();
+    let reference = replay(PolicyKind::Rlr, &requests, HierarchyReplayMode::Batched);
+    for chunk_len in [1usize, 7, 64, 1023] {
+        let mut core = CoreHierarchy::new(0, &config);
+        let mut llc = SharedLlc::new(&config, PolicyKind::Rlr.build(&config.llc, None));
+        let mut levels = Vec::new();
+        for chunk in requests.chunks(chunk_len) {
+            core.data_access_batch(chunk, &mut llc, &mut levels);
+        }
+        assert_eq!(levels, reference.0, "chunk size {chunk_len} changed service levels");
+        assert_eq!(
+            llc.stats(),
+            &reference.1[3],
+            "chunk size {chunk_len} changed LLC statistics"
+        );
+    }
+}

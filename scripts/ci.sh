@@ -12,6 +12,18 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> equivalence wall, forced-scalar scan build"
+# The workspace run above exercised the differential walls in the default
+# (lane-vectorized) build; re-run them with the victim scans forced onto
+# the scalar fallback so BOTH backends stay oracle-checked on every CI
+# pass, not just the one the build happened to select.
+cargo test -q --offline -p rlr --features scalar-scan \
+    --test seed_equivalence --test simd_scan_equivalence
+cargo test -q --offline -p cache-sim --features rlr/scalar-scan \
+    --test dispatch_equivalence
+cargo test -q --offline -p experiments --features rlr/scalar-scan \
+    --test hierarchy_batch
+
 echo "==> cargo bench --no-run --offline"
 cargo bench --no-run --offline --workspace
 
