@@ -13,7 +13,9 @@
 
 use std::hint::black_box;
 
-use cache_sim::{Access, LlcTrace, ReferenceCache, SetAssocCache, SingleCoreSystem, SystemConfig};
+use cache_sim::{
+    Access, LlcTrace, ReferenceCache, SetAssocCache, SingleCoreSystem, SystemConfig, TimingMode,
+};
 use experiments::runner::replay_llc_trace;
 use experiments::PolicyKind;
 use rlr::packed::LineMeta;
@@ -23,6 +25,10 @@ use rlr_bench::harness::{self, Throughput};
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/ci_baseline.json");
 /// Fail when the measured speedup falls below this fraction of baseline.
 const TOLERANCE: f64 = 0.8;
+/// Fail when the analytic-vs-event cost ratio climbs above this multiple
+/// of baseline — i.e. the analytic replay path regressed relative to the
+/// (heavier) event core measured on the same machine in the same process.
+const TIMING_TOLERANCE: f64 = 1.05;
 
 fn capture_small_trace(config: &SystemConfig) -> LlcTrace {
     let mut system = SingleCoreSystem::new(config, PolicyKind::Lru.build(&config.llc, None));
@@ -108,6 +114,54 @@ fn victim_scan_speedup(config: &SystemConfig) -> (f64, [Throughput; 2]) {
     (mins[0] / mins[1], rows)
 }
 
+/// The timing-layer cost ratio: full-system 429.mcf runs under both
+/// timing modes, *paired per round* — analytic then event back to back —
+/// so frequency scaling and load drift cancel within each round. Returns
+/// the median per-round `analytic_ns / event_ns` ratio — which rises when
+/// the analytic replay path gets slower relative to the event core — plus
+/// a summary row per mode for the JSON record.
+fn timing_mode_ratio(config: &SystemConfig) -> (f64, [Throughput; 2]) {
+    const INSTRUCTIONS: u64 = 150_000;
+    const ROUNDS: usize = 15;
+    let run = |mode: TimingMode| {
+        let timed = config.with_timing(mode);
+        let mut system = SingleCoreSystem::new(&timed, PolicyKind::Rlr.build(&timed.llc, None));
+        let stream = workloads::spec2006("429.mcf").expect("known benchmark").stream();
+        black_box(system.run(stream, INSTRUCTIONS).cycles)
+    };
+    run(TimingMode::Analytic); // warm caches and branch predictors
+    run(TimingMode::Event);
+    let mut analytic_ns = Vec::with_capacity(ROUNDS);
+    let mut event_ns = Vec::with_capacity(ROUNDS);
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let begin = std::time::Instant::now();
+        run(TimingMode::Analytic);
+        let a = begin.elapsed().as_nanos() as u64;
+        let begin = std::time::Instant::now();
+        run(TimingMode::Event);
+        let e = begin.elapsed().as_nanos() as u64;
+        analytic_ns.push(a);
+        event_ns.push(e);
+        ratios.push(a as f64 / e.max(1) as f64);
+    }
+    ratios.sort_unstable_by(f64::total_cmp);
+    let rows = [
+        Throughput {
+            measurement: harness::Measurement::from_samples(
+                "ci_smoke/timing_analytic",
+                analytic_ns,
+            ),
+            accesses: INSTRUCTIONS,
+        },
+        Throughput {
+            measurement: harness::Measurement::from_samples("ci_smoke/timing_event", event_ns),
+            accesses: INSTRUCTIONS,
+        },
+    ];
+    (ratios[ROUNDS / 2], rows)
+}
+
 fn main() {
     let _ = rlr_bench::start("ci_smoke");
     let config = SystemConfig::paper_single_core();
@@ -142,6 +196,10 @@ fn main() {
     println!("measured lane-vs-scalar victim-scan speedup: {simd_speedup:.2}x");
     let [scan_scalar_row, scan_simd_row] = scan_rows;
 
+    let (timing_ratio, timing_rows) = timing_mode_ratio(&config);
+    println!("measured analytic-vs-event timing cost ratio: {timing_ratio:.2}");
+    let [timing_analytic_row, timing_event_row] = timing_rows;
+
     harness::write_throughput_json(
         "ci_smoke",
         &[
@@ -149,6 +207,8 @@ fn main() {
             Throughput { measurement: new, accesses },
             scan_scalar_row,
             scan_simd_row,
+            timing_analytic_row,
+            timing_event_row,
         ],
     );
 
@@ -156,7 +216,9 @@ fn main() {
         let json = format!(
             "{{\"bench\": \"ci_smoke\", \"speedup\": {speedup:.2}, \
              \"simd_speedup\": {simd_speedup:.2}, \
-             \"note\": \"packed/reference replay + lane/scalar scan ratios; \
+             \"timing_ratio\": {timing_ratio:.2}, \
+             \"note\": \"packed/reference replay + lane/scalar scan + \
+             analytic/event timing ratios; \
              regenerate with RLR_UPDATE_BENCH_BASELINE=1\"}}\n"
         );
         std::fs::write(BASELINE_PATH, json).expect("write baseline");
@@ -195,6 +257,28 @@ fn main() {
                  (baseline {base:.2}x - 20%)"
             );
             failed = true;
+        }
+    }
+    // The timing gate is one-sided the other way: the ratio RISING means
+    // the analytic replay path slowed down relative to the event core.
+    match baseline_field(&text, "timing_ratio") {
+        None => {
+            eprintln!(
+                "ci_smoke: baseline at {BASELINE_PATH} lacks the timing_ratio field; \
+                 regenerate with RLR_UPDATE_BENCH_BASELINE=1"
+            );
+            failed = true;
+        }
+        Some(base) => {
+            let ceiling = base * TIMING_TOLERANCE;
+            println!("timing analytic/event: baseline {base:.2}, ceiling {ceiling:.2}");
+            if timing_ratio > ceiling {
+                eprintln!(
+                    "ci_smoke: analytic timing path regressed: ratio {timing_ratio:.2} > \
+                     {ceiling:.2} (baseline {base:.2} + 5%)"
+                );
+                failed = true;
+            }
         }
     }
     if failed {

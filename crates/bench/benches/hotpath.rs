@@ -16,7 +16,7 @@ use std::hint::black_box;
 
 use cache_sim::{
     Access, CoreHierarchy, LlcTrace, ReferenceCache, SetAssocCache, SharedLlc, SingleCoreSystem,
-    SystemConfig,
+    SystemConfig, TimingMode,
 };
 use experiments::runner::{
     demand_requests, replay_hierarchy, replay_llc_reader, replay_llc_trace, HierarchyReplayMode,
@@ -200,6 +200,29 @@ fn main() {
     println!(
         "    batched replay is {:.2}x the per-access path",
         replay_rows[0] / replay_rows[1].max(1.0)
+    );
+
+    // Timing modes over the full system: the analytic MLP formula vs the
+    // discrete-event core with DRAM bank queueing. Same functional stream
+    // in both (wall-checked by `experiments/tests/timing_differential.rs`);
+    // the row pair tracks how much simulated-time fidelity costs.
+    const TIMING_INSTRUCTIONS: u64 = 300_000;
+    println!("timing modes (full system, 429.mcf, {TIMING_INSTRUCTIONS} instructions):");
+    let mut timing_rows = [0.0f64; 2];
+    for (slot, mode) in [TimingMode::Analytic, TimingMode::Event].into_iter().enumerate() {
+        let timed = config.with_timing(mode);
+        let m = harness::bench(&format!("timing/{mode}"), || {
+            let mut system =
+                SingleCoreSystem::new(&timed, PolicyKind::Rlr.build(&timed.llc, None));
+            let stream = workloads::spec2006("429.mcf").expect("known benchmark").stream();
+            black_box(system.run(stream, TIMING_INSTRUCTIONS).cycles)
+        });
+        timing_rows[slot] = m.min_ns as f64;
+        rows.push(Throughput { measurement: m, accesses: TIMING_INSTRUCTIONS });
+    }
+    println!(
+        "    event core costs {:.2}x the analytic formula",
+        timing_rows[1] / timing_rows[0].max(1.0)
     );
 
     // The victim scan in isolation: the RLR per-way key computation over

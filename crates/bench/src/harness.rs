@@ -47,7 +47,10 @@ impl Measurement {
         }
     }
 
-    fn from_samples(name: &str, mut samples: Vec<u64>) -> Self {
+    /// Summarizes externally collected per-iteration samples — for
+    /// callers that interleave measurements themselves (e.g. paired
+    /// A/B ratio benches) instead of going through [`bench`].
+    pub fn from_samples(name: &str, mut samples: Vec<u64>) -> Self {
         samples.sort_unstable();
         let n = samples.len();
         // Nearest-rank percentiles on the sorted sample vector.

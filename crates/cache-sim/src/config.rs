@@ -1,5 +1,7 @@
 //! Cache and system geometry, defaulting to Table III of the paper.
 
+use crate::timing::TimingMode;
+
 /// Geometry and latency of one cache level.
 ///
 /// ```
@@ -94,6 +96,10 @@ pub struct SystemConfig {
     pub prefetchers: bool,
     /// Which prefetcher runs at L2 when prefetching is enabled.
     pub l2_prefetcher: L2PrefetcherKind,
+    /// Which core timing model converts hit/miss outcomes into cycles.
+    /// Purely a timing-layer selector: functional results (hits, misses,
+    /// captures, oracle labels) are identical under both modes.
+    pub timing: TimingMode,
 }
 
 impl SystemConfig {
@@ -114,6 +120,7 @@ impl SystemConfig {
             memory_row_hit_latency: 120,
             prefetchers: true,
             l2_prefetcher: L2PrefetcherKind::IpStride,
+            timing: TimingMode::Analytic,
         }
     }
 
@@ -136,6 +143,12 @@ impl SystemConfig {
     /// configuration).
     pub fn with_kpc_prefetcher(mut self) -> Self {
         self.l2_prefetcher = L2PrefetcherKind::KpcP;
+        self
+    }
+
+    /// Returns a copy using the given core timing model.
+    pub fn with_timing(mut self, timing: TimingMode) -> Self {
+        self.timing = timing;
         self
     }
 }

@@ -8,6 +8,13 @@
 //! (which walk rows sequentially) therefore see cheaper memory than
 //! pointer chasing, as on real hardware.
 
+use crate::config::SystemConfig;
+
+/// Default bank count (a typical DDR4 single-rank shape).
+const DEFAULT_BANKS: u32 = 16;
+/// Default 8 KB row = 128 cache lines.
+const DEFAULT_ROW_LINES: u32 = 128;
+
 /// The bank/row-buffer state of main memory.
 #[derive(Clone, Debug)]
 pub struct DramModel {
@@ -82,8 +89,63 @@ impl DramModel {
 
 impl Default for DramModel {
     fn default() -> Self {
-        // 16 banks, 8 KB rows (128 lines): a typical DDR4 single-rank shape.
-        Self::new(16, 128)
+        Self::new(DEFAULT_BANKS, DEFAULT_ROW_LINES)
+    }
+}
+
+/// Per-bank DRAM service timing for the event core: each bank is busy
+/// until its last request completes, so requests mapping to the same bank
+/// serialize while requests to distinct banks overlap.
+///
+/// This is the *timing* companion of [`DramModel`], with the same default
+/// geometry and bank mapping. Row-hit/miss classification stays with the
+/// functional model (which runs in program order and therefore never
+/// depends on timing); [`DramTiming`] only turns that classification plus
+/// an arrival time into a completion time. All times are in the timing
+/// layer's integer sub-slot ticks — callers never convert units, they pass
+/// times from [`crate::EventCore`] straight through.
+#[derive(Clone, Debug)]
+pub struct DramTiming {
+    /// Tick at which each bank becomes idle.
+    busy_until: Vec<u64>,
+    row_lines: u64,
+    /// Row-buffer-hit service time in ticks (column access only).
+    row_hit_ticks: u64,
+    /// Row-buffer-miss service time in ticks (precharge + activate +
+    /// column access).
+    row_miss_ticks: u64,
+}
+
+impl DramTiming {
+    /// Creates the bank timing for `config`, mirroring the functional
+    /// model's default geometry.
+    pub fn new(config: &SystemConfig) -> Self {
+        let scale = crate::timing::ticks_per_cycle(config);
+        Self {
+            busy_until: vec![0; DEFAULT_BANKS.next_power_of_two() as usize],
+            row_lines: u64::from(DEFAULT_ROW_LINES),
+            row_hit_ticks: u64::from(config.memory_row_hit_latency) * scale,
+            row_miss_ticks: u64::from(config.memory_latency) * scale,
+        }
+    }
+
+    /// Queues one request for the cache line at `line` arriving at the
+    /// memory controller at tick `arrival`; returns its completion tick.
+    /// The bank starts service when both the request has arrived and the
+    /// bank is idle, and stays busy for the whole service time.
+    pub fn request(&mut self, line: u64, arrival: u64, row_hit: bool) -> u64 {
+        let row = line / self.row_lines;
+        let bank = (row % self.busy_until.len() as u64) as usize;
+        let service = if row_hit { self.row_hit_ticks } else { self.row_miss_ticks };
+        let done = arrival.max(self.busy_until[bank]) + service;
+        self.busy_until[bank] = done;
+        done
+    }
+
+    /// Forgets all queued work (used when a warm-up phase's clock is
+    /// discarded; bank *state* has no functional side to preserve).
+    pub fn reset(&mut self) {
+        self.busy_until.fill(0);
     }
 }
 
@@ -124,6 +186,28 @@ mod tests {
         assert!(!d.access(1));
         assert!(d.access(0));
         assert!(d.access(1));
+    }
+
+    #[test]
+    fn bank_timing_serializes_same_bank_requests() {
+        let cfg = SystemConfig::paper_single_core();
+        let mut t = DramTiming::new(&cfg);
+        let miss = u64::from(cfg.memory_latency) * crate::timing::ticks_per_cycle(&cfg);
+        // Same line twice: second waits for the first.
+        assert_eq!(t.request(0, 100, false), 100 + miss);
+        assert_eq!(t.request(0, 100, false), 100 + 2 * miss);
+        // A different bank is idle.
+        assert_eq!(t.request(128, 100, false), 100 + miss);
+    }
+
+    #[test]
+    fn bank_timing_reset_clears_queues() {
+        let cfg = SystemConfig::paper_single_core();
+        let mut t = DramTiming::new(&cfg);
+        let _ = t.request(0, 1000, false);
+        t.reset();
+        let miss = u64::from(cfg.memory_latency) * crate::timing::ticks_per_cycle(&cfg);
+        assert_eq!(t.request(0, 0, false), miss);
     }
 
     #[test]

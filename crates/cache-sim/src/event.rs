@@ -1,0 +1,356 @@
+//! Discrete-event core timing: simulated time from a pending-miss queue
+//! and per-bank DRAM busy-until queues.
+//!
+//! The analytic model ([`crate::CoreTiming`]) charges every memory access a
+//! constant latency for its service level; it cannot express *contention* —
+//! two misses racing to the same DRAM bank, or dirty writebacks stealing
+//! bank time from demand reads. [`EventCore`] keeps the analytic model's
+//! accounting structure (issue slots, MSHR allocate/release with
+//! stall-on-full, ROB run-ahead limit, dependent-chain serialization) but
+//! takes every long-latency completion time from [`DramTiming`]: a request
+//! arrives at the memory controller after the cumulative L1+L2+LLC latency,
+//! waits for its bank to go idle, then occupies it for the row-hit or
+//! row-miss service time. Background traffic — prefetch fills and dirty
+//! writebacks recorded by the [`crate::SharedLlc`] traffic tap
+//! ([`MemTraffic`]) — occupies the same banks without stalling the core,
+//! which is exactly the writeback backpressure the analytic formula lacks.
+//!
+//! **Determinism.** All time is integer sub-slots (see
+//! `timing::ticks_per_cycle`), requests are issued in program order by a
+//! deterministic driver, and the bank queues are plain `max`/`add` over
+//! u64 — so event-mode cycle counts are bit-reproducible across runs and
+//! platforms. Crucially the *functional* path is untouched: row-hit/miss
+//! classification still comes from the program-order [`crate::DramModel`],
+//! so hit/miss counters, captures, and oracle results are byte-identical
+//! to analytic mode (the differential suite in `experiments` locks this).
+
+use std::collections::VecDeque;
+
+use crate::config::SystemConfig;
+use crate::dram::DramTiming;
+use crate::hierarchy::ServiceLevel;
+use crate::timing::{ticks_per_cycle, Outstanding, L2_EXPOSED_CYCLES};
+
+/// One memory-bound request recorded by the [`crate::SharedLlc`] traffic
+/// tap: a line the LLC read from or wrote to DRAM *besides* the demand
+/// read the timing driver charges directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemTraffic {
+    /// Cache line (byte address >> 6), for bank mapping.
+    pub line: u64,
+    /// `true` for a dirty writeback, `false` for a prefetch fill read.
+    pub write: bool,
+    /// Row-buffer outcome classified by the functional [`crate::DramModel`]
+    /// at access time (program order).
+    pub row_hit: bool,
+}
+
+/// A cycle-stepped out-of-order core model driven by DRAM bank timing.
+///
+/// ```
+/// use cache_sim::{DramTiming, EventCore, ServiceLevel, SystemConfig};
+///
+/// let cfg = SystemConfig::paper_single_core();
+/// let mut dram = DramTiming::new(&cfg);
+/// let mut core = EventCore::new(&cfg);
+/// core.retire(300);
+/// core.memory_op(ServiceLevel::Memory, false, 0x1234, &mut dram);
+/// core.finish();
+/// assert!(core.cycles() >= 242); // at least the uncontended miss latency
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventCore {
+    /// Sub-slots per cycle (`2 × issue_width`).
+    scale: u64,
+    rob_entries: u64,
+    mshrs: usize,
+    /// Cumulative L1+L2+LLC latency in sub-slots: the LLC hit service
+    /// time, and the time for a miss to reach the memory controller.
+    llc_ticks: u64,
+    /// Elapsed time in sub-slots.
+    now: u64,
+    instructions: u64,
+    /// In-flight long-latency misses, in program order.
+    pending: VecDeque<Outstanding>,
+    last_long_done: u64,
+}
+
+impl EventCore {
+    /// Creates the event core for `config`.
+    pub fn new(config: &SystemConfig) -> Self {
+        let scale = ticks_per_cycle(config);
+        Self {
+            scale,
+            rob_entries: u64::from(config.rob_entries),
+            mshrs: (config.mshrs as usize).max(1),
+            llc_ticks: u64::from(ServiceLevel::Llc.latency(config)) * scale,
+            now: 0,
+            instructions: 0,
+            pending: VecDeque::with_capacity(config.mshrs as usize),
+            last_long_done: 0,
+        }
+    }
+
+    /// Retires `n` non-memory instructions.
+    pub fn retire(&mut self, n: u32) {
+        self.instructions += u64::from(n);
+        self.now += 2 * u64::from(n);
+    }
+
+    /// Misses still occupying an MSHR: issued, completion time in the
+    /// future. Unlike the analytic model, completions release MSHRs out
+    /// of program order — an entry stuck behind an older one in the ROB
+    /// no longer holds its MSHR once its data is back.
+    fn in_flight(&self) -> usize {
+        self.pending.iter().filter(|o| o.done_at > self.now).count()
+    }
+
+    /// Retires completed misses from the head of the program-order queue.
+    fn drain_completed(&mut self) {
+        while let Some(front) = self.pending.front() {
+            if front.done_at <= self.now {
+                self.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Completion time of a long-latency access to `line`: LLC hits are a
+    /// fixed pipeline latency; memory requests queue on their DRAM bank.
+    fn long_done_at(&mut self, level: ServiceLevel, line: u64, dram: &mut DramTiming) -> u64 {
+        match level {
+            ServiceLevel::Llc => self.now + self.llc_ticks,
+            ServiceLevel::MemoryRowHit | ServiceLevel::Memory => {
+                let arrival = self.now + self.llc_ticks;
+                dram.request(line, arrival, level == ServiceLevel::MemoryRowHit)
+            }
+            ServiceLevel::L1 | ServiceLevel::L2 => unreachable!("short levels have no event"),
+        }
+    }
+
+    /// Accounts for one memory operation on cache line `line` serviced at
+    /// `level`. `dependent` marks an access whose address depends on the
+    /// previous access's data.
+    pub fn memory_op(
+        &mut self,
+        level: ServiceLevel,
+        dependent: bool,
+        line: u64,
+        dram: &mut DramTiming,
+    ) {
+        self.instructions += 1;
+        self.now += 2;
+        self.drain_completed();
+
+        if dependent {
+            self.now = self.now.max(self.last_long_done);
+        }
+
+        match level {
+            ServiceLevel::L1 => {}
+            ServiceLevel::L2 => {
+                self.now += L2_EXPOSED_CYCLES * self.scale;
+            }
+            ServiceLevel::Llc | ServiceLevel::MemoryRowHit | ServiceLevel::Memory => {
+                // MSHR allocate: stall until a miss completes when full.
+                // Each pass advances `now` to the earliest outstanding
+                // completion, releasing at least one entry.
+                while self.in_flight() >= self.mshrs {
+                    let next_done = self
+                        .pending
+                        .iter()
+                        .map(|o| o.done_at)
+                        .filter(|&d| d > self.now)
+                        .min()
+                        .expect("in_flight > 0 implies a future completion");
+                    self.now = next_done;
+                }
+                self.drain_completed();
+                // ROB full behind the oldest miss: stall for it.
+                while let Some(front) = self.pending.front() {
+                    if self.instructions - front.at_instr >= self.rob_entries {
+                        self.now = self.now.max(front.done_at);
+                        self.pending.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                let done_at = self.long_done_at(level, line, dram);
+                self.pending.push_back(Outstanding { done_at, at_instr: self.instructions });
+                self.last_long_done = done_at;
+            }
+        }
+    }
+
+    /// Charges a front-end (instruction fetch) service for the line at
+    /// `line`; cheap for L1/L2, a pipeline drain exposing half the
+    /// (possibly bank-queued) completion latency beyond that.
+    pub fn instr_fetch(&mut self, level: ServiceLevel, line: u64, dram: &mut DramTiming) {
+        match level {
+            ServiceLevel::L1 => {}
+            ServiceLevel::L2 => self.now += L2_EXPOSED_CYCLES * self.scale,
+            ServiceLevel::Llc | ServiceLevel::MemoryRowHit | ServiceLevel::Memory => {
+                let done_at = self.long_done_at(level, line, dram);
+                self.now += (done_at - self.now) / 2;
+            }
+        }
+    }
+
+    /// Queues one background request (prefetch fill or dirty writeback) on
+    /// its DRAM bank. The core does not stall, but the bank stays busy —
+    /// later demand misses to the same bank complete later.
+    pub fn background(&mut self, traffic: &MemTraffic, dram: &mut DramTiming) {
+        let arrival = self.now + self.llc_ticks;
+        let _ = dram.request(traffic.line, arrival, traffic.row_hit);
+    }
+
+    /// Drains outstanding misses (call once at the end of a run).
+    pub fn finish(&mut self) {
+        if let Some(max_done) = self.pending.iter().map(|o| o.done_at).max() {
+            self.now = self.now.max(max_done);
+        }
+        self.pending.clear();
+    }
+
+    /// Total cycles so far (rounded up).
+    pub fn cycles(&self) -> u64 {
+        self.now.div_ceil(self.scale)
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Misses currently in flight (MSHR occupancy).
+    pub fn outstanding_misses(&self) -> usize {
+        self.in_flight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::paper_single_core()
+    }
+
+    fn sys() -> (EventCore, DramTiming) {
+        let c = cfg();
+        (EventCore::new(&c), DramTiming::new(&c))
+    }
+
+    #[test]
+    fn uncontended_miss_matches_analytic_latency() {
+        let c = cfg();
+        let (mut core, mut dram) = sys();
+        core.memory_op(ServiceLevel::Memory, false, 0, &mut dram);
+        core.finish();
+        // Idle bank: arrival (now + 42) + 200 service = the analytic 242,
+        // plus the op's own issue slot.
+        assert_eq!(core.cycles(), u64::from(ServiceLevel::Memory.latency(&c)) + 1);
+    }
+
+    #[test]
+    fn same_bank_misses_queue_up() {
+        let (mut same, mut dram_same) = sys();
+        // Lines in the same row map to the same bank; issue row *misses*
+        // to it back to back (different rows, same bank => same row ÷
+        // banks residue requires stride of banks × row_lines).
+        for i in 0..8u64 {
+            same.memory_op(ServiceLevel::Memory, false, i * 16 * 128, &mut dram_same);
+        }
+        same.finish();
+
+        let (mut spread, mut dram_spread) = sys();
+        // One row per bank: fully parallel.
+        for i in 0..8u64 {
+            spread.memory_op(ServiceLevel::Memory, false, i * 128, &mut dram_spread);
+        }
+        spread.finish();
+
+        assert!(
+            same.cycles() > spread.cycles() * 3,
+            "bank-conflicting misses ({}) must serialize vs spread ({})",
+            same.cycles(),
+            spread.cycles()
+        );
+    }
+
+    #[test]
+    fn writeback_backpressure_delays_demand() {
+        let c = cfg();
+        let (mut clean, mut dram_clean) = sys();
+        clean.memory_op(ServiceLevel::Memory, false, 0, &mut dram_clean);
+        clean.finish();
+
+        let (mut dirty, mut dram_dirty) = sys();
+        // A burst of writebacks to the demand line's bank before the read.
+        for _ in 0..4 {
+            dirty.background(&MemTraffic { line: 0, write: true, row_hit: false }, &mut dram_dirty);
+        }
+        dirty.memory_op(ServiceLevel::Memory, false, 0, &mut dram_dirty);
+        dirty.finish();
+
+        assert!(
+            dirty.cycles() > clean.cycles() + 3 * u64::from(c.memory_latency),
+            "writeback traffic must back-pressure the demand read: {} vs {}",
+            dirty.cycles(),
+            clean.cycles()
+        );
+    }
+
+    #[test]
+    fn row_hits_complete_faster() {
+        let (mut hits, mut dram_h) = sys();
+        let (mut misses, mut dram_m) = sys();
+        for _ in 0..100 {
+            hits.memory_op(ServiceLevel::MemoryRowHit, true, 0, &mut dram_h);
+            misses.memory_op(ServiceLevel::Memory, true, 0, &mut dram_m);
+        }
+        hits.finish();
+        misses.finish();
+        assert!(hits.cycles() < misses.cycles());
+    }
+
+    #[test]
+    fn mshr_occupancy_is_bounded() {
+        let mut c = cfg();
+        c.mshrs = 4;
+        let mut core = EventCore::new(&c);
+        let mut dram = DramTiming::new(&c);
+        for i in 0..64u64 {
+            core.memory_op(ServiceLevel::Memory, false, i * 128, &mut dram);
+            assert!(core.outstanding_misses() <= 4, "at op {i}");
+        }
+        core.finish();
+        assert_eq!(core.outstanding_misses(), 0);
+    }
+
+    #[test]
+    fn event_runs_are_bit_identical() {
+        let run = || {
+            let (mut core, mut dram) = sys();
+            for i in 0..500u64 {
+                let level = match i % 3 {
+                    0 => ServiceLevel::Memory,
+                    1 => ServiceLevel::MemoryRowHit,
+                    _ => ServiceLevel::Llc,
+                };
+                core.memory_op(level, i % 7 == 0, i.wrapping_mul(0x9E37_79B9), &mut dram);
+                core.retire((i % 5) as u32);
+                if i % 11 == 0 {
+                    core.background(
+                        &MemTraffic { line: i * 3, write: i % 2 == 0, row_hit: false },
+                        &mut dram,
+                    );
+                }
+            }
+            core.finish();
+            core.cycles()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -3,6 +3,7 @@
 use crate::access::{Access, AccessKind};
 use crate::cache::SetAssocCache;
 use crate::capture::{LlcRecord, LlcTrace};
+use crate::event::MemTraffic;
 use crate::config::{L2PrefetcherKind, SystemConfig};
 use crate::prefetch::{IpStridePrefetcher, KpcPrefetcher, NextLinePrefetcher, PrefetchRequest, Prefetcher};
 use crate::replacement::{ReplacementPolicy, TrueLru};
@@ -84,6 +85,11 @@ pub struct SharedLlc<P: ReplacementPolicy = Box<dyn ReplacementPolicy>> {
     dram: crate::dram::DramModel,
     memory_reads: u64,
     memory_writes: u64,
+    /// Background memory traffic recorded for the event timing model:
+    /// prefetch fill reads and dirty writebacks (demand reads are charged
+    /// by the timing driver directly via their [`ServiceLevel`]). `None`
+    /// (the default) keeps the functional hot path free of the tap.
+    traffic: Option<Vec<MemTraffic>>,
 }
 
 impl<P: ReplacementPolicy> SharedLlc<P> {
@@ -96,6 +102,7 @@ impl<P: ReplacementPolicy> SharedLlc<P> {
             dram: crate::dram::DramModel::default(),
             memory_reads: 0,
             memory_writes: 0,
+            traffic: None,
         }
     }
 
@@ -122,6 +129,21 @@ impl<P: ReplacementPolicy> SharedLlc<P> {
         self.cache.set_allow_bypass(allow);
     }
 
+    /// Starts recording background memory traffic (prefetch fill reads and
+    /// dirty writebacks) for the event timing model. Purely observational:
+    /// functional behaviour is unchanged.
+    pub fn enable_traffic_tap(&mut self) {
+        self.traffic = Some(Vec::new());
+    }
+
+    /// Moves the traffic recorded since the last drain into `out` (appends;
+    /// does not clear `out`). A no-op when the tap is disabled.
+    pub fn drain_traffic(&mut self, out: &mut Vec<MemTraffic>) {
+        if let Some(traffic) = &mut self.traffic {
+            out.append(traffic);
+        }
+    }
+
     /// Performs one LLC access, going to DRAM on a miss.
     pub fn access(&mut self, pc: u64, addr: u64, kind: AccessKind, core: u8) -> LlcOutcome {
         let access = Access { pc, addr, kind, core, seq: self.seq };
@@ -132,7 +154,10 @@ impl<P: ReplacementPolicy> SharedLlc<P> {
         let out = self.cache.access(&access);
         if let Some(wb) = out.writeback {
             self.memory_writes += 1;
-            let _ = self.dram.access(wb);
+            let row_hit = self.dram.access(wb);
+            if let Some(traffic) = &mut self.traffic {
+                traffic.push(MemTraffic { line: wb, write: true, row_hit });
+            }
         }
         if out.hit {
             return LlcOutcome::Hit;
@@ -142,7 +167,16 @@ impl<P: ReplacementPolicy> SharedLlc<P> {
             return LlcOutcome::Hit;
         }
         self.memory_reads += 1;
-        if self.dram.access(addr >> 6) {
+        let row_hit = self.dram.access(addr >> 6);
+        // Demand reads are reported through the returned outcome (the
+        // timing driver charges them on the critical path); only prefetch
+        // fills are background traffic.
+        if kind == AccessKind::Prefetch {
+            if let Some(traffic) = &mut self.traffic {
+                traffic.push(MemTraffic { line: addr >> 6, write: false, row_hit });
+            }
+        }
+        if row_hit {
             LlcOutcome::MissRowHit
         } else {
             LlcOutcome::MissRowMiss
@@ -198,6 +232,9 @@ impl<P: ReplacementPolicy> SharedLlc<P> {
         self.dram.reset_stats();
         self.memory_reads = 0;
         self.memory_writes = 0;
+        if let Some(traffic) = &mut self.traffic {
+            traffic.clear();
+        }
     }
 }
 

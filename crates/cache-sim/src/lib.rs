@@ -30,6 +30,7 @@ mod cache;
 mod capture;
 mod config;
 mod dram;
+mod event;
 mod hierarchy;
 pub mod lanes;
 mod prefetch;
@@ -43,14 +44,15 @@ pub use access::{Access, AccessKind};
 pub use cache::{AccessOutcome, SetAssocCache};
 pub use reference::ReferenceCache;
 pub use capture::{LlcRecord, LlcTrace, TraceFormatError};
-pub use dram::DramModel;
+pub use dram::{DramModel, DramTiming};
+pub use event::{EventCore, MemTraffic};
 pub use config::{CacheConfig, L2PrefetcherKind, SystemConfig};
 pub use hierarchy::{CoreHierarchy, DataRequest, LlcOutcome, ServiceLevel, SharedLlc};
 pub use prefetch::{IpStridePrefetcher, KpcPrefetcher, NextLinePrefetcher, PrefetchRequest, Prefetcher};
 pub use replacement::{Decision, LineSnapshot, RandomLite, ReplacementPolicy, TrueLru};
 pub use stats::{CacheStats, KindCounts};
 pub use system::{MultiCoreSystem, RunStats, SingleCoreSystem};
-pub use timing::CoreTiming;
+pub use timing::{CoreTiming, TimingMode, TimingModel};
 
 /// Cache line size in bytes used throughout the simulator.
 pub const LINE_BYTES: u64 = 64;

@@ -3,10 +3,12 @@
 use workloads::TraceEntry;
 
 use crate::config::SystemConfig;
+use crate::dram::DramTiming;
+use crate::event::MemTraffic;
 use crate::hierarchy::{CoreHierarchy, SharedLlc};
 use crate::replacement::ReplacementPolicy;
 use crate::stats::CacheStats;
-use crate::timing::CoreTiming;
+use crate::timing::{TimingMode, TimingModel};
 
 /// Results of one simulated run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -74,18 +76,30 @@ impl RunStats {
 }
 
 /// Runs one core's entry through the hierarchy and timing model.
+///
+/// Event-mode ordering rule (deterministic by construction): the fetch and
+/// demand charges land first — they are the critical path — then the
+/// background traffic the op generated (prefetch fills, writebacks) queues
+/// on the DRAM banks in the functional order the LLC emitted it.
 fn step<P: ReplacementPolicy>(
     entry: &TraceEntry,
     hierarchy: &mut CoreHierarchy,
-    timing: &mut CoreTiming,
+    timing: &mut TimingModel,
     llc: &mut SharedLlc<P>,
+    dram: &mut DramTiming,
+    traffic: &mut Vec<MemTraffic>,
     config: &SystemConfig,
 ) {
     let fetch_level = hierarchy.instr_fetch(entry.pc, llc);
-    timing.instr_fetch(fetch_level, config);
+    timing.instr_fetch(fetch_level, entry.pc >> 6, dram, config);
     timing.retire(entry.leading);
     let level = hierarchy.data_access(entry.pc, entry.addr, entry.is_store, llc);
-    timing.memory_op(level, entry.dependent, config);
+    timing.memory_op(level, entry.dependent, entry.addr >> 6, dram, config);
+    if timing.mode() == TimingMode::Event {
+        traffic.clear();
+        llc.drain_traffic(traffic);
+        timing.background(traffic, dram);
+    }
 }
 
 /// A single core over the full hierarchy, with a pluggable LLC policy.
@@ -104,17 +118,25 @@ pub struct SingleCoreSystem<P: ReplacementPolicy = Box<dyn ReplacementPolicy>> {
     config: SystemConfig,
     hierarchy: CoreHierarchy,
     llc: SharedLlc<P>,
-    timing: CoreTiming,
+    timing: TimingModel,
+    dram_timing: DramTiming,
+    traffic: Vec<MemTraffic>,
 }
 
 impl<P: ReplacementPolicy> SingleCoreSystem<P> {
     /// Creates the system with the given LLC replacement policy.
     pub fn new(config: &SystemConfig, policy: P) -> Self {
+        let mut llc = SharedLlc::new(config, policy);
+        if config.timing == TimingMode::Event {
+            llc.enable_traffic_tap();
+        }
         Self {
             config: *config,
             hierarchy: CoreHierarchy::new(0, config),
-            llc: SharedLlc::new(config, policy),
-            timing: CoreTiming::new(config),
+            llc,
+            timing: TimingModel::new(config),
+            dram_timing: DramTiming::new(config),
+            traffic: Vec::new(),
         }
     }
 
@@ -138,14 +160,25 @@ impl<P: ReplacementPolicy> SingleCoreSystem<P> {
     /// ([`SetAssocCache::access_batch`](crate::SetAssocCache::access_batch),
     /// [`SharedLlc::access_batch`]).
     pub fn warm_up<I: Iterator<Item = TraceEntry>>(&mut self, stream: &mut I, instructions: u64) {
-        let mut local = CoreTiming::new(&self.config);
+        let mut local = TimingModel::new(&self.config);
         while local.instructions() < instructions {
             let entry = stream.next().expect("workload streams are infinite");
-            step(&entry, &mut self.hierarchy, &mut local, &mut self.llc, &self.config);
+            step(
+                &entry,
+                &mut self.hierarchy,
+                &mut local,
+                &mut self.llc,
+                &mut self.dram_timing,
+                &mut self.traffic,
+                &self.config,
+            );
         }
         self.hierarchy.reset_stats();
         self.llc.reset_stats();
-        self.timing = CoreTiming::new(&self.config);
+        self.timing = TimingModel::new(&self.config);
+        // The warm-up clock is discarded with its timing model; queued bank
+        // work is anchored to that clock, so it goes too.
+        self.dram_timing.reset();
     }
 
     /// Runs at least `instructions` instructions and returns the measured
@@ -153,7 +186,15 @@ impl<P: ReplacementPolicy> SingleCoreSystem<P> {
     pub fn run<I: Iterator<Item = TraceEntry>>(&mut self, mut stream: I, instructions: u64) -> RunStats {
         while self.timing.instructions() < instructions {
             let entry = stream.next().expect("workload streams are infinite");
-            step(&entry, &mut self.hierarchy, &mut self.timing, &mut self.llc, &self.config);
+            step(
+                &entry,
+                &mut self.hierarchy,
+                &mut self.timing,
+                &mut self.llc,
+                &mut self.dram_timing,
+                &mut self.traffic,
+                &self.config,
+            );
         }
         self.timing.finish();
         RunStats {
@@ -178,7 +219,7 @@ impl<P: ReplacementPolicy> std::fmt::Debug for SingleCoreSystem<P> {
 
 struct CoreSlot {
     hierarchy: CoreHierarchy,
-    timing: CoreTiming,
+    timing: TimingModel,
     stream: Box<dyn Iterator<Item = TraceEntry> + Send>,
     /// Cycles snapshot taken when the core crossed the instruction target.
     finished: Option<(u64, u64)>,
@@ -195,6 +236,11 @@ pub struct MultiCoreSystem<P: ReplacementPolicy = Box<dyn ReplacementPolicy>> {
     config: SystemConfig,
     llc: SharedLlc<P>,
     cores: Vec<CoreSlot>,
+    /// One shared bank-timing model: cross-core DRAM contention is part of
+    /// what the event mode measures. Core clocks are kept loosely in sync
+    /// by the fewest-cycles-first scheduler.
+    dram_timing: DramTiming,
+    traffic: Vec<MemTraffic>,
 }
 
 impl<P: ReplacementPolicy> MultiCoreSystem<P> {
@@ -218,12 +264,22 @@ impl<P: ReplacementPolicy> MultiCoreSystem<P> {
             .enumerate()
             .map(|(i, stream)| CoreSlot {
                 hierarchy: CoreHierarchy::new(i as u8, config),
-                timing: CoreTiming::new(config),
+                timing: TimingModel::new(config),
                 stream,
                 finished: None,
             })
             .collect();
-        Self { config: *config, llc: SharedLlc::new(config, policy), cores }
+        let mut llc = SharedLlc::new(config, policy);
+        if config.timing == TimingMode::Event {
+            llc.enable_traffic_tap();
+        }
+        Self {
+            config: *config,
+            llc,
+            cores,
+            dram_timing: DramTiming::new(config),
+            traffic: Vec::new(),
+        }
     }
 
     /// Access to the shared LLC.
@@ -239,10 +295,11 @@ impl<P: ReplacementPolicy> MultiCoreSystem<P> {
             self.run_phase(warm_up);
             for core in &mut self.cores {
                 core.hierarchy.reset_stats();
-                core.timing = CoreTiming::new(&self.config);
+                core.timing = TimingModel::new(&self.config);
                 core.finished = None;
             }
             self.llc.reset_stats();
+            self.dram_timing.reset();
         }
         self.run_phase(instructions);
         self.cores
@@ -286,7 +343,15 @@ impl<P: ReplacementPolicy> MultiCoreSystem<P> {
             let (i, _) = next.expect("at least one core exists");
             let core = &mut self.cores[i];
             let entry = core.stream.next().expect("workload streams are infinite");
-            step(&entry, &mut core.hierarchy, &mut core.timing, &mut self.llc, &self.config);
+            step(
+                &entry,
+                &mut core.hierarchy,
+                &mut core.timing,
+                &mut self.llc,
+                &mut self.dram_timing,
+                &mut self.traffic,
+                &self.config,
+            );
             if core.finished.is_none() && core.timing.instructions() >= instructions {
                 let mut t = core.timing.clone();
                 t.finish();
@@ -379,6 +444,62 @@ mod tests {
     fn multicore_stream_count_must_match() {
         let cfg = SystemConfig::paper_quad_core();
         let _ = MultiCoreSystem::new(&cfg, Box::new(TrueLru::new(&cfg.llc)), Vec::new());
+    }
+
+    #[test]
+    fn event_mode_keeps_functional_counters_identical() {
+        let analytic_cfg = SystemConfig::paper_single_core();
+        let event_cfg = analytic_cfg.with_timing(TimingMode::Event);
+        let run = |cfg: &SystemConfig| {
+            let mut sys = SingleCoreSystem::new(cfg, Box::new(TrueLru::new(&cfg.llc)));
+            let mut stream = small_loop(1 << 18).stream();
+            sys.warm_up(&mut stream, 3_000);
+            sys.run(stream, 10_000)
+        };
+        let a = run(&analytic_cfg);
+        let e = run(&event_cfg);
+        // Timing is a pure consumer: everything but cycles is identical.
+        assert_eq!(a.instructions, e.instructions);
+        assert_eq!(a.l1d, e.l1d);
+        assert_eq!(a.l2, e.l2);
+        assert_eq!(a.llc, e.llc);
+        assert_eq!(a.memory_reads, e.memory_reads);
+        assert_eq!(a.memory_writes, e.memory_writes);
+        assert_eq!(a.dram_row_hits, e.dram_row_hits);
+        assert!(e.cycles > 0);
+    }
+
+    #[test]
+    fn event_mode_single_core_is_deterministic() {
+        let cfg = SystemConfig::paper_single_core().with_timing(TimingMode::Event);
+        let run = || {
+            let wl = Workload::new("chase", Recipe::Chase { bytes: 8 << 20 }).with_compute(1, 2);
+            let mut sys = SingleCoreSystem::new(&cfg, Box::new(TrueLru::new(&cfg.llc)));
+            sys.run(wl.stream(), 20_000)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn event_mode_multicore_runs_and_repeats() {
+        let cfg = SystemConfig::paper_quad_core().with_timing(TimingMode::Event);
+        let run = || {
+            let streams: Vec<Box<dyn Iterator<Item = TraceEntry> + Send>> = (0..4)
+                .map(|i| {
+                    Box::new(small_loop(1 << 20).with_seed(i).stream())
+                        as Box<dyn Iterator<Item = TraceEntry> + Send>
+                })
+                .collect();
+            let mut sys = MultiCoreSystem::new(&cfg, Box::new(TrueLru::new(&cfg.llc)), streams);
+            sys.run(1_000, 5_000)
+        };
+        let first = run();
+        assert_eq!(first.len(), 4);
+        for s in &first {
+            assert!(s.instructions >= 5_000);
+            assert!(s.cycles > 0);
+        }
+        assert_eq!(first, run(), "shared-bank multicore timing must be deterministic");
     }
 
     #[test]

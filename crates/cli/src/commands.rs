@@ -4,7 +4,7 @@ use std::fs;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
-use cache_sim::{LlcTrace, SingleCoreSystem, SystemConfig};
+use cache_sim::{LlcTrace, SingleCoreSystem, SystemConfig, TimingMode};
 use experiments::checkpoint::{self, write_atomic};
 use experiments::runner::{replay_llc_reader, run_tasks_resilient, RunOptions};
 use experiments::{PolicyKind, Table};
@@ -39,6 +39,16 @@ fn workload_by_name(name: &str) -> Result<Workload, ArgError> {
         .ok_or_else(|| ArgError(format!("unknown benchmark `{name}`; try `rlr list`")))
 }
 
+/// Resolves the core timing model: `--timing` wins, then `RLR_TIMING`,
+/// then the analytic default.
+fn timing_by_args(args: &Args) -> Result<TimingMode, ArgError> {
+    match args.get("timing") {
+        None => Ok(TimingMode::from_env()),
+        Some(raw) => TimingMode::parse(raw)
+            .ok_or_else(|| ArgError(format!("--timing must be `analytic` or `event`, got `{raw}`"))),
+    }
+}
+
 fn parse_policies(raw: &str) -> Result<Vec<PolicyKind>, ArgError> {
     raw.split(',').map(policy_by_name).collect()
 }
@@ -64,9 +74,10 @@ pub fn list() -> Result<(), ArgError> {
 }
 
 /// `rlr run <bench> [--policy P] [--instructions N] [--warmup N]
-///  [--no-prefetch]` — one single-core simulation.
+///  [--no-prefetch] [--timing analytic|event]` — one single-core
+/// simulation.
 pub fn run(args: &Args) -> Result<(), ArgError> {
-    args.expect_known(&["policy", "instructions", "warmup", "no-prefetch"])?;
+    args.expect_known(&["policy", "instructions", "warmup", "no-prefetch", "timing"])?;
     let bench = args
         .positional()
         .first()
@@ -75,7 +86,8 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let kind = policy_by_name(args.get_or("policy", "RLR"))?;
     let instructions = args.get_num("instructions", 10_000_000u64)?;
     let warmup = args.get_num("warmup", 2_000_000u64)?;
-    let mut config = SystemConfig::paper_single_core();
+    let timing = timing_by_args(args)?;
+    let mut config = SystemConfig::paper_single_core().with_timing(timing);
     if args.has_flag("no-prefetch") {
         config = config.without_prefetchers();
     }
@@ -87,6 +99,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
 
     println!("benchmark    {bench}");
     println!("policy       {}", kind.name());
+    println!("timing       {timing}");
     println!("instructions {}", stats.instructions);
     println!("cycles       {}", stats.cycles);
     println!("IPC          {:.4}", stats.ipc());
@@ -102,7 +115,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
 ///  [--warmup N] [--jobs N]` — speedup-over-LRU table, sharded over a
 /// worker pool (every benchmark × policy cell is an independent task).
 pub fn compare(args: &Args) -> Result<(), ArgError> {
-    args.expect_known(&["policies", "instructions", "warmup", "jobs"])?;
+    args.expect_known(&["policies", "instructions", "warmup", "jobs", "timing"])?;
     if args.positional().is_empty() {
         return Err(ArgError("usage: rlr compare <benchmark...> [--policies a,b,c]".to_owned()));
     }
@@ -114,7 +127,8 @@ pub fn compare(args: &Args) -> Result<(), ArgError> {
     let warmup = args.get_num("warmup", 2_000_000u64)?;
     let jobs = args.get_num("jobs", 0usize)?;
     let jobs = experiments::runner::resolve_jobs((jobs > 0).then_some(jobs));
-    let config = SystemConfig::paper_single_core();
+    let timing = timing_by_args(args)?;
+    let config = SystemConfig::paper_single_core().with_timing(timing);
 
     // Resolve every benchmark up front so typos fail before any work runs.
     let workloads: Vec<Workload> = args
@@ -133,7 +147,9 @@ pub fn compare(args: &Args) -> Result<(), ArgError> {
     // stopped (disable with RLR_CHECKPOINT=0).
     let run_opts = RunOptions::from_env();
     let cache_dir = checkpoint::checkpointing_enabled().then(checkpoint::sweep_cache_dir);
-    let params = format!("cli|i{instructions}|w{warmup}");
+    // Timing mode is part of the checkpoint key: analytic and event cells
+    // of the same sweep must never satisfy each other.
+    let params = format!("cli|i{instructions}|w{warmup}|t{timing}");
     let benches = args.positional();
     let cells = run_tasks_resilient(&tasks, jobs, &run_opts, |_, &(b, k)| {
         let kind = all_kinds[k];
@@ -157,7 +173,7 @@ pub fn compare(args: &Args) -> Result<(), ArgError> {
 
     let mut headers = vec!["benchmark".to_owned(), "LRU IPC".to_owned()];
     headers.extend(kinds.iter().map(|k| k.name().to_owned()));
-    let mut table = Table::new("IPC speedup over LRU (%)", headers);
+    let mut table = Table::new(format!("IPC speedup over LRU (%), {timing} timing"), headers);
     let mut failures: Vec<String> = Vec::new();
     for (b, bench) in benches.iter().enumerate() {
         let base = b * all_kinds.len();
@@ -662,8 +678,9 @@ COMMANDS:
   list                          benchmarks and policies
   run <bench>                   one simulation       [--policy P] [--instructions N]
                                                      [--warmup N] [--no-prefetch]
+                                                     [--timing analytic|event]
   compare <bench...>            speedup-over-LRU     [--policies a,b,c] [--instructions N]
-                                                     [--jobs N]
+                                                     [--jobs N] [--timing analytic|event]
   capture <bench>               record an LLC trace  --out FILE [--records N]
                                                      (legacy format; see `trace capture`)
   replay <trace>                trace-driven replay  [--policy P|belady|agent] [--agent FILE]
@@ -690,6 +707,12 @@ FAULT TOLERANCE (compare + bench sweeps):
   RLR_CHECKPOINT=0    disable per-cell result checkpoints (resume-on-rerun)
   RLR_RESULTS_DIR=D   relocate results/ and its cell-checkpoint cache
   RLR_FAIL_PLAN=...   deterministic fault injection, e.g. \"panic:3:2;stall:1\"
+
+TIMING:
+  --timing analytic|event  core timing model (default analytic; functional
+                           hit/miss counters are identical in both modes)
+  RLR_TIMING=MODE          same selector for bench/experiment runs without
+                           a --timing flag (CLI flag wins when both set)
 
 The full per-figure evaluation lives in `cargo bench -p rlr-bench` (see README)."
     );

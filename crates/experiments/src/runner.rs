@@ -30,9 +30,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use cache_sim::{
-    Access, AccessKind, AccessOutcome, CoreHierarchy, DataRequest, LlcRecord, LlcTrace,
+    Access, AccessKind, AccessOutcome, CoreHierarchy, DataRequest, DramTiming, LlcRecord, LlcTrace,
     MultiCoreSystem, ReplacementPolicy, RunStats, ServiceLevel, SetAssocCache, SharedLlc,
-    SingleCoreSystem, SystemConfig,
+    SingleCoreSystem, SystemConfig, TimingMode, TimingModel,
 };
 use workloads::{cloudsuite, spec2006, Workload, WorkloadMix};
 
@@ -145,9 +145,12 @@ fn env_num(name: &str) -> Option<u64> {
 }
 
 /// Runs one workload on the paper's single-core system with the given LLC
-/// policy, honouring the scale's warm-up/measure split.
+/// policy, honouring the scale's warm-up/measure split. The core timing
+/// model follows `RLR_TIMING` (`analytic` by default, `event` for
+/// simulated time with DRAM bank queueing); functional counters are
+/// identical either way.
 pub fn run_single(workload: &Workload, policy: PolicyKind, scale: Scale) -> RunStats {
-    let config = SystemConfig::paper_single_core();
+    let config = SystemConfig::paper_single_core().with_timing(TimingMode::from_env());
     let mut system = SingleCoreSystem::new(&config, policy.build(&config.llc, None));
     let mut stream = workload.stream();
     system.warm_up(&mut stream, scale.warmup());
@@ -334,6 +337,66 @@ pub fn replay_hierarchy<P: ReplacementPolicy>(
     levels
 }
 
+/// Timing result of one [`replay_hierarchy_timed`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimedReplay {
+    /// Instructions the synthetic core retired (requests + leading
+    /// compute).
+    pub instructions: u64,
+    /// Simulated cycles under `config.timing`.
+    pub cycles: u64,
+}
+
+impl TimedReplay {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Leading compute instructions charged per replayed request by
+/// [`replay_hierarchy_timed`] — a fixed op mix so replays are comparable
+/// across policies and timing modes.
+const TIMED_REPLAY_LEADING: u32 = 2;
+
+/// Replays a demand data stream through one core's private hierarchy and a
+/// shared LLC *under the timing model selected by `config.timing`*,
+/// returning simulated time. Each request retires a fixed
+/// [`TIMED_REPLAY_LEADING`]-instruction compute burst, then one
+/// independent memory op at whatever [`ServiceLevel`] the functional
+/// hierarchy reports — so the functional stream (and every hit/miss
+/// counter) is identical across timing modes, while cycles reflect the
+/// selected model. This is the substrate of the timing differential wall.
+pub fn replay_hierarchy_timed<P: ReplacementPolicy>(
+    core: &mut CoreHierarchy,
+    llc: &mut SharedLlc<P>,
+    requests: &[DataRequest],
+    config: &SystemConfig,
+) -> TimedReplay {
+    let mut timing = TimingModel::new(config);
+    let mut dram = DramTiming::new(config);
+    let mut traffic = Vec::new();
+    if config.timing == TimingMode::Event {
+        llc.enable_traffic_tap();
+    }
+    for r in requests {
+        timing.retire(TIMED_REPLAY_LEADING);
+        let level = core.data_access(r.pc, r.addr, r.is_store, llc);
+        timing.memory_op(level, false, r.addr >> 6, &mut dram, config);
+        if config.timing == TimingMode::Event {
+            traffic.clear();
+            llc.drain_traffic(&mut traffic);
+            timing.background(&traffic, &mut dram);
+        }
+    }
+    timing.finish();
+    TimedReplay { instructions: timing.instructions(), cycles: timing.cycles() }
+}
+
 /// Extracts a demand-request stream from a captured LLC trace for
 /// hierarchy replay: loads and RFOs keep their PC and address; prefetches
 /// and writebacks are dropped, since a replayed private hierarchy
@@ -350,7 +413,7 @@ pub fn demand_requests(trace: &LlcTrace) -> Vec<DataRequest> {
 /// Runs a 4-core mix on the paper's quad-core system; returns per-core
 /// statistics.
 pub fn run_mix(mix: &WorkloadMix, policy: PolicyKind, scale: Scale) -> Vec<RunStats> {
-    let config = SystemConfig::paper_quad_core();
+    let config = SystemConfig::paper_quad_core().with_timing(TimingMode::from_env());
     let streams = mix
         .workloads()
         .iter()
@@ -639,7 +702,14 @@ fn resolve_workload(name: &str) -> Result<Workload, RunnerError> {
 }
 
 fn sweep_params(scale: Scale) -> String {
-    format!("single|{scale}|i{}|w{}", scale.instructions(), scale.warmup())
+    // The timing mode is part of the cell key: analytic and event sweeps
+    // of the same roster must never satisfy each other's checkpoints.
+    format!(
+        "single|{scale}|i{}|w{}|t{}",
+        scale.instructions(),
+        scale.warmup(),
+        TimingMode::from_env()
+    )
 }
 
 /// Runs the full `benchmarks` × `policies` roster with failure isolation

@@ -24,6 +24,17 @@ cargo test -q --offline -p cache-sim --features rlr/scalar-scan \
 cargo test -q --offline -p experiments --features rlr/scalar-scan \
     --test hierarchy_batch
 
+echo "==> timing wall (analytic + event)"
+# Both suites drive the analytic AND the event timing model internally:
+# the property suite (IPC bound, monotone clock, MSHR occupancy, chain
+# serialization, drained finish) and the golden-fixture differential wall
+# (event determinism, functional counters byte-identical across modes,
+# policy ranking preserved, pinned event cycle counts). They already ran
+# in the workspace pass; running them by name means a timing regression
+# is reported by the gate that owns it.
+cargo test -q --offline -p cache-sim --test timing_invariants
+cargo test -q --offline -p experiments --test timing_differential
+
 echo "==> cargo bench --no-run --offline"
 cargo bench --no-run --offline --workspace
 
@@ -60,6 +71,20 @@ diff "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/resumed.txt" || {
     echo "ci.sh: resumed sweep diverged from the uninterrupted run" >&2; exit 1;
 }
 
+echo "==> event-timing CLI smoke test"
+# The --timing selector must reach the simulator (mode echoed in the
+# report) and event-mode runs must be bit-reproducible end to end.
+"$RLR" run 429.mcf --instructions 200000 --warmup 50000 --timing event \
+    > "$SMOKE_DIR/event1.txt"
+grep -q "timing       event" "$SMOKE_DIR/event1.txt" || {
+    echo "ci.sh: --timing event did not select the event core" >&2; exit 1;
+}
+"$RLR" run 429.mcf --instructions 200000 --warmup 50000 --timing event \
+    > "$SMOKE_DIR/event2.txt"
+diff "$SMOKE_DIR/event1.txt" "$SMOKE_DIR/event2.txt" || {
+    echo "ci.sh: event-mode run is not deterministic" >&2; exit 1;
+}
+
 echo "==> trace container smoke test"
 # A captured legacy trace converted to the compressed container must
 # verify, and converting it back must reproduce the legacy file
@@ -84,5 +109,9 @@ echo "==> perf-over-time report"
 # bench history and render the trend table so regressions are visible
 # run-over-run.
 "$RLR" perf-report --bench ci_smoke --record ci
+# A second snapshot under its own label: the ci_smoke record now carries
+# timing/{analytic,event} rows, so the event core's cost is tracked
+# run-over-run in results/bench/history.jsonl alongside the hot path.
+"$RLR" perf-report --bench ci_smoke --record timing-event
 
 echo "==> ci.sh: all gates passed"
