@@ -6,6 +6,7 @@ use std::path::Path;
 
 use cache_sim::{LlcTrace, SingleCoreSystem, SystemConfig, TimingMode};
 use experiments::checkpoint::{self, write_atomic};
+use experiments::fault::FaultWriter;
 use experiments::runner::{replay_llc_reader, run_tasks_resilient, RunOptions};
 use experiments::{PolicyKind, Table};
 use rl::{Agent, AgentConfig, FeatureSet, LlcModel, Mlp, Trainer};
@@ -147,6 +148,10 @@ pub fn compare(args: &Args) -> Result<(), ArgError> {
     // stopped (disable with RLR_CHECKPOINT=0).
     let run_opts = RunOptions::from_env();
     let cache_dir = checkpoint::checkpointing_enabled().then(checkpoint::sweep_cache_dir);
+    if let Some(dir) = &cache_dir {
+        // Reap crash residue (orphaned scratch files) on checkpoint-dir open.
+        checkpoint::sweep_orphans(dir);
+    }
     // Timing mode is part of the checkpoint key: analytic and event cells
     // of the same sweep must never satisfy each other.
     let params = format!("cli|i{instructions}|w{warmup}|t{timing}");
@@ -489,9 +494,15 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
     }
 }
 
-fn open_trace_writer(out: &str, block: u32) -> Result<TraceWriter<BufWriter<fs::File>>, ArgError> {
+/// Opens a container writer behind the I/O fault seam, so `RLR_FAIL_PLAN`
+/// torn/flip/enospc directives reach `trace capture` and `trace export`
+/// exactly like any other faultable write.
+fn open_trace_writer(
+    out: &str,
+    block: u32,
+) -> Result<TraceWriter<FaultWriter<BufWriter<fs::File>>>, ArgError> {
     let file = fs::File::create(out).map_err(|e| ArgError(format!("create {out}: {e}")))?;
-    TraceWriter::with_block_len(BufWriter::new(file), block)
+    TraceWriter::with_block_len(FaultWriter::new(BufWriter::new(file)), block)
         .map_err(|e| ArgError(format!("write {out}: {e}")))
 }
 
@@ -590,18 +601,54 @@ fn trace_info(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `rlr trace verify <FILE>` — full verifying scan (checksums, structure,
-/// end-frame totals); exits non-zero on the first violation.
+/// `rlr trace verify <FILE> [--repair] [--out FILE]` — full verifying scan
+/// (checksums, structure, end-frame totals); exits non-zero on the first
+/// violation. With `--repair`, a damaged container is salvaged instead:
+/// every block whose checksum verifies is rewritten as a clean container
+/// (to `--out`, or in place with the original kept at `<file>.damaged`),
+/// and the per-block salvage report is printed. Repair fails only when
+/// nothing is salvageable.
 fn trace_verify(args: &Args) -> Result<(), ArgError> {
-    args.expect_known(&[])?;
+    args.expect_known(&["repair", "out"])?;
     let path = args
         .positional()
         .get(1)
-        .ok_or_else(|| ArgError("usage: rlr trace verify <file>".to_owned()))?;
+        .ok_or_else(|| ArgError("usage: rlr trace verify <file> [--repair] [--out FILE]".to_owned()))?;
     let file = fs::File::open(path).map_err(|e| ArgError(format!("open {path}: {e}")))?;
-    let summary =
-        trace_io::scan(BufReader::new(file)).map_err(|e| ArgError(format!("{path}: {e}")))?;
-    println!("{path}: OK — {} records in {} blocks verified", summary.records, summary.blocks);
+    let error = match trace_io::scan(BufReader::new(file)) {
+        Ok(summary) => {
+            println!("{path}: OK — {} records in {} blocks verified", summary.records, summary.blocks);
+            return Ok(());
+        }
+        Err(e) => e,
+    };
+    if !args.has_flag("repair") {
+        return Err(ArgError(format!("{path}: {error}")));
+    }
+    let (report, bytes) =
+        trace_io::salvage_file(Path::new(path)).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    println!("{path}: {error}");
+    println!("{report}");
+    if report.recovered_records == 0 {
+        return Err(ArgError(format!("{path}: nothing salvageable")));
+    }
+    let dest = match args.get("out") {
+        Some(out) => out.to_owned(),
+        None => {
+            // In-place repair: keep the damaged original as evidence. The
+            // `.damaged` extension keeps it out of `*.rlt` globs and the
+            // corpus registry.
+            let backup = format!("{path}.damaged");
+            fs::rename(path, &backup).map_err(|e| ArgError(format!("backup {backup}: {e}")))?;
+            println!("damaged original kept at {backup}");
+            path.clone()
+        }
+    };
+    write_atomic(Path::new(&dest), &bytes).map_err(|e| ArgError(format!("write {dest}: {e}")))?;
+    println!(
+        "repaired container written to {dest} ({} records in {} blocks)",
+        report.recovered_records, report.recovered_blocks
+    );
     Ok(())
 }
 
@@ -632,6 +679,25 @@ fn trace_convert(args: &Args) -> Result<(), ArgError> {
                 .map_err(|e| ArgError(format!("write {output}: {e}")))?;
             println!("converted {input} (RLT1) -> {output} (legacy, {} records)", trace.len());
         }
+    }
+    Ok(())
+}
+
+/// `rlr doctor [--dry-run]` — scan the results tree (checkpoint cells,
+/// corpus containers, bench history), classify every artifact as
+/// ok / repaired / quarantined / damaged, repair what can be repaired, and
+/// print the summary. `--dry-run` reports the same classification without
+/// touching anything. Honours `RLR_RESULTS_DIR`.
+pub fn doctor(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(&["dry-run"])?;
+    let root = experiments::report::results_dir();
+    let repair = !args.has_flag("dry-run");
+    let report = experiments::doctor::run(&root, repair);
+    println!("{}", report.render());
+    if report.all_clean() {
+        println!("doctor: {} is clean", root.display());
+    } else if !repair {
+        println!("doctor: dry run — re-run without --dry-run to repair");
     }
     Ok(())
 }
@@ -695,8 +761,11 @@ COMMANDS:
                                                      [--warmup N] [--block N]
   trace export <bench>          workload demand stream -> container  --out FILE [--records N]
   trace info <file>             summarize a trace file (either format)
-  trace verify <file>           checksum-verify an RLT1 container
+  trace verify <file>           checksum-verify an RLT1 container  [--repair] [--out FILE]
+                                (--repair salvages intact blocks into a clean container)
   trace convert <in> <out>      legacy <-> RLT1 (direction by input magic)  [--block N]
+  doctor                        scan results/ artifacts; repair or quarantine damage
+                                [--dry-run]
   perf-report                   perf-over-time table [--bench TARGET] [--record LABEL]
   help                          this text
 
@@ -706,7 +775,9 @@ FAULT TOLERANCE (compare + bench sweeps):
   RLR_TASK_BUDGET=N   logical work-unit watchdog per task (default off)
   RLR_CHECKPOINT=0    disable per-cell result checkpoints (resume-on-rerun)
   RLR_RESULTS_DIR=D   relocate results/ and its cell-checkpoint cache
-  RLR_FAIL_PLAN=...   deterministic fault injection, e.g. \"panic:3:2;stall:1\"
+  RLR_FAIL_PLAN=...   deterministic fault injection: task faults
+                      (\"panic:3:2;stall:1\") and I/O faults at the storage
+                      seam (\"torn:64\", \"flip:100@2\", \"enospc\", \"short-read:40\")
 
 TIMING:
   --timing analytic|event  core timing model (default analytic; functional

@@ -8,14 +8,35 @@
 //! `u64`s and the codec is exact ([`crate::json`]), a resumed sweep is
 //! byte-identical to an uninterrupted one.
 //!
-//! Crash safety: files are written to a scratch name and `rename`d into
-//! place, so a kill mid-write leaves either no checkpoint or a complete
-//! one, never a torn file. Loads verify the embedded key string and treat
-//! any mismatch or corruption as a miss (the cell is recomputed).
+//! # Durability contract
+//!
+//! [`write_atomic`] provides *atomic visibility* and *rename durability*:
+//!
+//! * Data goes to a pid-suffixed scratch file (`.{name}.tmp.{pid}`) in the
+//!   target directory, is `fsync`ed there, and only then `rename`d into
+//!   place. A reader therefore sees either no file or the complete file —
+//!   never a torn one — and the renamed file's *contents* are on stable
+//!   storage before the name appears.
+//! * After a successful rename the parent **directory** is `fsync`ed too
+//!   (on Unix), so the new directory entry itself survives power loss; a
+//!   checkpoint that `write_atomic` returned `Ok` for cannot silently
+//!   vanish.
+//! * A failed write leaves the scratch file behind, exactly as a crash
+//!   would; [`sweep_orphans`] (run when a checkpoint directory is opened
+//!   for a sweep) deletes such leftovers. Resume correctness never depends
+//!   on the sweep — loads only look at final names — it just stops killed
+//!   runs leaking files forever.
+//!
+//! Loads verify the embedded key string and treat any mismatch, short
+//! read, or corruption as a miss (the cell is recomputed). All file I/O
+//! goes through the [`crate::fault`] seam, so every one of these crash
+//! shapes is drivable deterministically from a test or `RLR_FAIL_PLAN`.
 
 use std::fs;
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
+
+use crate::fault::{FaultReader, FaultWriter};
 
 use cache_sim::{CacheStats, KindCounts, RunStats};
 
@@ -61,12 +82,17 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Writes `contents` to `path` atomically: scratch file + `rename`.
+/// Writes `contents` to `path` atomically and durably: scratch file,
+/// `fsync`, `rename`, parent-directory `fsync` (see the module docs for
+/// the full contract).
 ///
 /// # Errors
 ///
-/// Returns any I/O error from creating the parent directory, writing the
-/// scratch file, or renaming it into place.
+/// Returns any I/O error from creating the parent directory, writing or
+/// syncing the scratch file, or renaming it into place. A write/sync
+/// failure leaves the scratch file on disk — the same residue a crash
+/// leaves — for [`sweep_orphans`] to clean up; the final name is never
+/// created or modified on any error path.
 pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
     fs::create_dir_all(dir)?;
@@ -77,17 +103,52 @@ pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
         path.file_name().and_then(|n| n.to_str()).unwrap_or("checkpoint"),
         std::process::id()
     ));
-    let mut f = fs::File::create(&scratch)?;
+    let mut f = FaultWriter::new(fs::File::create(&scratch)?);
     f.write_all(contents)?;
-    f.sync_all()?;
+    f.get_ref().sync_all()?;
     drop(f);
     match fs::rename(&scratch, path) {
-        Ok(()) => Ok(()),
+        Ok(()) => {
+            sync_dir(dir);
+            Ok(())
+        }
         Err(e) => {
             let _ = fs::remove_file(&scratch);
             Err(e)
         }
     }
+}
+
+/// Fsyncs a directory so a just-renamed entry survives power loss.
+/// Best-effort: a failure here cannot un-publish the rename, and some
+/// filesystems refuse directory fsync, so errors are ignored.
+fn sync_dir(dir: &Path) {
+    #[cfg(unix)]
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+}
+
+/// Deletes orphaned scratch files (`.{name}.tmp.{pid}` leftovers from
+/// killed or fault-injected runs) in `dir`, returning how many were
+/// removed. Final-name checkpoints are never touched. Called when a sweep
+/// opens its checkpoint directory; racing a *live* writer's scratch file
+/// is benign — its rename fails, [`store_cell`] warns, and that one cell
+/// is recomputed on the next run.
+pub fn sweep_orphans(dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else { return 0 };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') && name.contains(".tmp.") && fs::remove_file(entry.path()).is_ok()
+        {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 fn kind_counts_to_json(k: &KindCounts) -> Json {
@@ -172,7 +233,9 @@ pub fn decode_cell(text: &str, key: &CellKey) -> Option<RunStats> {
 /// Loads the checkpoint for `key` from `dir`, or `None` if absent,
 /// corrupt, or written for a different key.
 pub fn load_cell(dir: &Path, key: &CellKey) -> Option<RunStats> {
-    let text = fs::read_to_string(dir.join(key.file_name())).ok()?;
+    let mut text = String::new();
+    let mut reader = FaultReader::new(fs::File::open(dir.join(key.file_name())).ok()?);
+    reader.read_to_string(&mut text).ok()?;
     decode_cell(&text, key)
 }
 
@@ -265,6 +328,42 @@ mod tests {
             }),
             "no scratch files survive a successful store"
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphan_sweep_removes_scratch_but_not_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("rlr_orphan_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let key = cell_key("429.mcf", "rlr", "small");
+        let stats = sample_stats(3);
+        store_cell(&dir, &key, &stats);
+        // Fabricate the residue of two killed runs plus an unrelated dotfile.
+        fs::write(dir.join(".aaaa.json.tmp.123"), b"torn").expect("orphan 1");
+        fs::write(dir.join(".bbbb.json.tmp.99999"), b"").expect("orphan 2");
+        fs::write(dir.join(".keepme"), b"not a scratch file").expect("dotfile");
+        assert_eq!(sweep_orphans(&dir), 2);
+        assert_eq!(load_cell(&dir, &key), Some(stats), "checkpoint survives the sweep");
+        assert!(dir.join(".keepme").exists(), "non-scratch dotfiles survive");
+        assert_eq!(sweep_orphans(&dir), 0, "sweep is idempotent");
+        assert_eq!(sweep_orphans(Path::new("/nonexistent/rlr")), 0, "missing dir is a no-op");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_leaves_scratch_and_no_checkpoint() {
+        use crate::fault::{with_io_plan, IoFailPlan};
+        let dir = std::env::temp_dir().join(format!("rlr_torn_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let key = cell_key("429.mcf", "rlr", "small");
+        let path = dir.join(key.file_name());
+        let encoded = encode_cell(&key, &sample_stats(11));
+        with_io_plan(IoFailPlan::parse("torn:8").expect("valid"), || {
+            write_atomic(&path, encoded.as_bytes()).expect_err("torn write fails");
+        });
+        assert!(!path.exists(), "no final-name file appears on a torn write");
+        assert!(load_cell(&dir, &key).is_none());
+        assert_eq!(sweep_orphans(&dir), 1, "the crash residue is exactly one scratch file");
         let _ = fs::remove_dir_all(&dir);
     }
 }

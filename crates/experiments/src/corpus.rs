@@ -8,16 +8,24 @@
 //! so an interrupted capture can never be mistaken for a complete trace —
 //! complementing the container's own end-frame truncation detection — and
 //! an existing legacy `.trace` cache is migrated in place of re-simulating.
+//!
+//! A *corrupt* container (checksum failure, torn tail, garbage) never
+//! fails a sweep: [`load_or_capture`] quarantines it into
+//! `results/corpus/quarantine/` (preserving the evidence for `rlr doctor`
+//! / `trace verify --repair`), logs the move, and re-captures. Reads go
+//! through the [`crate::fault`] seam, so every corruption shape is
+//! reproducible in tests.
 
 use std::fs;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use cache_sim::{LlcTrace, SystemConfig, SingleCoreSystem};
 use trace_io::{TraceIoError, TraceReader, TraceWriter};
 use workloads::{spec2006, Workload};
 
 use crate::checkpoint::write_atomic;
+use crate::fault::FaultReader;
 use crate::report::results_dir;
 use crate::roster::PolicyKind;
 use crate::runner::{capture_llc_trace, watchdog_tick, RunnerError};
@@ -71,7 +79,37 @@ pub fn corpus_dir() -> PathBuf {
 
 /// The corpus file for one `(benchmark, scale)` pair.
 pub fn corpus_path(name: &str, scale: Scale) -> PathBuf {
-    corpus_dir().join(format!("{}_{}.rlt", name.replace('.', "_"), scale))
+    corpus_file(&corpus_dir(), name, scale)
+}
+
+fn corpus_file(dir: &Path, name: &str, scale: Scale) -> PathBuf {
+    dir.join(format!("{}_{}.rlt", name.replace('.', "_"), scale))
+}
+
+/// Moves a damaged artifact into a `quarantine/` subdirectory beside it,
+/// returning the destination. Never overwrites earlier quarantined copies
+/// (a numeric suffix disambiguates), so repeated corruption of the same
+/// path preserves every specimen.
+///
+/// # Errors
+///
+/// Returns the error from creating the quarantine directory or renaming.
+pub fn quarantine_file(path: &Path) -> std::io::Result<PathBuf> {
+    let parent = path.parent().unwrap_or_else(|| Path::new("."));
+    let qdir = parent.join("quarantine");
+    fs::create_dir_all(&qdir)?;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| std::io::Error::other("artifact path has no file name"))?;
+    let mut dest = qdir.join(name);
+    let mut n = 1u32;
+    while dest.exists() {
+        dest = qdir.join(format!("{name}.{n}"));
+        n += 1;
+    }
+    fs::rename(path, &dest)?;
+    Ok(dest)
 }
 
 /// The legacy pipeline cache file this corpus entry supersedes.
@@ -121,6 +159,14 @@ pub fn capture_stream<W: Write>(
     }
 }
 
+/// Reads the container at `path` through the fault seam. A missing file
+/// surfaces as `CorpusError::Io` with `NotFound`; anything else that fails
+/// is damage.
+fn read_container(path: &Path) -> Result<LlcTrace, CorpusError> {
+    let f = FaultReader::new(fs::File::open(path)?);
+    Ok(TraceReader::new(std::io::BufReader::new(f))?.read_to_trace()?)
+}
+
 /// Loads a `(benchmark, scale)` trace from the corpus, building it if
 /// needed. Resolution order:
 ///
@@ -131,23 +177,58 @@ pub fn capture_stream<W: Write>(
 ///
 /// `retrain` (the pipeline's `RLR_RETRAIN` switch) skips 1 and 2.
 ///
+/// A container that exists but is *damaged* (bad checksum, torn tail,
+/// garbage bytes) is quarantined into `quarantine/` beside it — evidence
+/// preserved for `rlr doctor` — the move is logged on stderr, and capture
+/// proceeds as if the entry were absent. A merely short container is
+/// re-captured in place.
+///
 /// # Errors
 ///
-/// Returns any capture or container error; a short or unreadable cached
-/// file is not an error — it falls through to the next source.
+/// Returns any capture error; a missing, short, or corrupt cached file is
+/// never an error — it falls through to the next source.
 pub fn load_or_capture(
     name: &'static str,
     scale: Scale,
     retrain: bool,
 ) -> Result<LlcTrace, CorpusError> {
+    load_or_capture_in(&corpus_dir(), name, scale, retrain)
+}
+
+/// [`load_or_capture`] against an explicit corpus directory. This is the
+/// seam the crash-consistency tests use: no environment mutation, no
+/// shared global directory.
+pub fn load_or_capture_in(
+    dir: &Path,
+    name: &'static str,
+    scale: Scale,
+    retrain: bool,
+) -> Result<LlcTrace, CorpusError> {
     let min_len = scale.rl_trace_len() / 2;
-    let path = corpus_path(name, scale);
+    let path = corpus_file(dir, name, scale);
     if !retrain {
-        if let Ok(trace) = trace_io::read_trace_file(&path) {
-            if trace.len() >= min_len {
+        match read_container(&path) {
+            Ok(trace) if trace.len() >= min_len => {
                 eprintln!("[corpus] {name}: loaded {} records from {}", trace.len(), path.display());
                 return Ok(trace);
             }
+            Ok(trace) => {
+                eprintln!(
+                    "[corpus] {name}: cached trace too short ({} records), re-capturing",
+                    trace.len()
+                );
+            }
+            Err(CorpusError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => match quarantine_file(&path) {
+                Ok(dest) => eprintln!(
+                    "[corpus] {name}: corrupt container ({e}); quarantined to {}, re-capturing",
+                    dest.display()
+                ),
+                Err(qe) => eprintln!(
+                    "[corpus] {name}: corrupt container ({e}); quarantine failed ({qe}), \
+                     re-capturing over it"
+                ),
+            },
         }
         if let Ok(f) = fs::File::open(legacy_path(name, scale)) {
             if let Ok(trace) = LlcTrace::read_from(std::io::BufReader::new(f)) {
@@ -185,16 +266,20 @@ fn publish(path: &PathBuf, trace: &LlcTrace) -> Result<(), CorpusError> {
 ///
 /// Returns the first container error the scan hits.
 pub fn verify(name: &str, scale: Scale) -> Result<trace_io::TraceSummary, CorpusError> {
-    let f = fs::File::open(corpus_path(name, scale))?;
+    let f = FaultReader::new(fs::File::open(corpus_path(name, scale))?);
     Ok(trace_io::scan(std::io::BufReader::new(f))?)
 }
+
+/// A corpus entry opened for streaming replay; reads go through the fault
+/// seam so tests can inject short reads.
+pub type CorpusReader = TraceReader<std::io::BufReader<FaultReader<fs::File>>>;
 
 /// Opens one corpus entry as a streaming reader (bounded-memory replay).
 ///
 /// # Errors
 ///
 /// Returns any open or header-validation error.
-pub fn open(name: &str, scale: Scale) -> Result<TraceReader<std::io::BufReader<fs::File>>, CorpusError> {
-    let f = fs::File::open(corpus_path(name, scale))?;
+pub fn open(name: &str, scale: Scale) -> Result<CorpusReader, CorpusError> {
+    let f = FaultReader::new(fs::File::open(corpus_path(name, scale))?);
     Ok(TraceReader::new(std::io::BufReader::new(f))?)
 }

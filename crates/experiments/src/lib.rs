@@ -25,6 +25,7 @@
 pub mod ablations;
 pub mod checkpoint;
 pub mod corpus;
+pub mod doctor;
 pub mod fault;
 pub mod figures;
 pub mod json;

@@ -732,6 +732,15 @@ pub fn run_roster_resilient(
 ) -> Result<ResilientSweep, RunnerError> {
     let workloads: Vec<Workload> =
         benchmarks.iter().map(|&name| resolve_workload(name)).collect::<Result<_, _>>()?;
+    if let Some(dir) = &opts.cache_dir {
+        // Opening the checkpoint dir is the natural point to reap crash
+        // residue: scratch files left by killed runs (resume ignores them
+        // but nothing else ever deletes them).
+        let swept = checkpoint::sweep_orphans(dir);
+        if swept > 0 {
+            eprintln!("[sweep] removed {swept} orphaned scratch file(s) from {}", dir.display());
+        }
+    }
     let tasks: Vec<(usize, usize)> = (0..benchmarks.len())
         .flat_map(|b| (0..policies.len()).map(move |p| (b, p)))
         .collect();

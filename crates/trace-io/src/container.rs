@@ -703,6 +703,271 @@ pub fn export_workload<W: Write>(
     Ok(written)
 }
 
+// ---------------------------------------------------------------------------
+// Salvage: best-effort recovery from a damaged container
+// ---------------------------------------------------------------------------
+
+/// What the salvage pass found for one block frame, in file order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockOutcome {
+    /// Checksum verified and the payload decoded; the block's records are
+    /// in the salvaged output.
+    Recovered {
+        /// Records carried by this block.
+        records: u32,
+    },
+    /// The stored payload does not match its checksum. The frame header
+    /// was plausible, so the block was skipped cleanly (framing holds).
+    ChecksumFailed {
+        /// Checksum recorded in the block frame.
+        expected: u64,
+        /// Checksum of the bytes actually on disk.
+        actual: u64,
+    },
+    /// Checksum verified but the payload would not decompress/decode —
+    /// the writer itself emitted garbage. Skipped like a checksum failure.
+    Undecodable(&'static str),
+}
+
+/// How the salvage scan ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TailStatus {
+    /// A structurally valid end frame whose totals match every *declared*
+    /// block (recovered or skipped): the file's framing is intact end to
+    /// end.
+    CleanEnd,
+    /// An end frame was found but its record total or chained digest
+    /// disagrees with the frames that preceded it.
+    EndFrameMismatch(&'static str),
+    /// The stream ended mid-structure; the payload names the structure
+    /// that was cut short (`"missing end frame"` for a clean cut at a
+    /// frame boundary).
+    Truncated(&'static str),
+    /// A frame header was implausible (unknown tag, out-of-range sizes).
+    /// Frame lengths can no longer be trusted, so the scan cannot skip
+    /// forward; everything from this offset on is unrecoverable.
+    FramingLost(&'static str),
+}
+
+/// Everything a salvage pass learned about a damaged container.
+#[derive(Debug)]
+pub struct SalvageReport {
+    /// Per-block outcomes, in file order, up to where framing held.
+    pub blocks: Vec<BlockOutcome>,
+    /// Blocks whose records made it into the salvaged output.
+    pub recovered_blocks: u64,
+    /// Records in the salvaged output.
+    pub recovered_records: u64,
+    /// Blocks skipped (checksum failure or undecodable payload).
+    pub damaged_blocks: u64,
+    /// How the scan ended.
+    pub tail: TailStatus,
+}
+
+impl SalvageReport {
+    /// `true` when nothing was wrong: every block recovered and the end
+    /// frame checked out. (`trace verify --repair` uses this to say "no
+    /// repair needed".)
+    pub fn is_intact(&self) -> bool {
+        self.damaged_blocks == 0 && self.tail == TailStatus::CleanEnd
+    }
+}
+
+impl std::fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "salvage      {} of {} blocks recovered ({} records)",
+            self.recovered_blocks,
+            self.blocks.len(),
+            self.recovered_records
+        )?;
+        for (i, outcome) in self.blocks.iter().enumerate() {
+            match outcome {
+                BlockOutcome::Recovered { .. } => {}
+                BlockOutcome::ChecksumFailed { expected, actual } => writeln!(
+                    f,
+                    "  block {i}: checksum mismatch (stored {expected:#018x}, read {actual:#018x})"
+                )?,
+                BlockOutcome::Undecodable(what) => {
+                    writeln!(f, "  block {i}: undecodable payload ({what})")?
+                }
+            }
+        }
+        match self.tail {
+            TailStatus::CleanEnd => write!(f, "tail         clean end frame"),
+            TailStatus::EndFrameMismatch(what) => {
+                write!(f, "tail         end frame disagrees with blocks ({what})")
+            }
+            TailStatus::Truncated(what) => write!(f, "tail         truncated: {what}"),
+            TailStatus::FramingLost(what) => {
+                write!(f, "tail         framing lost: {what} (rest of file unrecoverable)")
+            }
+        }
+    }
+}
+
+/// Reads to EOF-or-filled: `Ok(true)` when `buf` was filled, `Ok(false)`
+/// on EOF anywhere inside it. Salvage treats both as data, never as an
+/// abort — only real I/O errors propagate.
+fn read_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Best-effort recovery of a damaged `RLT1` stream: walks the frames,
+/// keeps every block whose checksum verifies and payload decodes, skips
+/// damaged blocks (their known `comp_len` preserves framing), stops at a
+/// truncated tail or lost framing, and rewrites the survivors as a fresh,
+/// clean container (same `block_len`) into `out`.
+///
+/// Returns the per-block [`SalvageReport`] and the finished output writer.
+/// The salvaged container always verifies; what it *contains* is exactly
+/// the report's `recovered_records`.
+///
+/// # Errors
+///
+/// Only damage that leaves nothing to salvage is an error: a header that
+/// is not a readable `RLT1` header ([`TraceIoError::BadMagic`],
+/// [`TraceIoError::UnsupportedVersion`], out-of-range block length,
+/// truncation inside the 12 header bytes) — plus real I/O errors from
+/// either stream. All *content* damage is data, reported, never `Err`.
+pub fn salvage<R: Read, W: Write>(mut r: R, out: W) -> Result<(SalvageReport, W), TraceIoError> {
+    // Header: parsed exactly like TraceReader::new; damage here is fatal
+    // because block_len (and the digest seed) come from it.
+    let mut header = [0u8; 12];
+    read_exact_or(&mut r, &mut header[0..4], "header magic")?;
+    let magic: [u8; 4] = header[0..4].try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(TraceIoError::BadMagic(magic));
+    }
+    read_exact_or(&mut r, &mut header[4..12], "header fields")?;
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(TraceIoError::UnsupportedVersion(version));
+    }
+    let block_len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes"));
+    if block_len == 0 || block_len > MAX_BLOCK_LEN {
+        return Err(TraceIoError::Corrupt("block length out of range"));
+    }
+
+    let mut writer = TraceWriter::with_block_len(out, block_len)?;
+    let mut report = SalvageReport {
+        blocks: Vec::new(),
+        recovered_blocks: 0,
+        recovered_records: 0,
+        damaged_blocks: 0,
+        tail: TailStatus::CleanEnd,
+    };
+    // The original end frame covers *every* block it was written after —
+    // damaged ones included — so judge it against the declared totals and
+    // the stored checksums, not against what we recovered.
+    let mut declared_records = 0u64;
+    let mut declared_digest = fnv1a(&header);
+    let mut payload = Vec::new();
+    let mut raw = Vec::new();
+    let mut records: Vec<LlcRecord> = Vec::new();
+
+    report.tail = loop {
+        let mut tag = [0u8; 1];
+        if !read_or_eof(&mut r, &mut tag).map_err(TraceIoError::Io)? {
+            break TailStatus::Truncated("missing end frame");
+        }
+        match tag[0] {
+            FRAME_BLOCK => {
+                let mut head = [0u8; 20];
+                if !read_or_eof(&mut r, &mut head).map_err(TraceIoError::Io)? {
+                    break TailStatus::Truncated("block header");
+                }
+                let n_records = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes"));
+                let raw_len = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+                let comp_len = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+                let checksum = u64::from_le_bytes(head[12..20].try_into().expect("8 bytes"));
+                // The same plausibility bounds the reader enforces. Beyond
+                // them comp_len is untrustworthy, so the frame can't even
+                // be skipped — framing is gone.
+                if n_records == 0 || n_records > block_len {
+                    break TailStatus::FramingLost("block record count out of range");
+                }
+                if raw_len > n_records * MAX_RECORD_BYTES {
+                    break TailStatus::FramingLost("block raw length out of range");
+                }
+                if comp_len > raw_len {
+                    break TailStatus::FramingLost("compressed length exceeds raw length");
+                }
+                payload.resize(comp_len as usize, 0);
+                if !read_or_eof(&mut r, &mut payload).map_err(TraceIoError::Io)? {
+                    break TailStatus::Truncated("block payload");
+                }
+                declared_records += u64::from(n_records);
+                declared_digest = fnv1a_continue(declared_digest, &checksum.to_le_bytes());
+                let actual = fnv1a(&payload);
+                if actual != checksum {
+                    report.blocks.push(BlockOutcome::ChecksumFailed { expected: checksum, actual });
+                    report.damaged_blocks += 1;
+                    continue;
+                }
+                let decoded: Result<&[u8], &'static str> = if comp_len == raw_len {
+                    Ok(&payload)
+                } else {
+                    raw.clear();
+                    lz::decompress(&payload, raw_len as usize, &mut raw).map(|()| &raw[..])
+                };
+                records.clear();
+                let outcome = decoded.and_then(|buf| {
+                    decode_block(buf, n_records as usize, &mut records).map_err(|e| match e {
+                        TraceIoError::Corrupt(what) => what,
+                        _ => "block decode failed",
+                    })
+                });
+                match outcome {
+                    Ok(()) => {
+                        writer.extend(&records)?;
+                        report.blocks.push(BlockOutcome::Recovered { records: n_records });
+                        report.recovered_blocks += 1;
+                        report.recovered_records += u64::from(n_records);
+                    }
+                    Err(what) => {
+                        report.blocks.push(BlockOutcome::Undecodable(what));
+                        report.damaged_blocks += 1;
+                    }
+                }
+            }
+            FRAME_END => {
+                let mut tail = [0u8; 16];
+                if !read_or_eof(&mut r, &mut tail).map_err(TraceIoError::Io)? {
+                    break TailStatus::Truncated("end frame");
+                }
+                let total = u64::from_le_bytes(tail[0..8].try_into().expect("8 bytes"));
+                let digest = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes"));
+                break if total != declared_records {
+                    TailStatus::EndFrameMismatch("record total")
+                } else if digest != declared_digest {
+                    TailStatus::EndFrameMismatch("chained digest")
+                } else {
+                    TailStatus::CleanEnd
+                };
+            }
+            _ => break TailStatus::FramingLost("unknown frame tag"),
+        }
+    };
+    let out = writer.finish()?;
+    Ok((report, out))
+}
+
+/// [`salvage`] over a file, returning the report and the clean container
+/// bytes (for the caller to publish atomically).
+///
+/// # Errors
+///
+/// Same conditions as [`salvage`], plus failure to open the file.
+pub fn salvage_file(path: &Path) -> Result<(SalvageReport, Vec<u8>), TraceIoError> {
+    salvage(io::BufReader::new(fs::File::open(path)?), Vec::new())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -802,6 +1067,74 @@ mod tests {
         bytes.extend_from_slice(&0u64.to_le_bytes());
         let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
         assert!(matches!(reader.next_block(), Err(TraceIoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn salvage_of_a_clean_container_is_intact_and_lossless() {
+        let trace = sample(300);
+        let bytes = encode_trace(&trace, 64).expect("encode");
+        let (report, out) = salvage(bytes.as_slice(), Vec::new()).expect("salvage");
+        assert!(report.is_intact());
+        assert_eq!(report.recovered_blocks, 5);
+        assert_eq!(report.recovered_records, 300);
+        assert_eq!(report.damaged_blocks, 0);
+        assert_eq!(report.tail, TailStatus::CleanEnd);
+        let back = TraceReader::new(out.as_slice()).expect("header").read_to_trace().expect("ok");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn salvage_skips_a_payload_corrupted_block_and_keeps_the_rest() {
+        let trace = sample(300);
+        let mut bytes = encode_trace(&trace, 64).expect("encode");
+        // Corrupt one payload byte of block 0. Its payload starts right
+        // after the 12-byte header and 21-byte frame header; its length is
+        // the frame's comp_len field (bytes 21..25 of the file).
+        let comp_len =
+            u32::from_le_bytes(bytes[12 + 9..12 + 13].try_into().expect("4 bytes")) as usize;
+        let target = 12 + 21 + comp_len / 2;
+        bytes[target] ^= 0xFF;
+        let (report, out) = salvage(bytes.as_slice(), Vec::new()).expect("salvage");
+        assert_eq!(report.blocks.len(), 5);
+        assert!(matches!(report.blocks[0], BlockOutcome::ChecksumFailed { .. }));
+        assert_eq!(report.recovered_blocks, 4);
+        assert_eq!(report.recovered_records, 300 - 64);
+        assert_eq!(report.damaged_blocks, 1);
+        // The end frame still matches its *declared* blocks: framing is
+        // intact even though one payload is rotten.
+        assert_eq!(report.tail, TailStatus::CleanEnd);
+        assert!(!report.is_intact());
+        // The salvaged output is a clean, verifying container holding
+        // exactly the surviving records.
+        let summary = scan(out.as_slice()).expect("salvaged output verifies");
+        assert_eq!(summary.records, 300 - 64);
+        let back = TraceReader::new(out.as_slice()).expect("header").read_to_trace().expect("ok");
+        assert_eq!(back.records(), &trace.records()[64..]);
+    }
+
+    #[test]
+    fn salvage_reports_a_truncated_tail_and_keeps_the_prefix() {
+        let trace = sample(300);
+        let bytes = encode_trace(&trace, 64).expect("encode");
+        // Cut inside the last block's payload.
+        let cut = bytes.len() - 30;
+        let (report, out) = salvage(&bytes[..cut], Vec::new()).expect("salvage");
+        assert!(matches!(report.tail, TailStatus::Truncated(_)));
+        assert!(report.recovered_records >= 64, "intact prefix blocks recovered");
+        let summary = scan(out.as_slice()).expect("salvaged output verifies");
+        assert_eq!(summary.records, report.recovered_records);
+    }
+
+    #[test]
+    fn salvage_rejects_only_unusable_headers() {
+        assert!(matches!(
+            salvage(&b"NOPE"[..], Vec::new()),
+            Err(TraceIoError::BadMagic(_))
+        ));
+        assert!(matches!(
+            salvage(&b"RL"[..], Vec::new()),
+            Err(TraceIoError::Truncated(_))
+        ));
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod lz;
 pub mod varint;
 
 pub use container::{
-    encode_trace, fnv1a, read_trace_file, scan, sniff_format, write_trace_file, export_workload,
-    TraceFormat, TraceIoError, TraceReader, TraceSummary, TraceWriter, DEFAULT_BLOCK_LEN,
-    MAX_BLOCK_LEN,
+    encode_trace, fnv1a, read_trace_file, salvage, salvage_file, scan, sniff_format,
+    write_trace_file, export_workload, BlockOutcome, SalvageReport, TailStatus, TraceFormat,
+    TraceIoError, TraceReader, TraceSummary, TraceWriter, DEFAULT_BLOCK_LEN, MAX_BLOCK_LEN,
 };

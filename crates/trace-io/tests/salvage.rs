@@ -1,0 +1,268 @@
+//! The RLT1 salvage wall: truncation at *every* byte offset and payload
+//! corruption at *every* payload byte must leave salvage with exactly the
+//! intact blocks — never a panic, never a non-verifying output container.
+
+use cache_sim::{AccessKind, LlcRecord};
+use simrng::prop::{check, Config};
+use simrng::{Rng, SimRng};
+use trace_io::{
+    salvage, scan, BlockOutcome, TailStatus, TraceIoError, TraceReader, TraceWriter,
+};
+
+fn sample(n: u64) -> Vec<LlcRecord> {
+    (0..n)
+        .map(|i| LlcRecord {
+            pc: 0x400_000 + (i % 91) * 4,
+            line: 0x8000 + (i * 13) % 777,
+            kind: AccessKind::ALL[(i % 4) as usize],
+            core: (i % 2) as u8,
+        })
+        .collect()
+}
+
+fn encode(records: &[LlcRecord], block_len: u32) -> Vec<u8> {
+    let mut w = TraceWriter::with_block_len(Vec::new(), block_len).expect("writer");
+    w.extend(records).expect("extend");
+    w.finish().expect("finish")
+}
+
+/// One block frame's byte extent within a valid container.
+struct Frame {
+    /// One past the last payload byte.
+    end: usize,
+    /// First payload byte.
+    payload_start: usize,
+    /// Records the block declares.
+    n_records: usize,
+    /// Stored payload checksum.
+    checksum: u64,
+}
+
+/// Walks a container and returns each complete block frame's extent (the
+/// test's independent notion of where blocks live, so assertions about
+/// salvage don't lean on salvage itself). Lenient about the tail: stops
+/// at the first frame that is not a whole block, so it also accepts the
+/// prefixes the shrinker produces.
+fn frames(bytes: &[u8]) -> Vec<Frame> {
+    let mut out = Vec::new();
+    let mut pos = 12usize;
+    while pos + 21 <= bytes.len() && bytes[pos] == 0x01 {
+        let n_records =
+            u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        let comp_len =
+            u32::from_le_bytes(bytes[pos + 9..pos + 13].try_into().expect("4 bytes")) as usize;
+        let checksum = u64::from_le_bytes(bytes[pos + 13..pos + 21].try_into().expect("8 bytes"));
+        let payload_start = pos + 21;
+        let end = payload_start + comp_len;
+        if end > bytes.len() {
+            break;
+        }
+        out.push(Frame { end, payload_start, n_records, checksum });
+        pos = end;
+    }
+    out
+}
+
+fn read_all(bytes: &[u8]) -> Vec<LlcRecord> {
+    TraceReader::new(bytes)
+        .expect("salvaged header")
+        .read_to_trace()
+        .expect("salvaged container verifies")
+        .records()
+        .to_vec()
+}
+
+/// Truncating a container at every byte offset: offsets inside the header
+/// are a typed error; past it, salvage recovers exactly the blocks whose
+/// frames fit in the prefix, reports a truncated tail, and emits a
+/// verifying container.
+#[test]
+fn truncation_at_every_offset_salvages_the_intact_prefix() {
+    let records = sample(300);
+    let bytes = encode(&records, 64);
+    let blocks = frames(&bytes);
+    for cut in 0..=bytes.len() {
+        let result = salvage(&bytes[..cut], Vec::new());
+        if cut < 12 {
+            assert!(
+                matches!(result, Err(TraceIoError::Truncated(_))),
+                "cut {cut} inside the header must be a typed truncation error"
+            );
+            continue;
+        }
+        let (report, out) = result.unwrap_or_else(|e| panic!("cut {cut}: salvage failed: {e}"));
+        let intact: Vec<&Frame> = blocks.iter().filter(|f| f.end <= cut).collect();
+        assert_eq!(
+            report.recovered_blocks,
+            intact.len() as u64,
+            "cut {cut}: exactly the fully-contained blocks are recovered"
+        );
+        assert_eq!(report.damaged_blocks, 0, "cut {cut}: truncation damages no whole block");
+        let expect_records: usize = intact.iter().map(|f| f.n_records).sum();
+        assert_eq!(report.recovered_records, expect_records as u64, "cut {cut}");
+        if cut == bytes.len() {
+            assert_eq!(report.tail, TailStatus::CleanEnd);
+            assert!(report.is_intact());
+        } else {
+            assert!(
+                matches!(report.tail, TailStatus::Truncated(_)),
+                "cut {cut}: tail must be typed as truncated, got {:?}",
+                report.tail
+            );
+        }
+        // The salvaged output verifies end to end and holds exactly the
+        // original's prefix records.
+        let summary = scan(out.as_slice()).expect("salvaged output verifies");
+        assert_eq!(summary.records, expect_records as u64);
+        assert_eq!(read_all(&out), records[..expect_records], "cut {cut}");
+    }
+}
+
+/// Flipping every payload byte in turn: the owning block reports a
+/// checksum mismatch with the stored checksum, every other block is
+/// recovered, the tail still checks out (framing is unharmed), and the
+/// salvaged container holds exactly the surviving records.
+#[test]
+fn flip_of_every_payload_byte_recovers_all_other_blocks() {
+    let records = sample(300);
+    let bytes = encode(&records, 64);
+    let blocks = frames(&bytes);
+    for (i, frame) in blocks.iter().enumerate() {
+        for target in frame.payload_start..frame.end {
+            let mut corrupt = bytes.clone();
+            corrupt[target] ^= 0x5A;
+            let (report, out) =
+                salvage(corrupt.as_slice(), Vec::new()).expect("payload flips are never fatal");
+            assert_eq!(report.blocks.len(), blocks.len(), "flip at {target}");
+            for (j, outcome) in report.blocks.iter().enumerate() {
+                if j == i {
+                    match outcome {
+                        BlockOutcome::ChecksumFailed { expected, actual } => {
+                            assert_eq!(*expected, frame.checksum, "flip at {target}");
+                            assert_ne!(actual, expected, "flip at {target}");
+                        }
+                        other => panic!("flip at {target}: block {j} reported {other:?}"),
+                    }
+                } else {
+                    assert!(
+                        matches!(outcome, BlockOutcome::Recovered { .. }),
+                        "flip at {target}: undamaged block {j} reported {outcome:?}"
+                    );
+                }
+            }
+            assert_eq!(
+                report.tail,
+                TailStatus::CleanEnd,
+                "flip at {target}: a payload flip never breaks framing"
+            );
+            assert!(!report.is_intact());
+            // Survivors: everything except the flipped block's records.
+            let mut expect = records[..i * 64].to_vec();
+            expect.extend_from_slice(&records[((i + 1) * 64).min(records.len())..]);
+            assert_eq!(read_all(&out), expect, "flip at {target}");
+        }
+    }
+}
+
+/// Random streams, random single-byte flips anywhere in the file: salvage
+/// never panics, always emits a verifying container, and every block that
+/// sits entirely before the flipped byte is recovered verbatim.
+#[test]
+fn flip_anywhere_property() {
+    check(
+        "flip_anywhere_property",
+        Config::with_cases(48),
+        |rng: &mut SimRng| {
+            let n = rng.gen_range(1..800u64);
+            let block_len = rng.gen_range(1..200usize) as u32;
+            let records = sample(n);
+            let bytes = encode(&records, block_len);
+            let pos = rng.gen_range(0..bytes.len());
+            let mask = rng.gen_range(0..=255u8) | 1;
+            (bytes, (records, pos, mask))
+        },
+        |(bytes, (records, pos, mask))| {
+            // Shrinking truncates `bytes`; every check below is guarded so
+            // the property also holds for any prefix.
+            let pos = pos % bytes.len();
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= mask;
+            let result = salvage(corrupt.as_slice(), Vec::new());
+            if pos < 12 {
+                // Header flips may be fatal (that's the typed contract) —
+                // but must never panic or produce a bogus success marked
+                // intact.
+                if let Ok((report, _)) = result {
+                    if report.is_intact() {
+                        return Err(format!("header flip at {pos} verified as intact"));
+                    }
+                }
+                return Ok(());
+            }
+            let (report, out) =
+                result.map_err(|e| format!("body flip at {pos} was fatal: {e}"))?;
+            if report.is_intact() {
+                return Err(format!("flip at {pos} (mask {mask:#04x}) went undetected"));
+            }
+            let summary = scan(out.as_slice())
+                .map_err(|e| format!("salvaged output does not verify: {e}"))?;
+            if summary.records != report.recovered_records {
+                return Err("report and output disagree on record count".to_owned());
+            }
+            // Every block frame that ends at or before the flip offset is
+            // untouched and must be recovered, in order, with its exact
+            // records.
+            let prefix_records: usize = frames(bytes)
+                .iter()
+                .take_while(|f| f.end <= pos)
+                .map(|f| f.n_records)
+                .sum();
+            let salvaged = read_all(&out);
+            if prefix_records <= records.len()
+                && (salvaged.len() < prefix_records
+                    || salvaged[..prefix_records] != records[..prefix_records])
+            {
+                return Err(format!(
+                    "flip at {pos}: intact prefix ({prefix_records} records) not recovered"
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Random streams, random truncation points: salvage of any prefix either
+/// errors (header cuts) or yields a verifying container holding a prefix
+/// of the original records.
+#[test]
+fn truncation_property() {
+    check(
+        "truncation_property",
+        Config::with_cases(48),
+        |rng: &mut SimRng| {
+            let n = rng.gen_range(0..800u64);
+            let block_len = rng.gen_range(1..200usize) as u32;
+            let records = sample(n);
+            let bytes = encode(&records, block_len);
+            let cut = rng.gen_range(0..=bytes.len());
+            (bytes, (records, cut))
+        },
+        |(bytes, (records, cut))| {
+            let cut = (*cut).min(bytes.len());
+            match salvage(&bytes[..cut], Vec::new()) {
+                Err(_) if cut < 12 => Ok(()),
+                Err(e) => Err(format!("cut {cut} past the header was fatal: {e}")),
+                Ok((report, out)) => {
+                    if cut < bytes.len() && report.is_intact() {
+                        return Err(format!("cut {cut} of {} went undetected", bytes.len()));
+                    }
+                    let salvaged = read_all(&out);
+                    if salvaged.as_slice() != &records[..salvaged.len()] {
+                        return Err(format!("cut {cut}: salvage is not an exact prefix"));
+                    }
+                    Ok(())
+                }
+            }
+        },
+    );
+}

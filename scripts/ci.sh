@@ -49,6 +49,14 @@ echo "==> fault-injection suite"
 cargo test -q --offline -p experiments --test resilience
 cargo test -q --offline -p rl --test resume
 
+echo "==> crash-consistency wall"
+# Torn/flip/enospc/short-read I/O faults against the checkpoint and
+# container codecs: a write torn at every byte offset must never expose a
+# partial artifact, and salvage must recover every intact block of a
+# damaged RLT1 container.
+cargo test -q --offline -p experiments --test crash_wall
+cargo test -q --offline -p trace-io --test salvage
+
 echo "==> CLI resume smoke test"
 # A Small-scale sweep interrupted by an injected crash, then re-run
 # against the same checkpoint directory, must print exactly what an
@@ -69,6 +77,69 @@ RLR_RESULTS_DIR="$SMOKE_DIR/resume" "$RLR" compare $COMPARE \
     > "$SMOKE_DIR/resumed.txt" 2>/dev/null
 diff "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/resumed.txt" || {
     echo "ci.sh: resumed sweep diverged from the uninterrupted run" >&2; exit 1;
+}
+
+echo "==> I/O-fault CLI smoke test"
+# A torn checkpoint store mid-sweep is benign: the sweep's stdout matches
+# the clean run exactly (the cell is recomputed, not read back), and the
+# resumed run against the surviving checkpoints still matches.
+RLR_RESULTS_DIR="$SMOKE_DIR/torn" RLR_FAIL_PLAN="torn:40" \
+    "$RLR" compare $COMPARE > "$SMOKE_DIR/torn.txt" 2>/dev/null
+diff "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/torn.txt" || {
+    echo "ci.sh: a torn checkpoint store changed the sweep's output" >&2; exit 1;
+}
+RLR_RESULTS_DIR="$SMOKE_DIR/torn" "$RLR" compare $COMPARE \
+    > "$SMOKE_DIR/torn_resumed.txt" 2>/dev/null
+diff "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/torn_resumed.txt" || {
+    echo "ci.sh: resume after a torn store diverged from the clean run" >&2; exit 1;
+}
+# A bit flip injected into a container capture must fail verification,
+# and --repair must salvage the intact blocks into a container that then
+# verifies (the damaged original is kept as evidence).
+RLR_FAIL_PLAN="flip:100" "$RLR" trace capture 429.mcf \
+    --out "$SMOKE_DIR/flipped.rlt" --records 4096 --block 256 > /dev/null 2>&1
+if "$RLR" trace verify "$SMOKE_DIR/flipped.rlt" > /dev/null 2>&1; then
+    echo "ci.sh: flipped container unexpectedly passed verification" >&2; exit 1;
+fi
+"$RLR" trace verify "$SMOKE_DIR/flipped.rlt" --repair > /dev/null || {
+    echo "ci.sh: salvage of the flipped container failed" >&2; exit 1;
+}
+"$RLR" trace verify "$SMOKE_DIR/flipped.rlt" > /dev/null || {
+    echo "ci.sh: repaired container failed verification" >&2; exit 1;
+}
+test -f "$SMOKE_DIR/flipped.rlt.damaged" || {
+    echo "ci.sh: in-place repair did not keep the damaged original" >&2; exit 1;
+}
+# Doctor: a results tree holding the damaged container is repaired in one
+# pass, and a second pass finds it clean.
+mkdir -p "$SMOKE_DIR/doc/corpus"
+cp "$SMOKE_DIR/flipped.rlt.damaged" "$SMOKE_DIR/doc/corpus/flipped_small.rlt"
+RLR_RESULTS_DIR="$SMOKE_DIR/doc" "$RLR" doctor > "$SMOKE_DIR/doctor.txt"
+grep -q "1 repaired" "$SMOKE_DIR/doctor.txt" || {
+    echo "ci.sh: doctor did not repair the damaged container" >&2; exit 1;
+}
+RLR_RESULTS_DIR="$SMOKE_DIR/doc" "$RLR" doctor | grep -q "is clean" || {
+    echo "ci.sh: doctor left the tree dirty after repairing it" >&2; exit 1;
+}
+
+echo "==> kill-resume smoke test"
+# SIGKILL a sweep mid-flight (no clean shutdown at all), run doctor over
+# the survivors, resume against the same checkpoint directory: the output
+# must be byte-identical to the uninterrupted run. If the machine is fast
+# enough that the sweep finishes before the kill lands, the check still
+# holds (resume then just replays complete checkpoints).
+RLR_RESULTS_DIR="$SMOKE_DIR/kill" "$RLR" compare $COMPARE \
+    > /dev/null 2>&1 &
+KILL_PID=$!
+sleep 0.4
+kill -9 "$KILL_PID" 2>/dev/null || true
+wait "$KILL_PID" 2>/dev/null || true
+RLR_RESULTS_DIR="$SMOKE_DIR/kill" "$RLR" doctor > /dev/null
+RLR_RESULTS_DIR="$SMOKE_DIR/kill" "$RLR" compare $COMPARE \
+    > "$SMOKE_DIR/kill_resumed.txt" 2>/dev/null
+diff "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/kill_resumed.txt" || {
+    echo "ci.sh: resume after SIGKILL diverged from the uninterrupted run" >&2
+    exit 1
 }
 
 echo "==> event-timing CLI smoke test"
