@@ -200,6 +200,34 @@ fn main() {
     println!("measured analytic-vs-event timing cost ratio: {timing_ratio:.2}");
     let [timing_analytic_row, timing_event_row] = timing_rows;
 
+    // Object-cache serving tier, recorded (not gated): requests/sec of the
+    // derived admission+eviction rule on a small Zipf + flash-crowd trace,
+    // so the perf-over-time report sees the `objcache/replay` trajectory
+    // from the same sub-second smoke run.
+    let obj_traffic = workloads::ObjectTraffic {
+        catalog: 20_000,
+        flash_every: 4_000,
+        flash_len: 800,
+        ..workloads::ObjectTraffic::internet_default()
+    };
+    let obj_trace: Vec<workloads::ObjectRequest> = obj_traffic.stream().take(20_000).collect();
+    let obj_cfg = objcache::ObjCacheConfig::with_capacity_mib(32);
+    let obj_row = harness::bench("objcache/replay/RLR-derived", || {
+        black_box(
+            objcache::replay(
+                obj_cfg,
+                objcache::ObjPolicyKind::parse("rlr").expect("pinned"),
+                obj_trace.iter().copied(),
+            )
+            .hit_bytes,
+        )
+    });
+    let obj_accesses = obj_trace.len() as u64;
+    println!(
+        "objcache replay (derived rule): {:.0} requests/sec",
+        obj_accesses as f64 * 1e9 / obj_row.median_ns.max(1) as f64
+    );
+
     harness::write_throughput_json(
         "ci_smoke",
         &[
@@ -209,6 +237,7 @@ fn main() {
             scan_simd_row,
             timing_analytic_row,
             timing_event_row,
+            Throughput { measurement: obj_row, accesses: obj_accesses },
         ],
     );
 

@@ -263,6 +263,38 @@ fn main() {
         scan_rows[0] / scan_rows[1].max(1.0)
     );
 
+    // The object-cache serving tier: replay a Zipf + flash-crowd object
+    // trace (variable sizes, byte budget, TTLs) through the roster's two
+    // poles — plain LRU and the derived admission+eviction rule, whose
+    // extra work (frequency sketch, rank recomputation) is what this row
+    // prices. Functional results are wall-checked by the objcache
+    // differential suite; this tracks requests/sec only.
+    let obj_traffic = workloads::ObjectTraffic {
+        catalog: 100_000,
+        flash_every: 10_000,
+        flash_len: 2_000,
+        ..workloads::ObjectTraffic::internet_default()
+    };
+    let obj_trace: Vec<workloads::ObjectRequest> = obj_traffic.stream().take(60_000).collect();
+    let obj_cfg = objcache::ObjCacheConfig::with_capacity_mib(64);
+    println!("objcache_replay ({} object requests):", obj_trace.len());
+    let mut obj_ns = [0.0f64; 2];
+    for (slot, policy) in
+        [objcache::ObjPolicyKind::Lru, objcache::ObjPolicyKind::parse("rlr").expect("pinned")]
+            .into_iter()
+            .enumerate()
+    {
+        let m = harness::bench(&format!("objcache/replay/{}", policy.name()), || {
+            black_box(objcache::replay(obj_cfg, policy, obj_trace.iter().copied()).hit_bytes)
+        });
+        obj_ns[slot] = m.median_ns as f64;
+        rows.push(Throughput { measurement: m, accesses: obj_trace.len() as u64 });
+    }
+    println!(
+        "    derived rule costs {:.2}x plain LRU per request",
+        obj_ns[1] / obj_ns[0].max(1.0)
+    );
+
     harness::write_throughput_json("hotpath", &rows);
 }
 

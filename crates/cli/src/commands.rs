@@ -11,7 +11,8 @@ use experiments::runner::{replay_llc_reader, run_tasks_resilient, RunOptions};
 use experiments::{PolicyKind, Table};
 use rl::{Agent, AgentConfig, FeatureSet, LlcModel, Mlp, Trainer};
 use trace_io::{TraceFormat, TraceReader, TraceWriter};
-use workloads::{Workload, CLOUDSUITE, SPEC2006};
+use objcache::{ObjCacheConfig, ObjPolicyKind};
+use workloads::{ObjectTraffic, Workload, CLOUDSUITE, SPEC2006};
 
 use crate::args::{ArgError, Args};
 
@@ -733,6 +734,148 @@ pub fn perf_report(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Builds the object-cache scenario (traffic + cache shape + trace length)
+/// from the shared `rlr objcache` flags, starting from the internet-scale
+/// default.
+fn objcache_scenario(args: &Args) -> Result<(ObjectTraffic, ObjCacheConfig, u64), ArgError> {
+    let mut traffic = ObjectTraffic::internet_default();
+    traffic.catalog = args.get_num("catalog", traffic.catalog)?;
+    traffic.skew = args.get_num("skew", traffic.skew)?;
+    traffic.rps = args.get_num("rps", traffic.rps)?;
+    traffic.seed = args.get_num("seed", traffic.seed)?;
+    traffic.flash_every = args.get_num("flash-every", traffic.flash_every)?;
+    traffic.flash_len = args.get_num("flash-len", traffic.flash_len)?;
+    traffic.flash_share_pct = args.get_num("flash-share", traffic.flash_share_pct)?;
+    if traffic.catalog == 0 {
+        return Err(ArgError("--catalog must be positive".to_owned()));
+    }
+    if traffic.rps == 0 {
+        return Err(ArgError("--rps must be positive".to_owned()));
+    }
+    if traffic.flash_every > 0 && traffic.flash_len >= traffic.flash_every {
+        return Err(ArgError("--flash-len must be smaller than --flash-every".to_owned()));
+    }
+    let mut cfg = ObjCacheConfig::with_capacity_mib(args.get_num("capacity-mib", 256u64)?);
+    cfg.protected_pct = args.get_num("protected-pct", cfg.protected_pct)?;
+    if cfg.capacity_bytes == 0 || cfg.protected_pct > 100 {
+        return Err(ArgError(
+            "--capacity-mib must be positive and --protected-pct at most 100".to_owned(),
+        ));
+    }
+    let requests = args.get_num("requests", 200_000u64)?;
+    Ok((traffic, cfg, requests))
+}
+
+const OBJCACHE_FLAGS: &[&str] = &[
+    "catalog",
+    "skew",
+    "rps",
+    "seed",
+    "flash-every",
+    "flash-len",
+    "flash-share",
+    "capacity-mib",
+    "protected-pct",
+    "requests",
+];
+
+/// `rlr objcache <run|compare|derive> ...` — the object-cache serving
+/// tier: variable-size values, byte budget, TTLs, and an explicit
+/// admission decision point.
+pub fn objcache(args: &Args) -> Result<(), ArgError> {
+    let usage = "usage: rlr objcache <run|compare|derive> ...";
+    let action = args.positional().first().ok_or_else(|| ArgError(usage.to_owned()))?.clone();
+    match action.as_str() {
+        "run" => objcache_run(args),
+        "compare" => objcache_compare(args),
+        "derive" => objcache_derive(args),
+        other => Err(ArgError(format!("unknown objcache action `{other}`; {usage}"))),
+    }
+}
+
+/// `rlr objcache run [--policy P] [scenario flags]` — one replay.
+fn objcache_run(args: &Args) -> Result<(), ArgError> {
+    let known: Vec<&str> = OBJCACHE_FLAGS.iter().copied().chain(["policy"]).collect();
+    args.expect_known(&known)?;
+    let (traffic, cfg, requests) = objcache_scenario(args)?;
+    let raw = args.get_or("policy", "rlr");
+    let policy = ObjPolicyKind::parse(raw)
+        .ok_or_else(|| ArgError(format!("unknown object-cache policy `{raw}`; try lru, slru, gdsf, or rlr")))?;
+    let stats = experiments::objects::run_object_cell(&traffic, requests, cfg, policy);
+    println!("policy           {}", policy.name());
+    println!("trace            {}", traffic.fingerprint());
+    println!("capacity         {} MiB ({}% protected)", cfg.capacity_bytes >> 20, cfg.protected_pct);
+    println!("requests         {}", stats.requests);
+    println!("hit rate         {:.4}", stats.hit_rate());
+    println!("miss-byte ratio  {:.4}", stats.miss_byte_ratio());
+    println!("admitted         {} ({} rejected)", stats.admitted, stats.rejected);
+    println!("evictions        {} ({} bytes)", stats.evictions, stats.evicted_bytes);
+    println!("expirations      {} ({} bytes)", stats.expirations, stats.expired_bytes);
+    Ok(())
+}
+
+/// `rlr objcache compare [--policies a,b,c] [--jobs N] [scenario flags]` —
+/// the roster sweep with per-cell checkpoint resume, rendered as the
+/// serving-tier comparison table and saved as CSV.
+fn objcache_compare(args: &Args) -> Result<(), ArgError> {
+    let known: Vec<&str> = OBJCACHE_FLAGS.iter().copied().chain(["policies", "jobs"]).collect();
+    args.expect_known(&known)?;
+    let (traffic, cfg, requests) = objcache_scenario(args)?;
+    let policies: Vec<ObjPolicyKind> = match args.get("policies") {
+        None => ObjPolicyKind::roster(),
+        Some(raw) => raw
+            .split(',')
+            .map(|name| {
+                ObjPolicyKind::parse(name).ok_or_else(|| {
+                    ArgError(format!("unknown object-cache policy `{name}`; try lru, slru, gdsf, or rlr"))
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let jobs = args.get_num("jobs", 0usize)?;
+    let mut opts = experiments::runner::SweepOptions::from_env();
+    opts.jobs = (jobs > 0).then_some(jobs);
+    let results = experiments::objects::run_object_sweep(&traffic, requests, cfg, &policies, &opts);
+    let table = experiments::objects::compare_table(&traffic, requests, &cfg, &results);
+    println!("{}", table.render());
+    match table.write_csv(experiments::report::results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("warning: could not save CSV: {e}"),
+    }
+    Ok(())
+}
+
+/// `rlr objcache derive [--horizon N] [--epochs N] [scenario flags]` — run
+/// the paper's derivation loop on the configured trace and print the
+/// offline agent's weights next to the quantized rule.
+fn objcache_derive(args: &Args) -> Result<(), ArgError> {
+    let known: Vec<&str> = OBJCACHE_FLAGS.iter().copied().chain(["horizon", "epochs"]).collect();
+    args.expect_known(&known)?;
+    let (traffic, _, requests) = objcache_scenario(args)?;
+    let mut cfg = objcache::DeriveConfig::default();
+    cfg.horizon = args.get_num("horizon", cfg.horizon)?;
+    cfg.epochs = args.get_num("epochs", cfg.epochs)?;
+    let trace: Vec<_> = traffic.stream().take(requests as usize).collect();
+    let (model, weights) = objcache::derive_weights(&trace, &cfg);
+    println!("trace            {} (n={requests})", traffic.fingerprint());
+    println!("samples          {} ({} positive)", model.samples, model.positives);
+    println!("eviction head    freq {:+.4}  size {:+.4}  ttl {:+.4}  recency {:+.4}  bias {:+.4}",
+        model.ev_weights[0], model.ev_weights[1], model.ev_weights[2], model.ev_weights[3], model.ev_bias);
+    println!("admission head   freq {:+.4}  size {:+.4}  ttl {:+.4}  bias {:+.4}",
+        model.ad_weights[0], model.ad_weights[1], model.ad_weights[2], model.ad_bias);
+    println!("derived rule     evict  {}*freq + {}*size + {}*ttl (min wins, LRU tie-break)",
+        weights.ev_freq, weights.ev_size, weights.ev_ttl);
+    println!("                 admit  {}*freq + {}*size + {}*ttl >= {}",
+        weights.ad_freq, weights.ad_size, weights.ad_ttl, weights.ad_threshold);
+    if weights == objcache::DerivedWeights::paper_default() {
+        println!("matches the pinned paper_default rule");
+    } else {
+        println!("differs from the pinned paper_default rule ({})",
+            objcache::DerivedWeights::paper_default().fingerprint());
+    }
+    Ok(())
+}
+
 /// `rlr help` — usage.
 pub fn help() {
     println!(
@@ -764,6 +907,12 @@ COMMANDS:
   trace verify <file>           checksum-verify an RLT1 container  [--repair] [--out FILE]
                                 (--repair salvages intact blocks into a clean container)
   trace convert <in> <out>      legacy <-> RLT1 (direction by input magic)  [--block N]
+  objcache run                  object-cache replay  [--policy lru|slru|gdsf|rlr]
+                                                     [--requests N] [--capacity-mib N]
+  objcache compare              serving-tier roster  [--policies a,b,c] [--jobs N]
+                                (miss-byte ratio; resumable via cell checkpoints)
+  objcache derive               derivation loop: offline agent -> quantized rule
+                                                     [--horizon N] [--epochs N]
   doctor                        scan results/ artifacts; repair or quarantine damage
                                 [--dry-run]
   perf-report                   perf-over-time table [--bench TARGET] [--record LABEL]

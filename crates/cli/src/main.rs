@@ -27,6 +27,7 @@ fn main() {
         "characterize" => commands::characterize(&parsed),
         "overhead" => commands::overhead(),
         "trace" => commands::trace(&parsed),
+        "objcache" => commands::objcache(&parsed),
         "doctor" => commands::doctor(&parsed),
         "perf-report" => commands::perf_report(&parsed),
         "help" | "--help" | "-h" => {

@@ -29,6 +29,7 @@ pub mod doctor;
 pub mod fault;
 pub mod figures;
 pub mod json;
+pub mod objects;
 pub mod perf;
 pub mod pipeline;
 pub mod report;

@@ -1,0 +1,280 @@
+//! The object-cache serving-tier experiment: sweep the admission+eviction
+//! roster (`LRU` / `SLRU` / `GDSF` / the RLR-derived rule) over one
+//! [`ObjectTraffic`] trace and report miss-byte ratios.
+//!
+//! This mirrors the LLC roster sweep in [`crate::runner`] — same worker
+//! pool ([`run_tasks_resilient`]), same `RLR_JOBS` resolution, same
+//! per-cell checkpoint resume — but with its own cell codec, because
+//! object-cache cells carry [`ObjStats`] (byte counters, admissions,
+//! expirations) rather than `RunStats`. Like the LLC codec it is exact:
+//! every field is a `u64` round-tripped through [`crate::json`], so a
+//! resumed sweep is byte-identical to an uninterrupted one (the
+//! `objcache_determinism` wall holds this down).
+
+use std::io::Read as _;
+use std::path::Path;
+
+use objcache::{ObjCacheConfig, ObjPolicyKind, ObjStats};
+use workloads::ObjectTraffic;
+
+use crate::checkpoint::{self, write_atomic, CellKey};
+use crate::fault::FaultReader;
+use crate::json::Json;
+use crate::report::Table;
+use crate::runner::{resolve_jobs, run_tasks_resilient, watchdog_tick, SweepOptions, TaskFailure};
+
+/// One object-cache sweep cell: the replay's counters, or why it failed.
+pub type ObjCellResult = Result<ObjStats, TaskFailure>;
+
+/// Cell name for one policy. The derived rule embeds its weight
+/// fingerprint so two different derived rules never share a checkpoint.
+pub fn policy_cell_name(policy: &ObjPolicyKind) -> String {
+    match policy {
+        ObjPolicyKind::DerivedRlr(w) => format!("{}[{}]", policy.name(), w.fingerprint()),
+        _ => policy.name().to_owned(),
+    }
+}
+
+/// The free-form params string of an object-cache cell: everything besides
+/// the policy that determines the result.
+fn sweep_params(traffic: &ObjectTraffic, requests: u64, cfg: &ObjCacheConfig) -> String {
+    format!("{}|{}|n{requests}", traffic.fingerprint(), cfg.fingerprint())
+}
+
+/// Checkpoint key for one object-cache cell.
+pub fn obj_cell_key(
+    traffic: &ObjectTraffic,
+    requests: u64,
+    cfg: &ObjCacheConfig,
+    policy: &ObjPolicyKind,
+) -> CellKey {
+    checkpoint::cell_key("objcache", &policy_cell_name(policy), &sweep_params(traffic, requests, cfg))
+}
+
+/// Encodes an object-cache cell: the verification key plus every counter.
+pub fn encode_obj_cell(key: &CellKey, stats: &ObjStats) -> String {
+    Json::obj([
+        ("key", Json::Str(key.key.clone())),
+        ("requests", Json::U64(stats.requests)),
+        ("hits", Json::U64(stats.hits)),
+        ("misses", Json::U64(stats.misses)),
+        ("hit_bytes", Json::U64(stats.hit_bytes)),
+        ("miss_bytes", Json::U64(stats.miss_bytes)),
+        ("admitted", Json::U64(stats.admitted)),
+        ("rejected", Json::U64(stats.rejected)),
+        ("evictions", Json::U64(stats.evictions)),
+        ("evicted_bytes", Json::U64(stats.evicted_bytes)),
+        ("expirations", Json::U64(stats.expirations)),
+        ("expired_bytes", Json::U64(stats.expired_bytes)),
+    ])
+    .encode()
+}
+
+/// Decodes an object-cache cell, verifying its embedded key.
+pub fn decode_obj_cell(text: &str, key: &CellKey) -> Option<ObjStats> {
+    let v = Json::parse(text).ok()?;
+    if v.get("key")?.as_str()? != key.key {
+        return None; // hash collision or stale file from another config
+    }
+    Some(ObjStats {
+        requests: v.get("requests")?.as_u64()?,
+        hits: v.get("hits")?.as_u64()?,
+        misses: v.get("misses")?.as_u64()?,
+        hit_bytes: v.get("hit_bytes")?.as_u64()?,
+        miss_bytes: v.get("miss_bytes")?.as_u64()?,
+        admitted: v.get("admitted")?.as_u64()?,
+        rejected: v.get("rejected")?.as_u64()?,
+        evictions: v.get("evictions")?.as_u64()?,
+        evicted_bytes: v.get("evicted_bytes")?.as_u64()?,
+        expirations: v.get("expirations")?.as_u64()?,
+        expired_bytes: v.get("expired_bytes")?.as_u64()?,
+    })
+}
+
+/// Loads the checkpoint for `key` from `dir`, or `None` if absent,
+/// corrupt, or written for a different key. Reads go through the fault
+/// seam like every other checkpoint load.
+pub fn load_obj_cell(dir: &Path, key: &CellKey) -> Option<ObjStats> {
+    let mut text = String::new();
+    let mut reader = FaultReader::new(std::fs::File::open(dir.join(key.file_name())).ok()?);
+    reader.read_to_string(&mut text).ok()?;
+    decode_obj_cell(&text, key)
+}
+
+/// Persists one completed cell; failure to write only costs recomputation.
+pub fn store_obj_cell(dir: &Path, key: &CellKey, stats: &ObjStats) {
+    let path = dir.join(key.file_name());
+    if let Err(e) = write_atomic(&path, encode_obj_cell(key, stats).as_bytes()) {
+        eprintln!("warning: could not write checkpoint {}: {e}", path.display());
+    }
+}
+
+/// Replays `requests` of `traffic` through one policy, feeding the task
+/// watchdog so a runaway replay can be budget-aborted like any LLC cell.
+pub fn run_object_cell(
+    traffic: &ObjectTraffic,
+    requests: u64,
+    cfg: ObjCacheConfig,
+    policy: ObjPolicyKind,
+) -> ObjStats {
+    let mut cache = objcache::ObjectCache::new(cfg, policy);
+    for (i, r) in traffic.stream().take(requests as usize).enumerate() {
+        if i % 1024 == 0 {
+            watchdog_tick(1);
+        }
+        cache.request(&r);
+    }
+    *cache.stats()
+}
+
+/// Runs the policy roster over one trace on the worker pool, with per-cell
+/// checkpoint resume exactly like the LLC roster sweep: each cell is first
+/// looked up in `opts.cache_dir` (a hit skips the replay), and stored
+/// there atomically on completion. Results preserve `policies` order
+/// independent of scheduling.
+pub fn run_object_sweep(
+    traffic: &ObjectTraffic,
+    requests: u64,
+    cfg: ObjCacheConfig,
+    policies: &[ObjPolicyKind],
+    opts: &SweepOptions,
+) -> Vec<(ObjPolicyKind, ObjCellResult)> {
+    if let Some(dir) = &opts.cache_dir {
+        let swept = checkpoint::sweep_orphans(dir);
+        if swept > 0 {
+            eprintln!("[objcache] removed {swept} orphaned scratch file(s) from {}", dir.display());
+        }
+    }
+    let results =
+        run_tasks_resilient(policies, resolve_jobs(opts.jobs), &opts.run, |_, policy| {
+            let key = opts
+                .cache_dir
+                .is_some()
+                .then(|| obj_cell_key(traffic, requests, &cfg, policy));
+            if let (Some(dir), Some(key)) = (&opts.cache_dir, &key) {
+                if let Some(cached) = load_obj_cell(dir, key) {
+                    eprintln!("[objcache] {} cached", policy_cell_name(policy));
+                    return cached;
+                }
+            }
+            let out = run_object_cell(traffic, requests, cfg, *policy);
+            if let (Some(dir), Some(key)) = (&opts.cache_dir, &key) {
+                store_obj_cell(dir, key, &out);
+            }
+            eprintln!("[objcache] {} done", policy_cell_name(policy));
+            out
+        });
+    policies.iter().copied().zip(results).collect()
+}
+
+/// Renders a sweep as the serving-tier comparison table: per policy, the
+/// object hit rate, the headline miss-byte ratio, and the admission /
+/// eviction / expiry traffic behind it.
+pub fn compare_table(
+    traffic: &ObjectTraffic,
+    requests: u64,
+    cfg: &ObjCacheConfig,
+    results: &[(ObjPolicyKind, ObjCellResult)],
+) -> Table {
+    let mut table = Table::new(
+        "Object-cache serving tier: miss-byte ratio by policy",
+        ["policy", "hit rate", "miss-byte ratio", "admitted", "rejected", "evictions", "expirations"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (policy, cell) in results {
+        match cell {
+            Ok(s) => table.push_row(vec![
+                policy.name().to_owned(),
+                Table::fmt(s.hit_rate()),
+                Table::fmt(s.miss_byte_ratio()),
+                s.admitted.to_string(),
+                s.rejected.to_string(),
+                s.evictions.to_string(),
+                s.expirations.to_string(),
+            ]),
+            Err(e) => table.push_row(vec![
+                policy.name().to_owned(),
+                format!("FAILED: {e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
+        }
+    }
+    table.push_note(format!(
+        "trace {} | n={requests} | capacity {} MiB, protected {}%",
+        traffic.fingerprint(),
+        cfg.capacity_bytes >> 20,
+        cfg.protected_pct
+    ));
+    let ratio = |name: &str| {
+        results
+            .iter()
+            .find(|(p, _)| p.name() == name)
+            .and_then(|(_, c)| c.as_ref().ok())
+            .map(ObjStats::miss_byte_ratio)
+    };
+    if let (Some(lru), Some(derived)) = (ratio("LRU"), ratio("RLR-derived")) {
+        table.push_note(if derived < lru {
+            format!("derived-RLR beats LRU: {:.4} vs {:.4} miss-byte ratio", derived, lru)
+        } else {
+            format!("derived-RLR does NOT beat LRU: {:.4} vs {:.4}", derived, lru)
+        });
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenario() -> (ObjectTraffic, u64, ObjCacheConfig) {
+        let traffic = ObjectTraffic {
+            catalog: 2_000,
+            flash_every: 1_000,
+            flash_len: 200,
+            ..ObjectTraffic::internet_default()
+        };
+        (traffic, 4_000, ObjCacheConfig::with_capacity_mib(8))
+    }
+
+    #[test]
+    fn obj_cell_codec_roundtrips_exactly() {
+        let (traffic, n, cfg) = small_scenario();
+        let policy = ObjPolicyKind::parse("rlr").expect("pinned rule");
+        let key = obj_cell_key(&traffic, n, &cfg, &policy);
+        let stats = run_object_cell(&traffic, n, cfg, policy);
+        let decoded = decode_obj_cell(&encode_obj_cell(&key, &stats), &key).expect("roundtrip");
+        assert_eq!(decoded, stats);
+        // Another cell's key must refuse this payload.
+        let other = obj_cell_key(&traffic, n + 1, &cfg, &policy);
+        assert!(decode_obj_cell(&encode_obj_cell(&key, &stats), &other).is_none());
+    }
+
+    #[test]
+    fn cell_names_separate_derived_rules() {
+        let mut w = objcache::DerivedWeights::paper_default();
+        let a = policy_cell_name(&ObjPolicyKind::DerivedRlr(w));
+        w.ad_threshold += 1;
+        let b = policy_cell_name(&ObjPolicyKind::DerivedRlr(w));
+        assert_ne!(a, b);
+        assert_eq!(policy_cell_name(&ObjPolicyKind::Lru), "LRU");
+    }
+
+    #[test]
+    fn sweep_matches_serial_replay_and_renders() {
+        let (traffic, n, cfg) = small_scenario();
+        let roster = ObjPolicyKind::roster();
+        let swept = run_object_sweep(&traffic, n, cfg, &roster, &SweepOptions::none());
+        for (policy, cell) in &swept {
+            let direct = run_object_cell(&traffic, n, cfg, *policy);
+            assert_eq!(cell.as_ref().expect("cell ok"), &direct, "{}", policy.name());
+        }
+        let rendered = compare_table(&traffic, n, &cfg, &swept).render();
+        assert!(rendered.contains("GDSF"), "table lists the roster:\n{rendered}");
+        assert!(rendered.contains("miss-byte ratio"), "{rendered}");
+    }
+}

@@ -1,0 +1,291 @@
+//! The fast object cache: hash-map residency plus ordered victim indexes.
+//!
+//! Victim selection is O(log n) — each policy maintains a `BTreeSet` of
+//! `(primary, tiebreak, key)` tuples whose minimum is the next victim —
+//! where the [`crate::ReferenceObjectCache`] oracle rescans every resident
+//! object per decision. The differential wall
+//! (`objcache/tests/differential.rs`) holds the two bit-identical.
+//!
+//! The request semantics both implementations follow are documented on
+//! [`crate::replay`]; scoring formulas live in [`crate::policy`].
+
+use crate::policy::{
+    admission_score, derived_rank, gdsf_priority, DerivedWeights, FreqSketch, ObjPolicyKind,
+};
+use crate::{ObjCacheConfig, ObjStats};
+use std::collections::{BTreeSet, HashMap};
+use workloads::ObjectRequest;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    size: u32,
+    expires_at: u64,
+    freq: u32,
+    last_seq: u64,
+    /// SLRU: false = probation, true = protected.
+    protected: bool,
+    /// GDSF `H` — also reused to store the derived rule's mapped priority.
+    rank: u64,
+}
+
+/// The production-path object cache.
+#[derive(Clone, Debug)]
+pub struct ObjectCache {
+    cfg: ObjCacheConfig,
+    policy: ObjPolicyKind,
+    entries: HashMap<u64, Entry>,
+    /// Victim order for LRU / GDSF / derived, and SLRU's probation segment.
+    main_idx: BTreeSet<(u64, u64, u64)>,
+    /// SLRU's protected segment order.
+    prot_idx: BTreeSet<(u64, u64, u64)>,
+    used: u64,
+    protected_bytes: u64,
+    /// GDSF inflation `L`.
+    inflation: u64,
+    sketch: Option<FreqSketch>,
+    seq: u64,
+    stats: ObjStats,
+}
+
+impl ObjectCache {
+    pub fn new(cfg: ObjCacheConfig, policy: ObjPolicyKind) -> Self {
+        cfg.validate();
+        let sketch = match policy {
+            ObjPolicyKind::DerivedRlr(_) => Some(FreqSketch::new()),
+            _ => None,
+        };
+        Self {
+            cfg,
+            policy,
+            entries: HashMap::new(),
+            main_idx: BTreeSet::new(),
+            prot_idx: BTreeSet::new(),
+            used: 0,
+            protected_bytes: 0,
+            inflation: 0,
+            sketch,
+            seq: 0,
+            stats: ObjStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &ObjStats {
+        &self.stats
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of resident objects.
+    pub fn resident(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The index tuple for `key`'s current entry state.
+    fn index_key(&self, key: u64, e: &Entry) -> (u64, u64, u64) {
+        match self.policy {
+            ObjPolicyKind::Lru | ObjPolicyKind::Slru => (e.last_seq, 0, key),
+            ObjPolicyKind::Gdsf | ObjPolicyKind::DerivedRlr(_) => (e.rank, e.last_seq, key),
+        }
+    }
+
+    fn index_insert(&mut self, key: u64, e: &Entry) {
+        let tuple = self.index_key(key, e);
+        if e.protected {
+            self.prot_idx.insert(tuple);
+        } else {
+            self.main_idx.insert(tuple);
+        }
+    }
+
+    fn index_remove(&mut self, key: u64, e: &Entry) {
+        let tuple = self.index_key(key, e);
+        if e.protected {
+            self.prot_idx.remove(&tuple);
+        } else {
+            self.main_idx.remove(&tuple);
+        }
+    }
+
+    /// Removes `key` entirely (residency, index, byte accounting).
+    fn remove_entry(&mut self, key: u64) -> Entry {
+        let e = self.entries.remove(&key).expect("removing a non-resident key");
+        self.index_remove(key, &e);
+        self.used -= e.size as u64;
+        if e.protected {
+            self.protected_bytes -= e.size as u64;
+        }
+        e
+    }
+
+    /// Policy reaction to a hit on a fresh resident entry.
+    fn touch(&mut self, key: u64, now_ms: u64) {
+        let mut e = *self.entries.get(&key).expect("touching a non-resident key");
+        self.index_remove(key, &e);
+        if e.protected {
+            self.protected_bytes -= e.size as u64;
+        }
+        e.freq = e.freq.saturating_add(1);
+        e.last_seq = self.seq;
+        match self.policy {
+            ObjPolicyKind::Lru => {}
+            ObjPolicyKind::Slru => {
+                // Probation hit promotes; protected hit just refreshes.
+                e.protected = true;
+            }
+            ObjPolicyKind::Gdsf => {
+                e.rank = gdsf_priority(self.inflation, e.freq, e.size);
+            }
+            ObjPolicyKind::DerivedRlr(w) => {
+                let remaining = e.expires_at.saturating_sub(now_ms);
+                e.rank = derived_rank(self.inflation, &w, e.freq, e.size, remaining);
+            }
+        }
+        if e.protected {
+            self.protected_bytes += e.size as u64;
+        }
+        self.entries.insert(key, e);
+        self.index_insert(key, &e);
+        if matches!(self.policy, ObjPolicyKind::Slru) {
+            self.rebalance_slru();
+        }
+    }
+
+    /// Demotes protected-LRU entries until the protected segment fits its
+    /// byte budget.
+    fn rebalance_slru(&mut self) {
+        let cap = self.cfg.protected_capacity();
+        while self.protected_bytes > cap {
+            let &(_, _, key) = self.prot_idx.iter().next().expect("protected bytes but no entry");
+            let mut e = *self.entries.get(&key).expect("indexed key not resident");
+            self.index_remove(key, &e);
+            self.protected_bytes -= e.size as u64;
+            e.protected = false;
+            self.entries.insert(key, e);
+            self.index_insert(key, &e);
+        }
+    }
+
+    /// The key the policy would evict next: SLRU drains probation before
+    /// protected; everything else takes the minimum of the main index.
+    fn victim(&self) -> u64 {
+        let tuple = self
+            .main_idx
+            .iter()
+            .next()
+            .or_else(|| self.prot_idx.iter().next())
+            .expect("eviction with an empty cache");
+        tuple.2
+    }
+
+    /// Frees space until `need` more bytes fit, counting each removal as an
+    /// eviction or (if the victim's TTL already lapsed) an expiration.
+    fn make_room(&mut self, need: u64, now_ms: u64) {
+        while self.used + need > self.cfg.capacity_bytes {
+            let key = self.victim();
+            let e = self.remove_entry(key);
+            if matches!(self.policy, ObjPolicyKind::Gdsf | ObjPolicyKind::DerivedRlr(_)) {
+                // Inflation: future ranks start from the evicted minimum,
+                // which is what ages out stale high-frequency entries.
+                // Applies to expired victims too (both impls agree).
+                self.inflation = e.rank;
+            }
+            if now_ms >= e.expires_at {
+                self.stats.expirations += 1;
+                self.stats.expired_bytes += e.size as u64;
+            } else {
+                self.stats.evictions += 1;
+                self.stats.evicted_bytes += e.size as u64;
+            }
+        }
+    }
+
+    fn insert(&mut self, r: &ObjectRequest) {
+        let mut e = Entry {
+            size: r.size,
+            expires_at: r.now_ms + r.ttl_ms,
+            freq: 1,
+            last_seq: self.seq,
+            protected: false,
+            rank: 0,
+        };
+        match self.policy {
+            ObjPolicyKind::Gdsf => e.rank = gdsf_priority(self.inflation, 1, r.size),
+            ObjPolicyKind::DerivedRlr(w) => {
+                e.rank = derived_rank(self.inflation, &w, 1, r.size, r.ttl_ms);
+            }
+            _ => {}
+        }
+        self.used += r.size as u64;
+        self.entries.insert(r.key, e);
+        self.index_insert(r.key, &e);
+        self.stats.admitted += 1;
+    }
+
+    fn admit(&self, r: &ObjectRequest) -> bool {
+        if r.size as u64 > self.cfg.capacity_bytes {
+            return false;
+        }
+        match self.policy {
+            ObjPolicyKind::DerivedRlr(w) => {
+                let est = self.sketch.as_ref().expect("derived policy without sketch").estimate(r.key);
+                self.admission_passes(&w, est, r)
+            }
+            _ => true,
+        }
+    }
+
+    fn admission_passes(&self, w: &DerivedWeights, est: u32, r: &ObjectRequest) -> bool {
+        admission_score(w, est, r.size, r.ttl_ms) >= w.ad_threshold as i64
+    }
+
+    /// Serves one request. See [`crate::replay`] for the full semantics.
+    pub fn request(&mut self, r: &ObjectRequest) {
+        self.stats.requests += 1;
+        if let Some(sketch) = self.sketch.as_mut() {
+            sketch.record(r.key);
+        }
+        let resident = self.entries.get(&r.key).copied();
+        if let Some(e) = resident {
+            if r.now_ms >= e.expires_at {
+                // Lazy expiry: the object is gone; fall through to the miss
+                // path (re-fetch, subject to admission).
+                self.remove_entry(r.key);
+                self.stats.expirations += 1;
+                self.stats.expired_bytes += e.size as u64;
+            } else {
+                self.stats.hits += 1;
+                self.stats.hit_bytes += r.size as u64;
+                self.touch(r.key, r.now_ms);
+                self.seq += 1;
+                return;
+            }
+        }
+        self.stats.misses += 1;
+        self.stats.miss_bytes += r.size as u64;
+        if self.admit(r) {
+            self.make_room(r.size as u64, r.now_ms);
+            self.insert(r);
+        } else {
+            self.stats.rejected += 1;
+        }
+        self.seq += 1;
+    }
+
+    /// Internal consistency invariants, asserted by the differential wall.
+    pub fn check_invariants(&self) {
+        let sum: u64 = self.entries.values().map(|e| e.size as u64).sum();
+        assert_eq!(sum, self.used, "byte accounting drifted");
+        assert!(self.used <= self.cfg.capacity_bytes, "over budget");
+        assert_eq!(
+            self.main_idx.len() + self.prot_idx.len(),
+            self.entries.len(),
+            "victim index out of sync"
+        );
+        let prot: u64 =
+            self.entries.values().filter(|e| e.protected).map(|e| e.size as u64).sum();
+        assert_eq!(prot, self.protected_bytes, "protected byte accounting drifted");
+    }
+}

@@ -1,0 +1,241 @@
+//! `ReferenceObjectCache` — the deliberately naive oracle for the
+//! differential wall.
+//!
+//! One flat `Vec` of entries, linear-scan lookup, victim selection by
+//! rescanning every resident entry, and byte accounting recomputed by
+//! summation. No ordered indexes, no hash maps, no packed metadata — just
+//! the request semantics of [`crate::replay`] written the simplest possible
+//! way. Anything clever lives only in [`crate::ObjectCache`]; if the two
+//! ever disagree on hit bytes, evictions, or expirations, the wall in
+//! `objcache/tests/differential.rs` fails.
+//!
+//! Two things *are* shared with the fast path, deliberately, because they
+//! are the policy specification rather than machinery: the scoring formulas
+//! in [`crate::policy`], and the rule that GDSF / derived priorities are
+//! assigned at touch time (insert or hit) from that moment's inflation and
+//! TTL slack — they are entry state, not scan-time quantities.
+
+use crate::policy::{
+    admission_score, derived_rank, gdsf_priority, FreqSketch, ObjPolicyKind,
+};
+use crate::{ObjCacheConfig, ObjStats};
+use workloads::ObjectRequest;
+
+#[derive(Clone, Copy, Debug)]
+struct RefEntry {
+    key: u64,
+    size: u32,
+    expires_at: u64,
+    freq: u32,
+    last_seq: u64,
+    /// SLRU segment.
+    protected: bool,
+    /// GDSF `H` / mapped derived priority, assigned at touch time.
+    rank: u64,
+}
+
+/// The naive oracle. API mirrors [`crate::ObjectCache`].
+#[derive(Clone, Debug)]
+pub struct ReferenceObjectCache {
+    cfg: ObjCacheConfig,
+    policy: ObjPolicyKind,
+    entries: Vec<RefEntry>,
+    inflation: u64,
+    sketch: Option<FreqSketch>,
+    seq: u64,
+    stats: ObjStats,
+}
+
+impl ReferenceObjectCache {
+    pub fn new(cfg: ObjCacheConfig, policy: ObjPolicyKind) -> Self {
+        cfg.validate();
+        let sketch = match policy {
+            ObjPolicyKind::DerivedRlr(_) => Some(FreqSketch::new()),
+            _ => None,
+        };
+        Self {
+            cfg,
+            policy,
+            entries: Vec::new(),
+            inflation: 0,
+            sketch,
+            seq: 0,
+            stats: ObjStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &ObjStats {
+        &self.stats
+    }
+
+    /// Bytes resident, recomputed from scratch (the naive way).
+    pub fn used_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.size as u64).sum()
+    }
+
+    pub fn resident(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn find(&self, key: u64) -> Option<usize> {
+        self.entries.iter().position(|e| e.key == key)
+    }
+
+    /// The total eviction order: minimum `(rank-or-recency, last_seq, key)`
+    /// goes first.
+    fn order_of(policy: &ObjPolicyKind, e: &RefEntry) -> (u64, u64, u64) {
+        match policy {
+            ObjPolicyKind::Lru | ObjPolicyKind::Slru => (e.last_seq, 0, e.key),
+            ObjPolicyKind::Gdsf | ObjPolicyKind::DerivedRlr(_) => (e.rank, e.last_seq, e.key),
+        }
+    }
+
+    /// Picks the victim by scanning every resident entry; SLRU drains
+    /// probation before touching the protected segment.
+    fn victim(&self) -> usize {
+        assert!(!self.entries.is_empty(), "eviction with an empty cache");
+        let restrict_probation = matches!(self.policy, ObjPolicyKind::Slru)
+            && self.entries.iter().any(|e| !e.protected);
+        let mut best: Option<usize> = None;
+        for i in 0..self.entries.len() {
+            if restrict_probation && self.entries[i].protected {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    if Self::order_of(&self.policy, &self.entries[i])
+                        < Self::order_of(&self.policy, &self.entries[b])
+                    {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        best.expect("non-empty scan produced no victim")
+    }
+
+    fn protected_bytes(&self) -> u64 {
+        self.entries.iter().filter(|e| e.protected).map(|e| e.size as u64).sum()
+    }
+
+    /// SLRU: demote protected-LRU entries until the segment fits.
+    fn rebalance_slru(&mut self) {
+        let cap = self.cfg.protected_capacity();
+        while self.protected_bytes() > cap {
+            let mut oldest: Option<usize> = None;
+            for i in 0..self.entries.len() {
+                if !self.entries[i].protected {
+                    continue;
+                }
+                oldest = match oldest {
+                    None => Some(i),
+                    Some(b) => {
+                        if self.entries[i].last_seq < self.entries[b].last_seq {
+                            Some(i)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+            let i = oldest.expect("protected bytes but no protected entry");
+            self.entries[i].protected = false;
+        }
+    }
+
+    fn touch(&mut self, i: usize, now_ms: u64) {
+        let policy = self.policy;
+        let inflation = self.inflation;
+        let e = &mut self.entries[i];
+        e.freq = e.freq.saturating_add(1);
+        e.last_seq = self.seq;
+        match policy {
+            ObjPolicyKind::Lru => {}
+            ObjPolicyKind::Slru => e.protected = true,
+            ObjPolicyKind::Gdsf => e.rank = gdsf_priority(inflation, e.freq, e.size),
+            ObjPolicyKind::DerivedRlr(w) => {
+                let remaining = e.expires_at.saturating_sub(now_ms);
+                e.rank = derived_rank(inflation, &w, e.freq, e.size, remaining);
+            }
+        }
+        if matches!(policy, ObjPolicyKind::Slru) {
+            self.rebalance_slru();
+        }
+    }
+
+    fn admit(&self, r: &ObjectRequest) -> bool {
+        if r.size as u64 > self.cfg.capacity_bytes {
+            return false;
+        }
+        match self.policy {
+            ObjPolicyKind::DerivedRlr(w) => {
+                let est =
+                    self.sketch.as_ref().expect("derived policy without sketch").estimate(r.key);
+                admission_score(&w, est, r.size, r.ttl_ms) >= w.ad_threshold as i64
+            }
+            _ => true,
+        }
+    }
+
+    /// Serves one request. See [`crate::replay`] for the semantics contract.
+    pub fn request(&mut self, r: &ObjectRequest) {
+        self.stats.requests += 1;
+        if let Some(sketch) = self.sketch.as_mut() {
+            sketch.record(r.key);
+        }
+        if let Some(i) = self.find(r.key) {
+            if r.now_ms >= self.entries[i].expires_at {
+                let e = self.entries.remove(i);
+                self.stats.expirations += 1;
+                self.stats.expired_bytes += e.size as u64;
+            } else {
+                self.stats.hits += 1;
+                self.stats.hit_bytes += r.size as u64;
+                self.touch(i, r.now_ms);
+                self.seq += 1;
+                return;
+            }
+        }
+        self.stats.misses += 1;
+        self.stats.miss_bytes += r.size as u64;
+        if self.admit(r) {
+            while self.used_bytes() + r.size as u64 > self.cfg.capacity_bytes {
+                let v = self.victim();
+                let e = self.entries.remove(v);
+                if matches!(self.policy, ObjPolicyKind::Gdsf | ObjPolicyKind::DerivedRlr(_)) {
+                    self.inflation = e.rank;
+                }
+                if r.now_ms >= e.expires_at {
+                    self.stats.expirations += 1;
+                    self.stats.expired_bytes += e.size as u64;
+                } else {
+                    self.stats.evictions += 1;
+                    self.stats.evicted_bytes += e.size as u64;
+                }
+            }
+            let rank = match self.policy {
+                ObjPolicyKind::Gdsf => gdsf_priority(self.inflation, 1, r.size),
+                ObjPolicyKind::DerivedRlr(w) => {
+                    derived_rank(self.inflation, &w, 1, r.size, r.ttl_ms)
+                }
+                _ => 0,
+            };
+            self.entries.push(RefEntry {
+                key: r.key,
+                size: r.size,
+                expires_at: r.now_ms + r.ttl_ms,
+                freq: 1,
+                last_seq: self.seq,
+                protected: false,
+                rank,
+            });
+            self.stats.admitted += 1;
+        } else {
+            self.stats.rejected += 1;
+        }
+        self.seq += 1;
+    }
+}

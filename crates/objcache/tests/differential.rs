@@ -1,0 +1,163 @@
+//! The object-cache differential wall: the fast `ObjectCache` (hash lookup,
+//! ordered victim indexes) replayed against the deliberately naive
+//! `ReferenceObjectCache` (linear scans, recomputed accounting) across
+//! randomized traces — hit bytes, evictions, and expirations must match
+//! exactly for every policy. Mirrors the `ReferenceCache` wall that guards
+//! the LLC hot path (PR 3).
+
+use objcache::{ObjCacheConfig, ObjPolicyKind, ObjectCache, ReferenceObjectCache};
+use simrng::prop::{check, Config, Shrink};
+use simrng::{prop_assert, prop_assert_eq, Rng, SimRng};
+use workloads::ObjectTraffic;
+
+/// A randomized scenario: traffic shape + cache shape. Tight capacities and
+/// small catalogs force heavy eviction / expiry traffic, which is where the
+/// two implementations could diverge.
+#[derive(Clone, Debug)]
+struct Case {
+    traffic: ObjectTraffic,
+    cfg: ObjCacheConfig,
+    requests: usize,
+}
+
+impl Shrink for Case {
+    fn shrink_candidates(&self) -> Vec<Case> {
+        if self.requests <= 64 {
+            return Vec::new();
+        }
+        let mut half = self.clone();
+        half.requests /= 2;
+        vec![half]
+    }
+}
+
+fn gen_case(rng: &mut SimRng) -> Case {
+    let min_size = 1u32 << rng.gen_range(4..10u32);
+    let max_size = min_size << rng.gen_range(1..6u32);
+    let min_ttl_s = rng.gen_range(1..4u64);
+    let traffic = ObjectTraffic {
+        catalog: rng.gen_range(16..600u64),
+        skew: f64::from(rng.gen_range(0..13u16)) / 10.0,
+        rps: rng.gen_range(50..5000u64),
+        min_size,
+        max_size,
+        min_ttl_s,
+        max_ttl_s: min_ttl_s + rng.gen_range(1..60u64),
+        flash_every: 200,
+        flash_len: rng.gen_range(10..100u64),
+        flash_share_pct: rng.gen_range(0..90u32),
+        flash_hot: rng.gen_range(1..12u64),
+        seed: rng.gen_range(0..1_000_000u64),
+    };
+    // Capacity between ~4 and ~64 max-sized objects: small enough to churn.
+    let cfg = ObjCacheConfig {
+        capacity_bytes: max_size as u64 * rng.gen_range(4..64u64),
+        protected_pct: rng.gen_range(10..95u32),
+    };
+    Case { traffic, cfg, requests: rng.gen_range(200..2500usize) }
+}
+
+/// Replays `case` through both implementations, comparing the full counter
+/// set at a fixed cadence (divergence points shrink toward the cadence
+/// boundary) and the fast path's internal invariants at the end.
+fn run_differential(case: &Case, policy: ObjPolicyKind) -> Result<(), String> {
+    let mut fast = ObjectCache::new(case.cfg, policy);
+    let mut oracle = ReferenceObjectCache::new(case.cfg, policy);
+    for (i, r) in case.traffic.stream().take(case.requests).enumerate() {
+        fast.request(&r);
+        oracle.request(&r);
+        if i % 64 == 0 {
+            prop_assert_eq!(
+                fast.stats(),
+                oracle.stats(),
+                "{} diverged at request {} ({:?}): fast {:?} vs oracle {:?}",
+                policy.name(),
+                i,
+                r,
+                fast.stats(),
+                oracle.stats()
+            );
+        }
+    }
+    prop_assert_eq!(fast.stats(), oracle.stats(), "{} diverged at end", policy.name());
+    prop_assert_eq!(fast.used_bytes(), oracle.used_bytes(), "resident bytes differ");
+    prop_assert_eq!(fast.resident(), oracle.resident(), "resident object counts differ");
+    fast.check_invariants();
+    // The issue's wall is about these three specifically; spell them out so
+    // a regression names the counter that moved.
+    prop_assert_eq!(fast.stats().hit_bytes, oracle.stats().hit_bytes);
+    prop_assert_eq!(fast.stats().evictions, oracle.stats().evictions);
+    prop_assert_eq!(fast.stats().expirations, oracle.stats().expirations);
+    Ok(())
+}
+
+#[test]
+fn lru_matches_oracle() {
+    check("objcache_lru_matches_oracle", Config::with_cases(40), gen_case, |case| {
+        run_differential(case, ObjPolicyKind::Lru)
+    });
+}
+
+#[test]
+fn slru_matches_oracle() {
+    check("objcache_slru_matches_oracle", Config::with_cases(40), gen_case, |case| {
+        run_differential(case, ObjPolicyKind::Slru)
+    });
+}
+
+#[test]
+fn gdsf_matches_oracle() {
+    check("objcache_gdsf_matches_oracle", Config::with_cases(40), gen_case, |case| {
+        run_differential(case, ObjPolicyKind::Gdsf)
+    });
+}
+
+#[test]
+fn derived_matches_oracle() {
+    check("objcache_derived_matches_oracle", Config::with_cases(40), gen_case, |case| {
+        run_differential(case, ObjPolicyKind::parse("rlr").expect("pinned rule"))
+    });
+}
+
+/// The walls above use randomized shapes; this one runs the exact default
+/// scenario (scaled down) so the headline configuration itself is
+/// oracle-checked, eviction pressure and flash crowds included.
+#[test]
+fn default_scenario_matches_oracle() {
+    let traffic = ObjectTraffic {
+        catalog: 5_000,
+        flash_every: 2_000,
+        flash_len: 400,
+        ..ObjectTraffic::internet_default()
+    };
+    let cfg = ObjCacheConfig::with_capacity_mib(8);
+    for policy in ObjPolicyKind::roster() {
+        let mut fast = ObjectCache::new(cfg, policy);
+        let mut oracle = ReferenceObjectCache::new(cfg, policy);
+        for r in traffic.stream().take(6_000) {
+            fast.request(&r);
+            oracle.request(&r);
+        }
+        assert_eq!(fast.stats(), oracle.stats(), "{} diverged", policy.name());
+        assert!(fast.stats().evictions > 0, "{}: scenario exerted no pressure", policy.name());
+        fast.check_invariants();
+    }
+}
+
+/// Headline acceptance: on the default Zipf + flash-crowd trace the pinned
+/// derived rule must beat plain LRU on miss-byte ratio.
+#[test]
+fn derived_beats_lru_on_default_trace() {
+    let traffic = ObjectTraffic::internet_default();
+    let trace: Vec<_> = traffic.stream().take(120_000).collect();
+    let cfg = ObjCacheConfig::with_capacity_mib(256);
+    let lru = objcache::replay(cfg, ObjPolicyKind::Lru, trace.iter().copied());
+    let derived =
+        objcache::replay(cfg, ObjPolicyKind::parse("rlr").expect("pinned"), trace.iter().copied());
+    assert!(
+        derived.miss_byte_ratio() < lru.miss_byte_ratio(),
+        "derived rule must beat LRU: derived {:.4} vs lru {:.4}",
+        derived.miss_byte_ratio(),
+        lru.miss_byte_ratio()
+    );
+}

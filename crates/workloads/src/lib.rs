@@ -30,6 +30,7 @@ mod characterize;
 mod cloud;
 mod entry;
 mod mix;
+pub mod objects;
 mod pattern;
 mod power_law;
 mod recipe;
@@ -41,6 +42,7 @@ pub use characterize::{Characterization, ReuseBuckets};
 pub use cloud::{cloudsuite, CLOUDSUITE};
 pub use entry::TraceEntry;
 pub use mix::{random_spec_mixes, WorkloadMix};
+pub use objects::{ObjectRequest, ObjectStream, ObjectTraffic};
 pub use power_law::PowerLaw;
 pub use record::RecordedTrace;
 pub use recipe::Recipe;

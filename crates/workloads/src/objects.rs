@@ -1,0 +1,298 @@
+//! Internet-scale object-cache traffic: Zipf popularity over a large
+//! catalog, periodic flash-crowd phases, per-key sizes and TTLs, and a
+//! requests-per-second clock.
+//!
+//! This is the serving-tier counterpart of the line-granular SPEC/CloudSuite
+//! generators: instead of 64-byte cache lines it emits *objects* — each
+//! request names a key, a byte size, and a time-to-live — standing in for a
+//! CDN / web object cache in front of millions of users. The stream is a
+//! pure function of [`ObjectTraffic`] (including its seed): two streams
+//! built from equal configs are byte-identical, which is what the sweep
+//! checkpoints and differential walls rely on.
+//!
+//! Design notes:
+//!
+//! - **Popularity** is a [`PowerLaw`] (Zipf) over `0..catalog`; the sampled
+//!   rank *is* the key, so rank-frequency properties are directly testable.
+//! - **Size and TTL are functions of the key** (hashed with per-config
+//!   salts), not fresh draws per request: a given object always has the same
+//!   size and lifetime, as it would in a real origin. Sizes are log-uniform
+//!   in `[min_size, max_size]`; TTLs log-uniform in
+//!   `[min_ttl_s, max_ttl_s]` seconds.
+//! - **Flash crowds**: in the last `flash_len` requests of every
+//!   `flash_every`-request period, `flash_share_pct`% of traffic diverts to
+//!   a small hot set of `flash_hot` *fresh* keys (offset by
+//!   [`FLASH_KEY_BASE`], distinct per crowd) — viral objects that did not
+//!   exist before the burst and are abandoned after it.
+//! - **The clock** advances `1000 / rps` milliseconds per request, so TTL
+//!   expiry pressure scales inversely with request rate.
+//!
+//! ```
+//! use workloads::objects::ObjectTraffic;
+//!
+//! let traffic = ObjectTraffic::internet_default();
+//! let a: Vec<_> = traffic.stream().take(3).collect();
+//! let b: Vec<_> = traffic.stream().take(3).collect();
+//! assert_eq!(a, b); // deterministic for a fixed config
+//! ```
+
+use crate::PowerLaw;
+use simrng::{splitmix64, Rng, SimRng};
+
+/// Keys at or above this value are flash-crowd (viral) objects; base-catalog
+/// keys are `0..catalog`. Crowd `c` owns keys
+/// `FLASH_KEY_BASE + c * flash_hot ..`.
+pub const FLASH_KEY_BASE: u64 = 1 << 48;
+
+/// One object-cache request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ObjectRequest {
+    /// Arrival time in milliseconds since trace start.
+    pub now_ms: u64,
+    /// Object identity.
+    pub key: u64,
+    /// Object size in bytes (a fixed function of `key`).
+    pub size: u32,
+    /// Time-to-live at (re-)insertion, in milliseconds (a fixed function of
+    /// `key`).
+    pub ttl_ms: u64,
+}
+
+/// Configuration for the object traffic generator. Equal configs produce
+/// byte-identical streams.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ObjectTraffic {
+    /// Number of distinct base-catalog objects.
+    pub catalog: u64,
+    /// Zipf exponent of the popularity distribution.
+    pub skew: f64,
+    /// Requests per second: the clock advances `1000 / rps` ms per request.
+    pub rps: u64,
+    /// Smallest object size, bytes (inclusive).
+    pub min_size: u32,
+    /// Largest object size, bytes (inclusive).
+    pub max_size: u32,
+    /// Shortest TTL, seconds (inclusive).
+    pub min_ttl_s: u64,
+    /// Longest TTL, seconds (inclusive).
+    pub max_ttl_s: u64,
+    /// Period between flash-crowd starts, in requests (0 disables crowds).
+    pub flash_every: u64,
+    /// Crowd duration, in requests (must be <= `flash_every`).
+    pub flash_len: u64,
+    /// Percentage of in-crowd requests diverted to the crowd's hot set.
+    pub flash_share_pct: u32,
+    /// Distinct viral objects per crowd.
+    pub flash_hot: u64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl ObjectTraffic {
+    /// The default internet-scale scenario: a 500k-object catalog two to
+    /// three orders of magnitude larger than a typical cache budget, Zipf
+    /// 0.9 (measured web popularity is 0.6–1.0), 10k requests/s, 1 KiB–1 MiB
+    /// objects, TTLs from 2 s to 10 min (so a few-hundred-k-request trace
+    /// actually exercises expiry), and a flash crowd in the last fifth of
+    /// every 40k-request period.
+    pub fn internet_default() -> Self {
+        Self {
+            catalog: 500_000,
+            skew: 0.9,
+            rps: 10_000,
+            min_size: 1 << 10,
+            max_size: 1 << 20,
+            min_ttl_s: 2,
+            max_ttl_s: 600,
+            flash_every: 40_000,
+            flash_len: 8_000,
+            flash_share_pct: 60,
+            flash_hot: 64,
+            seed: 0xC0FF_EE00,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.catalog > 0, "object traffic needs a non-empty catalog");
+        assert!(self.rps > 0, "rps must be positive");
+        assert!(self.min_size > 0 && self.min_size <= self.max_size, "bad size bounds");
+        assert!(self.min_ttl_s > 0 && self.min_ttl_s <= self.max_ttl_s, "bad ttl bounds");
+        assert!(self.flash_share_pct <= 100, "flash share is a percentage");
+        if self.flash_every > 0 {
+            assert!(self.flash_len <= self.flash_every, "flash_len exceeds flash_every");
+            assert!(self.flash_hot > 0, "flash crowds need a non-empty hot set");
+        }
+    }
+
+    /// Per-config salt for the key -> size hash.
+    fn size_salt(&self) -> u64 {
+        mix(self.seed ^ 0x5349_5A45_5349_5A45) // "SIZESIZE"
+    }
+
+    /// Per-config salt for the key -> TTL hash.
+    fn ttl_salt(&self) -> u64 {
+        mix(self.seed ^ 0x0054_544C_0054_544C) // "TTL TTL"
+    }
+
+    /// The byte size of object `key` — log-uniform in
+    /// `[min_size, max_size]`, fixed per key.
+    pub fn size_of(&self, key: u64) -> u32 {
+        log_uniform(
+            mix(key ^ self.size_salt()),
+            self.min_size as u64,
+            self.max_size as u64,
+        ) as u32
+    }
+
+    /// The TTL of object `key` in milliseconds — log-uniform in
+    /// `[min_ttl_s, max_ttl_s]` seconds, fixed per key.
+    pub fn ttl_ms_of(&self, key: u64) -> u64 {
+        log_uniform(mix(key ^ self.ttl_salt()), self.min_ttl_s, self.max_ttl_s) * 1000
+    }
+
+    /// Builds the deterministic request stream.
+    pub fn stream(&self) -> ObjectStream {
+        self.validate();
+        ObjectStream {
+            cfg: *self,
+            zipf: PowerLaw::new(self.catalog, self.skew),
+            flash_zipf: PowerLaw::new(self.flash_hot.max(1), 1.0),
+            rng: SimRng::seed_from_u64(self.seed ^ 0x0B1E_C7CA_C4E5_7EAD),
+            idx: 0,
+        }
+    }
+
+    /// A compact, human-readable fingerprint of every field, used in sweep
+    /// checkpoint keys so a changed traffic config never resurrects stale
+    /// cells. The skew is fixed-point (per-mille) to keep the string exact.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "obj|c{}|z{}|r{}|s{}-{}|t{}-{}|f{}/{}/{}/{}|x{:016x}",
+            self.catalog,
+            (self.skew * 1000.0).round() as u64,
+            self.rps,
+            self.min_size,
+            self.max_size,
+            self.min_ttl_s,
+            self.max_ttl_s,
+            self.flash_every,
+            self.flash_len,
+            self.flash_share_pct,
+            self.flash_hot,
+            self.seed,
+        )
+    }
+}
+
+/// One-shot SplitMix64 finalizer over a seed value.
+fn mix(mut x: u64) -> u64 {
+    splitmix64(&mut x)
+}
+
+/// Maps a 64-bit hash to a log-uniform integer in `[lo, hi]`.
+fn log_uniform(hash: u64, lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo > 0 && lo <= hi);
+    if lo == hi {
+        return lo;
+    }
+    // Top 53 bits -> uniform in [0, 1).
+    let u = (hash >> 11) as f64 * (1.0 / 9007199254740992.0);
+    let v = (lo as f64) * ((hi as f64) / (lo as f64)).powf(u);
+    (v as u64).clamp(lo, hi)
+}
+
+/// Infinite deterministic iterator over [`ObjectRequest`]s.
+#[derive(Clone, Debug)]
+pub struct ObjectStream {
+    cfg: ObjectTraffic,
+    zipf: PowerLaw,
+    flash_zipf: PowerLaw,
+    rng: SimRng,
+    idx: u64,
+}
+
+impl ObjectStream {
+    /// True if request index `idx` falls inside a flash-crowd phase (the
+    /// last `flash_len` requests of each `flash_every`-request period).
+    pub fn in_flash_phase(cfg: &ObjectTraffic, idx: u64) -> bool {
+        cfg.flash_every > 0
+            && cfg.flash_len > 0
+            && idx % cfg.flash_every >= cfg.flash_every - cfg.flash_len
+    }
+}
+
+impl Iterator for ObjectStream {
+    type Item = ObjectRequest;
+
+    fn next(&mut self) -> Option<ObjectRequest> {
+        let cfg = &self.cfg;
+        let idx = self.idx;
+        self.idx += 1;
+        let now_ms = idx * 1000 / cfg.rps;
+        // One popularity draw per request; in a flash phase, one extra draw
+        // decides whether the request joins the crowd.
+        let key = if Self::in_flash_phase(cfg, idx)
+            && self.rng.gen_range(0..100u64) < cfg.flash_share_pct as u64
+        {
+            let crowd = idx / cfg.flash_every;
+            FLASH_KEY_BASE + crowd * cfg.flash_hot + self.flash_zipf.sample(&mut self.rng)
+        } else {
+            // Reuses the sampler's precomputed normalization via
+            // `rank_of_unit` (see `PowerLaw::normalization`).
+            let u: f64 = self.rng.gen_range(0.0..1.0);
+            self.zipf.rank_of_unit(u)
+        };
+        Some(ObjectRequest {
+            now_ms,
+            key,
+            size: cfg.size_of(key),
+            ttl_ms: cfg.ttl_ms_of(key),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let t = ObjectTraffic { catalog: 1000, flash_every: 100, flash_len: 20, ..ObjectTraffic::internet_default() };
+        let a: Vec<_> = t.stream().take(500).collect();
+        let b: Vec<_> = t.stream().take(500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sizes_and_ttls_are_key_stable() {
+        let t = ObjectTraffic::internet_default();
+        for r in t.stream().take(2000) {
+            assert_eq!(r.size, t.size_of(r.key));
+            assert_eq!(r.ttl_ms, t.ttl_ms_of(r.key));
+        }
+    }
+
+    #[test]
+    fn clock_tracks_rps() {
+        let t = ObjectTraffic { rps: 1000, ..ObjectTraffic::internet_default() };
+        let reqs: Vec<_> = t.stream().take(3000).collect();
+        assert_eq!(reqs[0].now_ms, 0);
+        assert_eq!(reqs[1000].now_ms, 1000);
+        assert_eq!(reqs[2999].now_ms, 2999);
+    }
+
+    #[test]
+    fn flash_keys_are_disjoint_from_catalog() {
+        let t = ObjectTraffic { catalog: 100, flash_every: 50, flash_len: 25, flash_share_pct: 100, ..ObjectTraffic::internet_default() };
+        let mut saw_flash = false;
+        for (i, r) in t.stream().take(500).enumerate() {
+            if r.key >= FLASH_KEY_BASE {
+                saw_flash = true;
+                assert!(ObjectStream::in_flash_phase(&t, i as u64));
+            } else {
+                assert!(r.key < t.catalog);
+            }
+        }
+        assert!(saw_flash, "flash phases never produced a viral key");
+    }
+}

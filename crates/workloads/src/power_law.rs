@@ -21,6 +21,13 @@ use simrng::Rng;
 pub struct PowerLaw {
     n: u64,
     skew: f64,
+    /// `1 - skew`, the exponent of the antiderivative of `x^-s`.
+    one_minus_s: f64,
+    /// `(n + 1)^(1 - skew)` — the CDF normalization constant. Computed once
+    /// at construction; `sample` used to recompute it per call.
+    top: f64,
+    /// `1 / (1 - skew)`, the exponent applied when inverting the CDF.
+    inv_one_minus_s: f64,
 }
 
 impl PowerLaw {
@@ -34,12 +41,41 @@ impl PowerLaw {
         assert!(skew.is_finite() && skew >= 0.0, "skew must be finite and non-negative");
         // A skew of exactly 1.0 makes the closed-form CDF degenerate; nudge it.
         let skew = if (skew - 1.0).abs() < 1e-9 { 1.0 + 1e-6 } else { skew };
-        Self { n, skew }
+        // Same expressions (and therefore bit-identical results) as the ones
+        // `sample` historically evaluated per call.
+        let one_minus_s = 1.0 - skew;
+        let top = (n as f64 + 1.0).powf(one_minus_s);
+        let inv_one_minus_s = 1.0 / one_minus_s;
+        Self { n, skew, one_minus_s, top, inv_one_minus_s }
     }
 
     /// Number of ranks in the domain.
     pub fn domain(&self) -> u64 {
         self.n
+    }
+
+    /// The CDF normalization constant `(n + 1)^(1 - skew)`, exposed so
+    /// callers that map their own uniform variates (e.g. the object-traffic
+    /// generator) can reuse it instead of recomputing the `powf` per draw.
+    pub fn normalization(&self) -> f64 {
+        self.top
+    }
+
+    /// Maps a uniform variate `u` in `[0, 1)` to a rank in `0..n` by
+    /// inverting the CDF of the continuous density `x^-s` on `[1, n+1]`.
+    ///
+    /// This is the deterministic half of [`sample`](Self::sample): callers
+    /// that manage their own RNG draws (the object generator shares one
+    /// stream across several decision points) use this directly.
+    pub fn rank_of_unit(&self, u: f64) -> u64 {
+        if self.n == 1 || self.skew == 0.0 {
+            // Uniform special case: a plain linear map.
+            let rank = (u * self.n as f64) as u64;
+            return rank.min(self.n - 1);
+        }
+        let x = (u * (self.top - 1.0) + 1.0).powf(self.inv_one_minus_s);
+        let rank = (x as u64).saturating_sub(1);
+        rank.min(self.n - 1)
     }
 
     /// Draws one rank in `0..n`; rank 0 is the most popular.
@@ -51,14 +87,7 @@ impl PowerLaw {
             return rng.gen_range(0..self.n);
         }
         let u: f64 = rng.gen_range(0.0..1.0);
-        let s = self.skew;
-        let n = self.n as f64;
-        // Invert the CDF of the continuous density x^-s on [1, n+1].
-        let one_minus_s = 1.0 - s;
-        let top = (n + 1.0).powf(one_minus_s);
-        let x = (u * (top - 1.0) + 1.0).powf(1.0 / one_minus_s);
-        let rank = (x as u64).saturating_sub(1);
-        rank.min(self.n - 1)
+        self.rank_of_unit(u)
     }
 }
 
@@ -115,5 +144,44 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_domain_panics() {
         let _ = PowerLaw::new(0, 1.0);
+    }
+
+    /// Regression pin for the normalization-precompute refactor: hoisting
+    /// `top`/`1/(1-s)` into the constructor must not change a single sampled
+    /// rank. These values were captured from the per-call implementation.
+    #[test]
+    fn pinned_ranks_for_fixed_seed() {
+        let p = PowerLaw::new(100_000, 0.9);
+        let mut rng = SimRng::seed_from_u64(0xD1CE_5EED);
+        let got: Vec<u64> = (0..16).map(|_| p.sample(&mut rng)).collect();
+        assert_eq!(got, PINNED_RANKS, "PowerLaw sampling drifted");
+        let q = PowerLaw::new(100_000, 1.0); // exercises the skew==1 nudge
+        let mut rng = SimRng::seed_from_u64(0xD1CE_5EED);
+        let got: Vec<u64> = (0..8).map(|_| q.sample(&mut rng)).collect();
+        assert_eq!(got, PINNED_RANKS_SKEW1, "PowerLaw skew-1 sampling drifted");
+    }
+
+    const PINNED_RANKS: [u64; 16] = [
+        241, 349, 196, 74324, 0, 1160, 4499, 7683, 24414, 230, 784, 85, 0, 19081, 38524, 1,
+    ];
+    const PINNED_RANKS_SKEW1: [u64; 8] = [48, 68, 39, 61122, 0, 234, 1121, 2212];
+
+    #[test]
+    fn rank_of_unit_matches_sample_path() {
+        // `sample` must be exactly `rank_of_unit` applied to the same draw.
+        let p = PowerLaw::new(4096, 1.3);
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let direct = p.sample(&mut a);
+            let u: f64 = b.gen_range(0.0..1.0);
+            assert_eq!(direct, p.rank_of_unit(u));
+        }
+    }
+
+    #[test]
+    fn normalization_is_the_cdf_constant() {
+        let p = PowerLaw::new(1023, 0.8);
+        assert_eq!(p.normalization(), 1024.0_f64.powf(1.0 - 0.8));
     }
 }

@@ -1,0 +1,179 @@
+//! Property suite for the object-traffic generator (`workloads::objects`),
+//! on the in-tree `simrng::prop` harness: popularity really is Zipf with
+//! the configured exponent, flash crowds really divert the configured share
+//! of traffic, sizes/TTLs stay inside their spec bounds, and equal seeds
+//! give byte-identical streams.
+
+use simrng::prop::{check, Config, Shrink};
+use simrng::{prop_assert, Rng, SimRng};
+use workloads::objects::{ObjectStream, FLASH_KEY_BASE};
+use workloads::ObjectTraffic;
+
+#[derive(Clone, Debug)]
+struct Case {
+    traffic: ObjectTraffic,
+}
+
+impl Shrink for Case {}
+
+/// A randomized config with flash crowds enabled.
+fn gen_traffic(rng: &mut SimRng) -> ObjectTraffic {
+    let min_size = 1u32 << rng.gen_range(4..12u32);
+    let min_ttl_s = rng.gen_range(1..30u64);
+    ObjectTraffic {
+        catalog: rng.gen_range(100..5000u64),
+        skew: f64::from(rng.gen_range(3..13u16)) / 10.0,
+        rps: rng.gen_range(10..100_000u64),
+        min_size,
+        max_size: min_size << rng.gen_range(0..8u32),
+        min_ttl_s,
+        max_ttl_s: min_ttl_s + rng.gen_range(0..3600u64),
+        flash_every: 500,
+        flash_len: rng.gen_range(50..400u64),
+        flash_share_pct: rng.gen_range(20..95u32),
+        flash_hot: rng.gen_range(1..40u64),
+        seed: rng.gen_range(0..u64::MAX),
+    }
+}
+
+/// Empirical share of requests landing in the top `k` ranks matches the
+/// sampler's analytic CDF for the configured exponent. (Rank == key by
+/// construction, so this pins the whole popularity curve, not just
+/// monotonicity.)
+#[test]
+fn popularity_follows_configured_zipf_exponent() {
+    check(
+        "object_zipf_exponent",
+        Config::with_cases(12),
+        |rng| {
+            let mut traffic = gen_traffic(rng);
+            traffic.flash_every = 0; // isolate the base catalog
+            traffic.catalog = rng.gen_range(500..2000u64);
+            Case { traffic }
+        },
+        |case| {
+            let t = &case.traffic;
+            const DRAWS: usize = 40_000;
+            let mut counts = vec![0u64; t.catalog as usize];
+            for r in t.stream().take(DRAWS) {
+                counts[r.key as usize] += 1;
+            }
+            // Analytic share of the top k ranks under the continuous
+            // inverse-CDF sampler: F(k) = ((k+1)^(1-s) - 1) / ((n+1)^(1-s) - 1).
+            let s = if (t.skew - 1.0).abs() < 1e-9 { 1.0 + 1e-6 } else { t.skew };
+            let f = |k: f64| ((k + 1.0).powf(1.0 - s) - 1.0) / ((t.catalog as f64 + 1.0).powf(1.0 - s) - 1.0);
+            for frac in [0.01, 0.1, 0.5] {
+                let k = ((t.catalog as f64) * frac).max(1.0).floor() as usize;
+                let got = counts[..k].iter().sum::<u64>() as f64 / DRAWS as f64;
+                let want = f(k as f64);
+                prop_assert!(
+                    (got - want).abs() < 0.04,
+                    "top-{k} share {got:.4} vs analytic {want:.4} (skew {})",
+                    t.skew
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Flash phases divert ~`flash_share_pct`% of requests to the crowd's hot
+/// set, that hot set is fresh (unseen before the crowd) and small, and
+/// outside flash phases no viral keys appear at all.
+#[test]
+fn flash_phases_raise_hot_set_share() {
+    check(
+        "object_flash_share",
+        Config::with_cases(16),
+        |rng| Case { traffic: gen_traffic(rng) },
+        |case| {
+            let t = &case.traffic;
+            let take = (t.flash_every * 8) as usize;
+            let mut in_phase = 0u64;
+            let mut in_phase_viral = 0u64;
+            for (i, r) in t.stream().take(take).enumerate() {
+                let flash = ObjectStream::in_flash_phase(t, i as u64);
+                if flash {
+                    in_phase += 1;
+                    if r.key >= FLASH_KEY_BASE {
+                        in_phase_viral += 1;
+                        let crowd = i as u64 / t.flash_every;
+                        let base = FLASH_KEY_BASE + crowd * t.flash_hot;
+                        prop_assert!(
+                            (base..base + t.flash_hot).contains(&r.key),
+                            "viral key {} outside crowd {}'s hot set",
+                            r.key,
+                            crowd
+                        );
+                    }
+                } else {
+                    prop_assert!(r.key < t.catalog, "viral key outside a flash phase");
+                }
+            }
+            let share = in_phase_viral as f64 / in_phase as f64;
+            let want = t.flash_share_pct as f64 / 100.0;
+            prop_assert!(
+                (share - want).abs() < 0.08,
+                "flash share {share:.3} vs configured {want:.3}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Every emitted size / TTL lies inside the configured bounds, and both are
+/// stable functions of the key.
+#[test]
+fn sizes_and_ttls_stay_within_spec_bounds() {
+    check(
+        "object_size_ttl_bounds",
+        Config::with_cases(16),
+        |rng| Case { traffic: gen_traffic(rng) },
+        |case| {
+            let t = &case.traffic;
+            let mut seen: std::collections::HashMap<u64, (u32, u64)> = Default::default();
+            for r in t.stream().take(3000) {
+                prop_assert!(
+                    (t.min_size..=t.max_size).contains(&r.size),
+                    "size {} outside [{}, {}]",
+                    r.size,
+                    t.min_size,
+                    t.max_size
+                );
+                prop_assert!(
+                    (t.min_ttl_s * 1000..=t.max_ttl_s * 1000).contains(&r.ttl_ms),
+                    "ttl {}ms outside [{}, {}]s",
+                    r.ttl_ms,
+                    t.min_ttl_s,
+                    t.max_ttl_s
+                );
+                if let Some(&(size, ttl)) = seen.get(&r.key) {
+                    prop_assert!(size == r.size && ttl == r.ttl_ms, "key {} changed shape", r.key);
+                }
+                seen.insert(r.key, (r.size, r.ttl_ms));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Identical seeds produce byte-identical streams; a different seed (all
+/// else equal) diverges.
+#[test]
+fn identical_seeds_replay_identically() {
+    check(
+        "object_stream_determinism",
+        Config::with_cases(16),
+        |rng| Case { traffic: gen_traffic(rng) },
+        |case| {
+            let a: Vec<_> = case.traffic.stream().take(1500).collect();
+            let b: Vec<_> = case.traffic.stream().take(1500).collect();
+            prop_assert!(a == b, "same config must replay identically");
+            let mut other = case.traffic;
+            other.seed = other.seed.wrapping_add(1);
+            let c: Vec<_> = other.stream().take(1500).collect();
+            prop_assert!(a != c, "seed change must perturb the stream");
+            Ok(())
+        },
+    );
+}

@@ -175,6 +175,39 @@ cmp "$SMOKE_DIR/mcf.trace" "$SMOKE_DIR/mcf.back.trace" || {
     echo "ci.sh: committed golden fixture failed verification" >&2; exit 1;
 }
 
+echo "==> object-cache walls"
+# The serving-tier suite: fast-vs-reference differential wall (hit bytes,
+# evictions, expirations exact per policy), the traffic property suite
+# (Zipf exponent, flash-crowd share, size/TTL bounds, seed determinism),
+# and the sweep determinism wall (serial vs parallel, killed-then-resumed
+# via the checkpoint seam, torn stores, flipped cells). All ran in the
+# workspace pass; named runs make the owning gate report regressions.
+cargo test -q --offline -p objcache --test differential
+cargo test -q --offline -p workloads --test object_traffic
+cargo test -q --offline -p experiments --test objcache_determinism
+
+echo "==> object-cache CLI smoke test"
+# The serving-tier comparison on a short Zipf + flash-crowd trace: all
+# four roster policies report, the derived rule beats plain LRU on
+# miss-byte ratio (the acceptance headline), and a re-run against the
+# same checkpoint directory reproduces the table byte-for-byte from
+# cached cells.
+OBJ="objcache compare --requests 40000 --capacity-mib 64 --jobs 2"
+RLR_RESULTS_DIR="$SMOKE_DIR/obj" "$RLR" $OBJ > "$SMOKE_DIR/obj.txt" 2>/dev/null
+for policy in LRU SLRU GDSF RLR-derived; do
+    grep -q "$policy" "$SMOKE_DIR/obj.txt" || {
+        echo "ci.sh: objcache compare is missing the $policy row" >&2; exit 1;
+    }
+done
+grep -q "derived-RLR beats LRU" "$SMOKE_DIR/obj.txt" || {
+    echo "ci.sh: derived rule no longer beats plain LRU on the smoke trace" >&2
+    exit 1
+}
+RLR_RESULTS_DIR="$SMOKE_DIR/obj" "$RLR" $OBJ > "$SMOKE_DIR/obj2.txt" 2>/dev/null
+diff "$SMOKE_DIR/obj.txt" "$SMOKE_DIR/obj2.txt" || {
+    echo "ci.sh: checkpointed objcache compare re-run diverged" >&2; exit 1;
+}
+
 echo "==> perf-over-time report"
 # ci_smoke just wrote results/bench/ci_smoke.json; record it into the
 # bench history and render the trend table so regressions are visible
