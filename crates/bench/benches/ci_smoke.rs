@@ -29,6 +29,13 @@ const TOLERANCE: f64 = 0.8;
 /// of baseline — i.e. the analytic replay path regressed relative to the
 /// (heavier) event core measured on the same machine in the same process.
 const TIMING_TOLERANCE: f64 = 1.05;
+/// Fail when the multi-tenant-vs-single-tenant replay cost ratio climbs
+/// above this multiple of baseline — i.e. the tenancy layer (tenant
+/// policy, owner mirror, QoS + DRAM-latency accounting) got more
+/// expensive relative to the bare packed path it wraps. Wider than the
+/// timing gate: the ratio divides two sub-100ms replays, so it carries
+/// more scheduler noise than the paired-round timing median.
+const TENANCY_TOLERANCE: f64 = 1.25;
 
 fn capture_small_trace(config: &SystemConfig) -> LlcTrace {
     let mut system = SingleCoreSystem::new(config, PolicyKind::Lru.build(&config.llc, None));
@@ -162,6 +169,70 @@ fn timing_mode_ratio(config: &SystemConfig) -> (f64, [Throughput; 2]) {
     (ratios[ROUNDS / 2], rows)
 }
 
+/// Materializes the pinned three-class tenant mix (all-synthetic sources,
+/// so no corpus capture) into `(tenant, pc, addr)` rows, each tenant
+/// relocated into its own address space like the tenancy experiment does.
+fn tenant_mix_rows(n: usize) -> Vec<(u8, u64, u64)> {
+    let mix = workloads::TenantMix::default_three_class();
+    let streams: Vec<_> = mix
+        .tenants
+        .iter()
+        .map(|t| t.source.synthetic_stream().expect("the default mix is synthetic"))
+        .collect();
+    workloads::WeightedInterleave::new(streams, &mix.rates(), mix.seed)
+        .take(n)
+        .map(|(t, a)| {
+            let salt = (t as u64 + 1) << 40;
+            (t as u8, a.pc ^ salt, (a.line ^ salt) << 6)
+        })
+        .collect()
+}
+
+/// The tenancy-layer cost ratio: the same interleaved mix through the
+/// multi-tenant LLC (learned-priority mode — the mode with every table
+/// active) and through the bare packed cache + RLR policy it wraps.
+/// Returns `tenant_min_ns / single_min_ns` plus both rows for the JSON
+/// record.
+fn tenancy_replay_ratio() -> (f64, [Throughput; 2]) {
+    const ACCESSES: usize = 60_000;
+    let rows = tenant_mix_rows(ACCESSES);
+    let llc = cache_sim::CacheConfig { sets: 256, ways: 8, latency: 26 };
+    let mut cfg = SystemConfig::paper_single_core();
+    cfg.llc = llc;
+    let tenant = harness::bench("tenancy/replay", || {
+        let mut sys = tenancy::MultiTenantLlc::new(
+            &cfg,
+            3,
+            tenancy::IsolationMode::LearnedPriority(vec![4, 1, 0]),
+        );
+        for &(t, pc, addr) in &rows {
+            sys.access(t, pc, addr, cache_sim::AccessKind::Load);
+        }
+        black_box(sys.qos_all().iter().map(|q| q.hits).sum::<u64>())
+    });
+    let single = harness::bench("tenancy/single_tenant", || {
+        let mut cache = SetAssocCache::new("packed", llc, PolicyKind::Rlr.build(&llc, None));
+        let mut hits = 0u64;
+        for (seq, &(_, pc, addr)) in rows.iter().enumerate() {
+            let access = Access {
+                pc,
+                addr,
+                kind: cache_sim::AccessKind::Load,
+                core: 0,
+                seq: seq as u64,
+            };
+            hits += u64::from(cache.access(&access).hit);
+        }
+        black_box(hits)
+    });
+    let ratio = tenant.min_ns.max(1) as f64 / single.min_ns.max(1) as f64;
+    let rows = [
+        Throughput { measurement: tenant, accesses: ACCESSES as u64 },
+        Throughput { measurement: single, accesses: ACCESSES as u64 },
+    ];
+    (ratio, rows)
+}
+
 fn main() {
     let _ = rlr_bench::start("ci_smoke");
     let config = SystemConfig::paper_single_core();
@@ -200,6 +271,10 @@ fn main() {
     println!("measured analytic-vs-event timing cost ratio: {timing_ratio:.2}");
     let [timing_analytic_row, timing_event_row] = timing_rows;
 
+    let (tenancy_ratio, tenancy_rows) = tenancy_replay_ratio();
+    println!("measured multi-tenant-vs-single-tenant replay cost ratio: {tenancy_ratio:.2}");
+    let [tenancy_row, tenancy_single_row] = tenancy_rows;
+
     // Object-cache serving tier, recorded (not gated): requests/sec of the
     // derived admission+eviction rule on a small Zipf + flash-crowd trace,
     // so the perf-over-time report sees the `objcache/replay` trajectory
@@ -237,6 +312,8 @@ fn main() {
             scan_simd_row,
             timing_analytic_row,
             timing_event_row,
+            tenancy_row,
+            tenancy_single_row,
             Throughput { measurement: obj_row, accesses: obj_accesses },
         ],
     );
@@ -246,8 +323,9 @@ fn main() {
             "{{\"bench\": \"ci_smoke\", \"speedup\": {speedup:.2}, \
              \"simd_speedup\": {simd_speedup:.2}, \
              \"timing_ratio\": {timing_ratio:.2}, \
+             \"tenancy_ratio\": {tenancy_ratio:.2}, \
              \"note\": \"packed/reference replay + lane/scalar scan + \
-             analytic/event timing ratios; \
+             analytic/event timing + tenancy/single-tenant ratios; \
              regenerate with RLR_UPDATE_BENCH_BASELINE=1\"}}\n"
         );
         std::fs::write(BASELINE_PATH, json).expect("write baseline");
@@ -305,6 +383,28 @@ fn main() {
                 eprintln!(
                     "ci_smoke: analytic timing path regressed: ratio {timing_ratio:.2} > \
                      {ceiling:.2} (baseline {base:.2} + 5%)"
+                );
+                failed = true;
+            }
+        }
+    }
+    // Same one-sided shape for the tenancy layer: the ratio RISING means
+    // multi-tenant replay slowed down relative to the packed path.
+    match baseline_field(&text, "tenancy_ratio") {
+        None => {
+            eprintln!(
+                "ci_smoke: baseline at {BASELINE_PATH} lacks the tenancy_ratio field; \
+                 regenerate with RLR_UPDATE_BENCH_BASELINE=1"
+            );
+            failed = true;
+        }
+        Some(base) => {
+            let ceiling = base * TENANCY_TOLERANCE;
+            println!("tenancy multi/single: baseline {base:.2}, ceiling {ceiling:.2}");
+            if tenancy_ratio > ceiling {
+                eprintln!(
+                    "ci_smoke: multi-tenant replay regressed: ratio {tenancy_ratio:.2} > \
+                     {ceiling:.2} (baseline {base:.2} + 25%)"
                 );
                 failed = true;
             }

@@ -295,6 +295,73 @@ fn main() {
         obj_ns[1] / obj_ns[0].max(1.0)
     );
 
+    // The multi-tenant serving tier: the pinned three-class mix (synthetic
+    // sources, per-tenant address spaces) through the multi-tenant LLC in
+    // each isolation mode, against the bare packed cache + RLR policy on
+    // the same stream. Prices the tenancy layer — tenant policy, owner
+    // mirror, QoS + DRAM-latency accounting — per isolation mode.
+    const TENANT_ACCESSES: usize = 200_000;
+    let mix = workloads::TenantMix::default_three_class();
+    let streams: Vec<_> = mix
+        .tenants
+        .iter()
+        .map(|t| t.source.synthetic_stream().expect("the default mix is synthetic"))
+        .collect();
+    let tenant_rows: Vec<(u8, u64, u64)> =
+        workloads::WeightedInterleave::new(streams, &mix.rates(), mix.seed)
+            .take(TENANT_ACCESSES)
+            .map(|(t, a)| {
+                let salt = (t as u64 + 1) << 40;
+                (t as u8, a.pc ^ salt, (a.line ^ salt) << 6)
+            })
+            .collect();
+    let tenant_llc = cache_sim::CacheConfig { sets: 256, ways: 8, latency: 26 };
+    let mut tenant_cfg = config.clone();
+    tenant_cfg.llc = tenant_llc;
+    println!("tenancy replay (3-class mix, {TENANT_ACCESSES} accesses):");
+    let single = harness::bench("tenancy/single_tenant", || {
+        let mut cache =
+            SetAssocCache::new("packed", tenant_llc, PolicyKind::Rlr.build(&tenant_llc, None));
+        let mut hits = 0u64;
+        for (seq, &(_, pc, addr)) in tenant_rows.iter().enumerate() {
+            let access = Access {
+                pc,
+                addr,
+                kind: cache_sim::AccessKind::Load,
+                core: 0,
+                seq: seq as u64,
+            };
+            hits += u64::from(cache.access(&access).hit);
+        }
+        black_box(hits)
+    });
+    let single_ns = single.median_ns.max(1) as f64;
+    rows.push(Throughput { measurement: single, accesses: TENANT_ACCESSES as u64 });
+    for (label, mode) in [
+        ("shared", tenancy::IsolationMode::Shared),
+        (
+            "way_partition",
+            tenancy::IsolationMode::WayPartition(tenancy::partition_by_weight(
+                tenant_llc.ways,
+                &mix.weights(),
+            )),
+        ),
+        ("learned_priority", tenancy::IsolationMode::LearnedPriority(vec![4, 1, 0])),
+    ] {
+        let m = harness::bench(&format!("tenancy/replay/{label}"), || {
+            let mut sys = tenancy::MultiTenantLlc::new(&tenant_cfg, 3, mode.clone());
+            for &(t, pc, addr) in &tenant_rows {
+                sys.access(t, pc, addr, cache_sim::AccessKind::Load);
+            }
+            black_box(sys.qos_all().iter().map(|q| q.hits).sum::<u64>())
+        });
+        println!(
+            "    {label}: {:.2}x the bare packed path",
+            m.median_ns as f64 / single_ns
+        );
+        rows.push(Throughput { measurement: m, accesses: TENANT_ACCESSES as u64 });
+    }
+
     harness::write_throughput_json("hotpath", &rows);
 }
 

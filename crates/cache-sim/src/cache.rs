@@ -239,20 +239,27 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
         self.stats.record(access.kind, false);
         self.policy.on_miss(set as u32, access);
 
-        // Fill the lowest-index invalid way if one exists.
-        let free = !self.valid[set] & self.ways_mask;
+        // Fill the lowest-index invalid way the policy's fill mask allows
+        // (the default mask is all-ones, so unpartitioned policies keep the
+        // plain invalid-way scan).
+        let free = !self.valid[set] & self.ways_mask & self.policy.fill_mask(access);
         let (victim_way, mut outcome) = if free != 0 {
             let w = free.trailing_zeros() as u16;
             (w, AccessOutcome { hit: false, way: Some(w), ..AccessOutcome::default() })
         } else {
             let decision = if self.wants_snapshots {
+                let valid = self.valid[set];
                 let dirty = self.dirty[set];
                 let mut snapshot =
                     [LineSnapshot { valid: false, line: 0, dirty: false, core: 0 }; MAX_WAYS];
                 for (w, slot) in snapshot.iter_mut().enumerate().take(ways) {
+                    // With an all-ones fill mask the set is full here, but a
+                    // restrictive mask can leave ways outside the requestor's
+                    // slice invalid — report them honestly.
+                    let v = valid & (1 << w) != 0;
                     *slot = LineSnapshot {
-                        valid: true, // the set is full on this path
-                        line: self.tags[base + w],
+                        valid: v,
+                        line: if v { self.tags[base + w] } else { 0 },
                         dirty: dirty & (1 << w) != 0,
                         core: self.cores[base + w],
                     };
@@ -470,6 +477,74 @@ mod tests {
         let out = c.access(&load(32 * 64));
         assert!(out.evicted.is_some());
         assert_eq!(c.occupancy(0), 32);
+    }
+
+    /// LRU confined to a fixed slice of each set via `fill_mask`: victim
+    /// selection considers only masked ways, mirroring what a partitioning
+    /// policy does with the masked victim scan.
+    struct SlicedLru {
+        stamps: Vec<u64>,
+        ways: u16,
+        clock: u64,
+        mask: u32,
+    }
+
+    impl ReplacementPolicy for SlicedLru {
+        fn name(&self) -> String {
+            "SlicedLRU".to_owned()
+        }
+
+        fn select_victim(&mut self, set: u32, _lines: &[LineSnapshot], _access: &Access) -> Decision {
+            let base = set as usize * usize::from(self.ways);
+            let w = (0..self.ways)
+                .filter(|&w| self.mask & (1 << w) != 0)
+                .min_by_key(|&w| self.stamps[base + usize::from(w)])
+                .expect("mask has eligible ways");
+            Decision::Evict(w)
+        }
+
+        fn on_hit(&mut self, set: u32, way: u16, _access: &Access) {
+            self.clock += 1;
+            self.stamps[set as usize * usize::from(self.ways) + usize::from(way)] = self.clock;
+        }
+
+        fn on_fill(&mut self, set: u32, way: u16, _access: &Access) {
+            assert!(self.mask & (1 << way) != 0, "fill escaped the slice");
+            self.clock += 1;
+            self.stamps[set as usize * usize::from(self.ways) + usize::from(way)] = self.clock;
+        }
+
+        fn overhead_bits(&self, config: &CacheConfig) -> u64 {
+            config.lines() * u64::from(config.way_bits())
+        }
+
+        fn uses_line_snapshots(&self) -> bool {
+            false
+        }
+
+        fn fill_mask(&self, _access: &Access) -> u32 {
+            self.mask
+        }
+    }
+
+    #[test]
+    fn fill_mask_confines_fills_to_the_masked_ways() {
+        let cfg = CacheConfig { sets: 1, ways: 4, latency: 1 };
+        // Only ways 1 and 2 are eligible.
+        let mut c = SetAssocCache::new(
+            "sliced",
+            cfg,
+            SlicedLru { stamps: vec![0; cfg.lines() as usize], ways: cfg.ways, clock: 0, mask: 0b0110 },
+        );
+        for i in 0..8 {
+            let out = c.access(&load(i * 64));
+            let w = out.way.expect("filled");
+            assert!(0b0110 & (1 << w) != 0, "fill landed outside the mask");
+        }
+        // Ways outside the slice never became valid.
+        assert_eq!(c.occupancy(0), 2);
+        // Evictions started once the two masked ways were exhausted.
+        assert_eq!(c.stats().evictions, 6);
     }
 
     #[test]

@@ -116,6 +116,21 @@ impl LlcTrace {
         self.records.truncate(len);
     }
 
+    /// The records issued by `core`, in their original global order — the
+    /// per-core slice of a shared-LLC capture.
+    pub fn filter_core(&self, core: u8) -> LlcTrace {
+        Self { records: self.records.iter().copied().filter(|r| r.core == core).collect() }
+    }
+
+    /// Distinct issuing cores present in the trace, ascending.
+    pub fn cores(&self) -> Vec<u8> {
+        let mut seen = [false; 256];
+        for r in &self.records {
+            seen[usize::from(r.core)] = true;
+        }
+        (0u16..256).filter(|&c| seen[c as usize]).map(|c| c as u8).collect()
+    }
+
     /// For each access index `i`, the index of the *next* access to the same
     /// line, or `u64::MAX` if the line is never referenced again. This is the
     /// oracle used by Belady's algorithm and by the RL reward.
@@ -212,6 +227,20 @@ mod tests {
     fn next_use_handles_repeats_and_tail() {
         let t: LlcTrace = [rec(1), rec(2), rec(1), rec(1), rec(2)].into_iter().collect();
         assert_eq!(t.next_use_table(), vec![2, 4, 3, u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn filter_core_keeps_order_and_partitions_the_trace() {
+        let t: LlcTrace = (0..10u64)
+            .map(|i| LlcRecord { pc: i, line: i * 3, kind: AccessKind::Load, core: (i % 3) as u8 })
+            .collect();
+        assert_eq!(t.cores(), vec![0, 1, 2]);
+        let total: usize = t.cores().iter().map(|&c| t.filter_core(c).len()).sum();
+        assert_eq!(total, t.len());
+        let c1 = t.filter_core(1);
+        assert!(c1.records().iter().all(|r| r.core == 1));
+        assert!(c1.records().windows(2).all(|w| w[0].pc < w[1].pc), "order preserved");
+        assert!(t.filter_core(9).is_empty());
     }
 
     #[test]

@@ -74,6 +74,18 @@ pub trait ReplacementPolicy: Send {
     fn uses_line_snapshots(&self) -> bool {
         true
     }
+
+    /// Ways `access` is allowed to *fill* into, as a bitmap (bit `w` = way
+    /// `w` eligible). The cache intersects this with its invalid-way scan
+    /// before consulting [`select_victim`](ReplacementPolicy::select_victim),
+    /// so a partitioning policy can confine each requestor to its slice of
+    /// the set; the policy's own victim choice must respect the same mask.
+    /// Lookups are unaffected — a hit is served wherever the line resides,
+    /// exactly like hardware way-partitioning, which constrains allocation
+    /// only. The default keeps every way eligible.
+    fn fill_mask(&self, _access: &Access) -> u32 {
+        u32::MAX
+    }
 }
 
 /// Boxed policies behave exactly like the policy they wrap, so the generic
@@ -107,6 +119,10 @@ impl<P: ReplacementPolicy + ?Sized> ReplacementPolicy for Box<P> {
 
     fn uses_line_snapshots(&self) -> bool {
         (**self).uses_line_snapshots()
+    }
+
+    fn fill_mask(&self, access: &Access) -> u32 {
+        (**self).fill_mask(access)
     }
 }
 

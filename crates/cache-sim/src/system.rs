@@ -292,14 +292,34 @@ impl<P: ReplacementPolicy> MultiCoreSystem<P> {
     /// [`RunStats`] per core (LLC fields are shared totals).
     pub fn run(&mut self, warm_up: u64, instructions: u64) -> Vec<RunStats> {
         if warm_up > 0 {
-            self.run_phase(warm_up);
-            for core in &mut self.cores {
-                core.hierarchy.reset_stats();
-                core.timing = TimingModel::new(&self.config);
-                core.finished = None;
-            }
-            self.llc.reset_stats();
-            self.dram_timing.reset();
+            self.warm_up(warm_up);
+        }
+        self.run_until(instructions)
+    }
+
+    /// Runs a warm-up phase alone and discards its statistics — the
+    /// `warm_up` prefix of [`run`](MultiCoreSystem::run), split out so
+    /// callers can change LLC state between warm-up and measurement (for
+    /// example, enable trace capture only for the measured phase).
+    pub fn warm_up(&mut self, instructions: u64) {
+        self.run_phase(instructions);
+        for core in &mut self.cores {
+            core.hierarchy.reset_stats();
+            core.timing = TimingModel::new(&self.config);
+            core.finished = None;
+        }
+        self.llc.reset_stats();
+        self.dram_timing.reset();
+    }
+
+    /// Runs every core to the *absolute* retired-instruction target,
+    /// clearing the per-core finish latches first so repeated calls with a
+    /// growing target advance the same system incrementally (the slice
+    /// loop of a capped trace capture). Statistics accumulate across
+    /// calls.
+    pub fn run_until(&mut self, instructions: u64) -> Vec<RunStats> {
+        for core in &mut self.cores {
+            core.finished = None;
         }
         self.run_phase(instructions);
         self.cores

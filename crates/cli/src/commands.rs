@@ -12,7 +12,7 @@ use experiments::{PolicyKind, Table};
 use rl::{Agent, AgentConfig, FeatureSet, LlcModel, Mlp, Trainer};
 use trace_io::{TraceFormat, TraceReader, TraceWriter};
 use objcache::{ObjCacheConfig, ObjPolicyKind};
-use workloads::{ObjectTraffic, Workload, CLOUDSUITE, SPEC2006};
+use workloads::{ObjectTraffic, TenantMix, Workload, CLOUDSUITE, SPEC2006};
 
 use crate::args::{ArgError, Args};
 
@@ -511,18 +511,51 @@ fn open_trace_writer(
 ///  [--block N]` — stream an LLC capture straight into a compressed
 /// container. The capture buffer is drained every simulation slice, so
 /// memory stays bounded by one slice plus one block at any trace length.
+///
+/// With `--mix`, `<bench>` is a comma-separated list run on one core
+/// each through the shared LLC; every record carries its issuing core's
+/// id, so the container splits back per core with
+/// `rlr trace export <file.rlt> --core N`.
 fn trace_capture(args: &Args) -> Result<(), ArgError> {
-    args.expect_known(&["out", "records", "warmup", "block"])?;
-    let bench = args
-        .positional()
-        .get(1)
-        .ok_or_else(|| ArgError("usage: rlr trace capture <benchmark> --out trace.rlt".to_owned()))?;
+    args.expect_known(&["out", "records", "warmup", "block", "mix"])?;
+    // `--mix a,b` (value form) and `<a,b> --mix` (flag form) both work;
+    // the value form needs no positional benchmark at all.
+    let bench = match (args.get("mix"), args.positional().get(1)) {
+        (Some(list), _) => list.to_owned(),
+        (None, Some(bench)) => bench.clone(),
+        (None, None) => {
+            return Err(ArgError("usage: rlr trace capture <benchmark> --out trace.rlt".to_owned()))
+        }
+    };
+    let bench = bench.as_str();
     let out = args
         .get("out")
         .ok_or_else(|| ArgError("--out <file> is required".to_owned()))?;
     let records = args.get_num("records", 100_000u64)?;
     let warmup = args.get_num("warmup", 1_000_000u64)?;
     let block = args.get_num("block", trace_io::DEFAULT_BLOCK_LEN)?;
+    if args.has_flag("mix") || args.get("mix").is_some() {
+        let names: Vec<&str> = bench.split(',').filter(|s| !s.is_empty()).collect();
+        if names.len() < 2 {
+            return Err(ArgError("--mix needs a comma-separated benchmark list".to_owned()));
+        }
+        let trace = experiments::runner::capture_mix_llc_trace(
+            &names,
+            experiments::Scale::from_env(),
+            records as usize,
+        )
+        .map_err(|e| ArgError(e.to_string()))?;
+        let mut writer = open_trace_writer(out, block)?;
+        writer.extend(trace.records()).map_err(|e| ArgError(format!("write {out}: {e}")))?;
+        writer.finish().map_err(|e| ArgError(format!("write {out}: {e}")))?;
+        let cores = trace.cores();
+        println!(
+            "captured {} LLC records from {}-core mix {bench} into {out} (cores seen: {cores:?})",
+            trace.len(),
+            names.len()
+        );
+        return Ok(());
+    }
     let workload = workload_by_name(bench)?;
 
     let mut writer = open_trace_writer(out, block)?;
@@ -557,8 +590,14 @@ fn trace_capture(args: &Args) -> Result<(), ArgError> {
 /// `rlr trace export <bench> --out FILE [--records N] [--block N]` —
 /// write a synthetic workload's raw demand stream (pre-hierarchy) as a
 /// container, without simulating the caches.
+///
+/// When the first argument is an existing trace file instead of a
+/// benchmark name, export filters *that container*:
+/// `rlr trace export <file.rlt> --core N --out FILE` keeps only core
+/// `N`'s records (in their original order) — the split side of a
+/// `trace capture --mix` round trip.
 fn trace_export(args: &Args) -> Result<(), ArgError> {
-    args.expect_known(&["out", "records", "block"])?;
+    args.expect_known(&["out", "records", "block", "core"])?;
     let bench = args
         .positional()
         .get(1)
@@ -568,6 +607,33 @@ fn trace_export(args: &Args) -> Result<(), ArgError> {
         .ok_or_else(|| ArgError("--out <file> is required".to_owned()))?;
     let records = args.get_num("records", 100_000u64)?;
     let block = args.get_num("block", trace_io::DEFAULT_BLOCK_LEN)?;
+    if Path::new(bench).is_file() {
+        let core = args
+            .get_num::<u8>("core", 0)
+            .map_err(|_| ArgError("--core must be a core id (0-255)".to_owned()))?;
+        if args.get("core").is_none() {
+            return Err(ArgError(format!(
+                "{bench} is a trace file; container export needs --core N"
+            )));
+        }
+        let full = load_trace(bench)?;
+        let filtered = full.filter_core(core);
+        if filtered.is_empty() {
+            return Err(ArgError(format!(
+                "{bench} has no records from core {core} (cores present: {:?})",
+                full.cores()
+            )));
+        }
+        let mut writer = open_trace_writer(out, block)?;
+        writer.extend(filtered.records()).map_err(|e| ArgError(format!("write {out}: {e}")))?;
+        writer.finish().map_err(|e| ArgError(format!("write {out}: {e}")))?;
+        println!(
+            "exported {} of {} records (core {core}) from {bench} into {out}",
+            filtered.len(),
+            full.len()
+        );
+        return Ok(());
+    }
     let workload = workload_by_name(bench)?;
 
     let mut writer = open_trace_writer(out, block)?;
@@ -833,7 +899,7 @@ fn objcache_compare(args: &Args) -> Result<(), ArgError> {
             .collect::<Result<_, _>>()?,
     };
     let jobs = args.get_num("jobs", 0usize)?;
-    let mut opts = experiments::runner::SweepOptions::from_env();
+    let mut opts = experiments::runner::SweepOptions::from_env_for("objcache");
     opts.jobs = (jobs > 0).then_some(jobs);
     let results = experiments::objects::run_object_sweep(&traffic, requests, cfg, &policies, &opts);
     let table = experiments::objects::compare_table(&traffic, requests, &cfg, &results);
@@ -876,6 +942,193 @@ fn objcache_derive(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Shared `rlr tenancy` scenario flags: the pinned three-class mix with
+/// an optional interleave seed, the scaled-down contended LLC with
+/// optional geometry overrides, and the access budget.
+fn tenancy_scenario(args: &Args) -> Result<(TenantMix, cache_sim::CacheConfig, u64), ArgError> {
+    let mut mix = TenantMix::default_three_class();
+    mix.seed = args.get_num("seed", mix.seed)?;
+    let mut llc = experiments::tenancy::default_llc();
+    llc.sets = args.get_num("sets", llc.sets)?;
+    llc.ways = args.get_num("ways", llc.ways)?;
+    if llc.sets == 0 || !llc.sets.is_power_of_two() {
+        return Err(ArgError("--sets must be a positive power of two".to_owned()));
+    }
+    if usize::from(llc.ways) < mix.tenants.len() || llc.ways > 32 {
+        return Err(ArgError(format!(
+            "--ways must cover the {} tenants and fit the 32-lane scan",
+            mix.tenants.len()
+        )));
+    }
+    let accesses = args.get_num(
+        "accesses",
+        experiments::tenancy::accesses_for(experiments::Scale::from_env()),
+    )?;
+    if accesses == 0 {
+        return Err(ArgError("--accesses must be positive".to_owned()));
+    }
+    Ok((mix, llc, accesses))
+}
+
+const TENANCY_FLAGS: &[&str] = &["seed", "sets", "ways", "accesses"];
+
+/// Parses `--ranks a,b,c` (one per tenant); `default` when absent.
+fn tenancy_ranks(args: &Args, tenants: usize, default: Vec<u32>) -> Result<Vec<u32>, ArgError> {
+    let Some(raw) = args.get("ranks") else { return Ok(default) };
+    let ranks: Vec<u32> = raw
+        .split(',')
+        .map(|r| r.trim().parse().map_err(|_| ArgError(format!("bad rank `{r}` in --ranks"))))
+        .collect::<Result<_, _>>()?;
+    if ranks.len() != tenants {
+        return Err(ArgError(format!("--ranks needs {tenants} comma-separated values")));
+    }
+    if let Some(bad) = ranks.iter().find(|&&r| r > u32::from(tenancy::MAX_PRIORITY)) {
+        return Err(ArgError(format!("rank {bad} exceeds the maximum {}", tenancy::MAX_PRIORITY)));
+    }
+    Ok(ranks)
+}
+
+/// `rlr tenancy <run|compare|derive> ...` — the multi-tenant shared-LLC
+/// serving tier: isolation modes, per-tenant QoS, and the learned
+/// per-tenant priority table.
+pub fn tenancy(args: &Args) -> Result<(), ArgError> {
+    let usage = "usage: rlr tenancy <run|compare|derive> ...";
+    let action = args.positional().first().ok_or_else(|| ArgError(usage.to_owned()))?.clone();
+    match action.as_str() {
+        "run" => tenancy_run(args),
+        "compare" => tenancy_compare(args),
+        "derive" => tenancy_derive(args),
+        other => Err(ArgError(format!("unknown tenancy action `{other}`; {usage}"))),
+    }
+}
+
+/// `rlr tenancy run [--mode M] [--ranks a,b,c] [scenario flags]` — one
+/// run of the pinned mix under a single isolation mode.
+fn tenancy_run(args: &Args) -> Result<(), ArgError> {
+    let known: Vec<&str> = TENANCY_FLAGS.iter().copied().chain(["mode", "ranks"]).collect();
+    args.expect_known(&known)?;
+    let (mix, llc, accesses) = tenancy_scenario(args)?;
+    let mode = match args.get_or("mode", "shared") {
+        "shared" => tenancy::IsolationMode::Shared,
+        "way-partition" | "partition" => tenancy::IsolationMode::WayPartition(
+            tenancy::partition_by_weight(llc.ways, &mix.weights()),
+        ),
+        "learned-priority" | "learned" => tenancy::IsolationMode::LearnedPriority(
+            tenancy_ranks(args, mix.tenants.len(), vec![4, 1, 0])?,
+        ),
+        other => {
+            return Err(ArgError(format!(
+                "unknown isolation mode `{other}`; try shared, way-partition, or learned-priority"
+            )))
+        }
+    };
+    let stats =
+        experiments::tenancy::run_tenant_mix(&mix, &mode, &llc, accesses, experiments::Scale::from_env());
+    println!("mode             {}", mode.name());
+    println!("mix              {}", mix.fingerprint());
+    println!("llc              {} sets x {} ways", llc.sets, llc.ways);
+    for (spec, s) in mix.tenants.iter().zip(&stats) {
+        println!(
+            "tenant {:<10} {:<7} accesses {:<8} demand-miss {:.4}  peak-occ {:<5} p50 {} p99 {}",
+            spec.name,
+            spec.class.name(),
+            s.accesses,
+            s.demand_miss_rate(),
+            s.peak_occupancy,
+            s.lat_p50,
+            s.lat_p99,
+        );
+    }
+    println!(
+        "weighted demand miss rate {:.4}",
+        experiments::tenancy::weighted_rate(&stats, &mix.weights())
+    );
+    Ok(())
+}
+
+/// `rlr tenancy compare [--jobs N] [--ranks a,b,c] [scenario flags]` —
+/// all three isolation modes side by side with per-tenant QoS and the
+/// slowdown index vs isolated runs; resumable via cell checkpoints.
+fn tenancy_compare(args: &Args) -> Result<(), ArgError> {
+    let known: Vec<&str> = TENANCY_FLAGS.iter().copied().chain(["jobs", "ranks"]).collect();
+    args.expect_known(&known)?;
+    let (mix, llc, accesses) = tenancy_scenario(args)?;
+    let ranks = tenancy_ranks(args, mix.tenants.len(), vec![4, 1, 0])?;
+    let scale = experiments::Scale::from_env();
+    let jobs = args.get_num("jobs", 0usize)?;
+    let mut opts = experiments::runner::SweepOptions::from_env_for("tenancy");
+    opts.jobs = (jobs > 0).then_some(jobs);
+    let modes = experiments::tenancy::standard_modes(&mix, &llc, ranks);
+    let results = experiments::tenancy::run_tenancy_sweep(&mix, &modes, &llc, accesses, scale, &opts);
+    let baselines: Vec<_> = (0..mix.tenants.len())
+        .map(|t| experiments::tenancy::run_isolated_tenant(&mix, t, &llc, accesses, scale))
+        .collect();
+    let table = experiments::tenancy::compare_table(&mix, &llc, &results, &baselines);
+    println!("{}", table.render());
+    let weights = mix.weights();
+    let rate_of = |want: fn(&tenancy::IsolationMode) -> bool| {
+        results.iter().find_map(|(mode, r)| {
+            if !want(mode) {
+                return None;
+            }
+            r.as_ref().ok().map(|stats| experiments::tenancy::weighted_rate(stats, &weights))
+        })
+    };
+    if let (Some(shared), Some(learned)) = (
+        rate_of(|m| matches!(m, tenancy::IsolationMode::Shared)),
+        rate_of(|m| matches!(m, tenancy::IsolationMode::LearnedPriority(_))),
+    ) {
+        if learned < shared {
+            println!(
+                "learned-priority beats shared: {:.4} vs {:.4} weighted demand miss rate ({:.2}% better)",
+                learned,
+                shared,
+                100.0 * (shared - learned) / shared,
+            );
+        } else {
+            println!(
+                "learned-priority does NOT beat shared here: {learned:.4} vs {shared:.4} weighted demand miss rate"
+            );
+        }
+    }
+    match table.write_csv(experiments::report::results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("warning: could not save CSV: {e}"),
+    }
+    Ok(())
+}
+
+/// `rlr tenancy derive [scenario flags]` — the offline weight-analysis
+/// loop over the per-tenant rank table; prints the derived table and the
+/// miss-rate delta vs the shared baseline.
+fn tenancy_derive(args: &Args) -> Result<(), ArgError> {
+    args.expect_known(TENANCY_FLAGS)?;
+    let (mix, llc, accesses) = tenancy_scenario(args)?;
+    let outcome = experiments::tenancy::derive_priorities(
+        &mix,
+        &llc,
+        accesses,
+        experiments::Scale::from_env(),
+    );
+    println!("mix              {}", mix.fingerprint());
+    println!("evaluated        {} candidate tables", outcome.evaluated);
+    for (spec, rank) in mix.tenants.iter().zip(&outcome.ranks) {
+        println!("tenant {:<10} {:<7} rank {rank}", spec.name, spec.class.name());
+    }
+    println!("shared baseline  {:.4} weighted demand miss rate", outcome.shared_rate);
+    println!("derived table    {:.4} weighted demand miss rate", outcome.derived_rate);
+    if outcome.derived_rate < outcome.shared_rate {
+        println!(
+            "improvement      {:.2}%  (replay with: rlr tenancy compare --ranks {})",
+            100.0 * (outcome.shared_rate - outcome.derived_rate) / outcome.shared_rate,
+            outcome.ranks.iter().map(u32::to_string).collect::<Vec<_>>().join(","),
+        );
+    } else {
+        println!("no improvement over shared on this mix (table stays all-zero)");
+    }
+    Ok(())
+}
+
 /// `rlr help` — usage.
 pub fn help() {
     println!(
@@ -902,7 +1155,11 @@ COMMANDS:
   overhead                      Table I (policy metadata budgets)
   trace capture <bench>         streaming compressed capture  --out FILE [--records N]
                                                      [--warmup N] [--block N]
+                                (--mix a,b,... captures a multi-core run into one
+                                container, core ids tagged per record)
   trace export <bench>          workload demand stream -> container  --out FILE [--records N]
+                                (<file.rlt> --core N filters one core's records
+                                out of a multi-core capture)
   trace info <file>             summarize a trace file (either format)
   trace verify <file>           checksum-verify an RLT1 container  [--repair] [--out FILE]
                                 (--repair salvages intact blocks into a clean container)
@@ -913,6 +1170,13 @@ COMMANDS:
                                 (miss-byte ratio; resumable via cell checkpoints)
   objcache derive               derivation loop: offline agent -> quantized rule
                                                      [--horizon N] [--epochs N]
+  tenancy run                   multi-tenant LLC run [--mode shared|way-partition|
+                                                     learned-priority] [--ranks a,b,c]
+                                                     [--accesses N] [--sets N] [--ways N]
+  tenancy compare               isolation modes side by side, per-tenant QoS +
+                                slowdown vs isolated runs  [--jobs N] [--ranks a,b,c]
+  tenancy derive                learn the per-tenant priority table offline
+                                (coordinate ascent on weighted demand miss rate)
   doctor                        scan results/ artifacts; repair or quarantine damage
                                 [--dry-run]
   perf-report                   perf-over-time table [--bench TARGET] [--record LABEL]

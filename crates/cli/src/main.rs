@@ -28,6 +28,7 @@ fn main() {
         "overhead" => commands::overhead(),
         "trace" => commands::trace(&parsed),
         "objcache" => commands::objcache(&parsed),
+        "tenancy" => commands::tenancy(&parsed),
         "doctor" => commands::doctor(&parsed),
         "perf-report" => commands::perf_report(&parsed),
         "help" | "--help" | "-h" => {

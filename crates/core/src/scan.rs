@@ -395,6 +395,163 @@ pub fn scan(params: &ScanParams, ways: &ScanWays) -> ScanOutcome {
     }
 }
 
+/// Validates a way mask for the masked scan: at least one eligible way,
+/// and a set narrow enough for the 32-bit mask to cover.
+fn check_mask(mask: u32, n: usize) -> u32 {
+    assert!(n <= 32, "masked scans cover at most 32 ways");
+    let set_bits = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mask = mask & set_bits;
+    assert!(mask != 0, "masked scan with no eligible way");
+    mask
+}
+
+/// One-accumulator reference for the masked scan: identical to
+/// [`scan_scalar`] over the subset of ways whose bit is set in `mask`.
+/// Ineligible ways contribute nothing — neither a key nor a bypass vote —
+/// so a partitioned victim scan can never name a way outside its mask.
+pub fn scan_masked_scalar(params: &ScanParams, ways: &ScanWays, mask: u32) -> ScanOutcome {
+    let n = check_shape(ways);
+    let mask = check_mask(mask, n);
+    let mut best_key = u64::MAX;
+    let mut any_past_rd = false;
+    for way in 0..n {
+        if mask & (1 << way) == 0 {
+            continue;
+        }
+        let (key, past_rd) = way_key(params, ways, way);
+        best_key = best_key.min(key);
+        any_past_rd |= past_rd;
+    }
+    ScanOutcome { best_key, any_past_rd }
+}
+
+/// Lane-parallel masked scan: the same stripe kernel as [`scan_lanes`],
+/// with ineligible lanes forced to `u64::MAX` keys (so they can never win
+/// the argmin) and their bypass votes suppressed. The mask select is
+/// branch-free — a per-lane all-ones/all-zeros keep word — so the stripe
+/// body stays straight-line and reaches 256-bit registers through the same
+/// `#[target_feature]` wrapper as the unmasked kernel.
+///
+/// Ineligible ways' stamps are still *read* (then discarded), which is
+/// sound because every stamp in a set is written from the same per-set
+/// clock and therefore never exceeds `now`/`clock`.
+pub fn scan_masked_lanes(params: &ScanParams, ways: &ScanWays, mask: u32) -> ScanOutcome {
+    if ways.core_rank.is_empty() {
+        dispatch_masked::<CORE_OFF>(params, ways, mask)
+    } else if ways.core_rank.len() <= 8 && ways.core_rank.iter().all(|&r| r <= 0xFF) {
+        dispatch_masked::<CORE_PACKED>(params, ways, mask)
+    } else {
+        dispatch_masked::<CORE_GATHER>(params, ways, mask)
+    }
+}
+
+#[inline]
+fn dispatch_masked<const MODE: u8>(params: &ScanParams, ways: &ScanWays, mask: u32) -> ScanOutcome {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if MODE != CORE_GATHER && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: feature presence was just verified at runtime.
+            return unsafe { scan_masked_lanes_avx2::<MODE>(params, ways, mask) };
+        }
+    }
+    scan_masked_lanes_impl::<MODE>(params, ways, mask)
+}
+
+/// [`scan_masked_lanes_impl`] compiled with 256-bit vectors available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scan_masked_lanes_avx2<const MODE: u8>(
+    params: &ScanParams,
+    ways: &ScanWays,
+    mask: u32,
+) -> ScanOutcome {
+    scan_masked_lanes_impl::<MODE>(params, ways, mask)
+}
+
+/// The masked stripe kernel: [`scan_lanes_impl`] plus a per-lane keep word
+/// derived from the mask bit. `key | !keep` is `key` for eligible lanes and
+/// `u64::MAX` for ineligible ones, and `past & keep` drops ineligible
+/// bypass votes — both branch-free.
+#[inline(always)]
+fn scan_masked_lanes_impl<const MODE: u8>(
+    params: &ScanParams,
+    ways: &ScanWays,
+    mask: u32,
+) -> ScanOutcome {
+    let n = check_shape(ways);
+    let mask = check_mask(mask, n);
+    let p = *params;
+    let weight = u64::from(p.age_weight);
+    let type_on = u64::from(p.use_type);
+    let hit_on = u64::from(p.use_hit);
+    let exact = (p.exact_recency as u64).wrapping_neg();
+    let rank_table = if MODE == CORE_PACKED {
+        ways.core_rank.iter().enumerate().fold(0u64, |t, (c, &r)| t | (u64::from(r) << (8 * c)))
+    } else {
+        0
+    };
+    let rank_len = ways.core_rank.len() as u64;
+    let mut best = [u64::MAX; LANES];
+    let mut past = [0u64; LANES];
+    let mut way = 0;
+    while way + LANES <= n {
+        let stripe = way..way + LANES;
+        let age_s: &[u64; LANES] = ways.age_stamps[stripe.clone()].try_into().expect("stripe");
+        let rec_s: &[u64; LANES] = ways.rec_stamps[stripe.clone()].try_into().expect("stripe");
+        let metas: &[LineMeta; LANES] = ways.metas[stripe.clone()].try_into().expect("stripe");
+        let cores: &[u8; LANES] = if MODE == CORE_OFF {
+            &[0; LANES]
+        } else {
+            ways.cores[stripe.clone()].try_into().expect("stripe")
+        };
+        for lane in 0..LANES {
+            let keep = (u64::from((mask >> (way + lane)) & 1)).wrapping_neg();
+            let age = (p.now - age_s[lane]).min(p.max_age);
+            let meta = metas[lane];
+            let mut prio = u64::from(age <= p.rd) * weight
+                + (type_on & u64::from(!meta.last_prefetch()))
+                + (hit_on & u64::from(meta.hit_count() > 0));
+            if MODE == CORE_PACKED {
+                let core = u64::from(cores[lane]);
+                let in_table = ((core < rank_len) as u64).wrapping_neg();
+                prio += (rank_table >> ((core & 7) * 8)) & 0xFF & in_table;
+            } else if MODE == CORE_GATHER {
+                let core = usize::from(cores[lane]);
+                prio += u64::from(ways.core_rank.get(core).copied().unwrap_or(0));
+            }
+            let staleness = (exact & p.clock.wrapping_sub(rec_s[lane])) | (!exact & age);
+            let key = (prio << 54) | (staleness.min(REC_MASK) << 16) | (way + lane) as u64;
+            best[lane] = best[lane].min(key | !keep);
+            past[lane] |= u64::from(age > p.rd) & keep;
+        }
+        way += LANES;
+    }
+    let mut best_key = best.into_iter().fold(u64::MAX, u64::min);
+    let mut any_past_rd = past.into_iter().fold(0, |a, b| a | b) != 0;
+    while way < n {
+        if mask & (1 << way) != 0 {
+            let (key, past_rd) = way_key(params, ways, way);
+            best_key = best_key.min(key);
+            any_past_rd |= past_rd;
+        }
+        way += 1;
+    }
+    ScanOutcome { best_key, any_past_rd }
+}
+
+/// The build-selected masked backend: [`scan_masked_lanes`] by default,
+/// [`scan_masked_scalar`] under the `scalar-scan` feature — the same
+/// selection rule as [`scan`], so the dual-build differential walls cover
+/// the masked kernel too.
+#[inline]
+pub fn scan_masked(params: &ScanParams, ways: &ScanWays, mask: u32) -> ScanOutcome {
+    if cfg!(feature = "scalar-scan") {
+        scan_masked_scalar(params, ways, mask)
+    } else {
+        scan_masked_lanes(params, ways, mask)
+    }
+}
+
 /// `true` when [`scan`] resolves to the lane backend in this build.
 #[must_use]
 pub const fn lanes_enabled() -> bool {
@@ -442,6 +599,65 @@ mod tests {
         let p = params();
         assert_eq!(scan_scalar(&p, &ways), scan_lanes(&p, &ways));
         assert_eq!(scan(&p, &ways), scan_scalar(&p, &ways));
+    }
+
+    #[test]
+    fn masked_backends_agree_and_stay_inside_the_mask() {
+        let age_stamps = [0u64, 7, 9, 3, 10, 10, 2, 5, 1];
+        let rec_stamps = [1u64, 7, 9, 3, 10, 10, 2, 5, 1];
+        let metas: Vec<LineMeta> = (0..9)
+            .map(|i| {
+                let mut m = LineMeta::filled(i % 3 == 0, i % 3 != 0);
+                m.set_hit_count((i % 2) as u8);
+                m
+            })
+            .collect();
+        let cores = [0u8, 1, 2, 0, 1, 2, 0, 1, 2];
+        let core_rank = [2u32, 1, 0];
+        let ways = ScanWays {
+            age_stamps: &age_stamps,
+            rec_stamps: &rec_stamps,
+            metas: &metas,
+            cores: &cores,
+            core_rank: &core_rank,
+        };
+        let p = params();
+        for mask in 1u32..(1 << 9) {
+            let scalar = scan_masked_scalar(&p, &ways, mask);
+            let lanes = scan_masked_lanes(&p, &ways, mask);
+            assert_eq!(scalar, lanes, "mask {mask:#b}");
+            assert!(mask & (1 << scalar.victim()) != 0, "victim outside mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn full_mask_matches_the_unmasked_scan() {
+        let age_stamps = [0u64, 7, 9, 3, 10, 10, 2];
+        let metas = vec![LineMeta::filled(false, true); 7];
+        let ways = ScanWays {
+            age_stamps: &age_stamps,
+            rec_stamps: &age_stamps,
+            metas: &metas,
+            cores: &[],
+            core_rank: &[],
+        };
+        let p = params();
+        assert_eq!(scan_masked(&p, &ways, u32::MAX), scan(&p, &ways));
+    }
+
+    #[test]
+    #[should_panic(expected = "no eligible way")]
+    fn empty_mask_is_rejected() {
+        let age_stamps = [0u64; 4];
+        let metas = vec![LineMeta::filled(false, true); 4];
+        let ways = ScanWays {
+            age_stamps: &age_stamps,
+            rec_stamps: &age_stamps,
+            metas: &metas,
+            cores: &[],
+            core_rank: &[],
+        };
+        scan_masked_scalar(&params(), &ways, 0xF0);
     }
 
     #[test]

@@ -248,9 +248,17 @@ pub fn store_cell(dir: &Path, key: &CellKey, stats: &RunStats) {
     }
 }
 
+/// Cell-checkpoint directory for a named family: `results/cache/<family>/`.
+/// Each experiment family (`sweep`, `objcache`, `tenancy`, ...) keeps its
+/// cells in its own subdirectory so `rlr doctor` can walk and classify
+/// them uniformly.
+pub fn cache_dir_for(family: &str) -> PathBuf {
+    crate::report::results_dir().join("cache").join(family)
+}
+
 /// Default cell-checkpoint directory for figure/table sweeps.
 pub fn sweep_cache_dir() -> PathBuf {
-    crate::report::results_dir().join("cache").join("sweep")
+    cache_dir_for("sweep")
 }
 
 /// `true` unless checkpointing is disabled via `RLR_CHECKPOINT=0`.

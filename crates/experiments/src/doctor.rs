@@ -357,7 +357,17 @@ fn check_bench_artifacts(report: &mut DoctorReport, dir: &Path, repair: bool) {
 /// reported but the filesystem is left untouched.
 pub fn run(root: &Path, repair: bool) -> DoctorReport {
     let mut report = DoctorReport::default();
-    check_checkpoint_cells(&mut report, &root.join("cache").join("sweep"), repair);
+    // Every checkpoint family keeps its cells in its own subdirectory of
+    // `cache/` (`sweep`, `objcache`, `tenancy`, ...). Cells embed their
+    // key regardless of which sweep wrote them, so one walk classifies
+    // them all; sorted so the report order is deterministic.
+    let mut families: Vec<PathBuf> = fs::read_dir(root.join("cache"))
+        .map(|entries| entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect())
+        .unwrap_or_default();
+    families.sort();
+    for dir in &families {
+        check_checkpoint_cells(&mut report, dir, repair);
+    }
     check_corpus_containers(&mut report, &root.join("corpus"), repair);
     check_bench_artifacts(&mut report, &root.join("bench"), repair);
     report
@@ -418,6 +428,39 @@ mod tests {
         assert!(!sweep.join("0123456789abcdef.json").exists());
         assert!(sweep.join("quarantine").join("0123456789abcdef.json").exists());
         // Doctor is idempotent: a second pass finds a clean tree.
+        assert!(run(&root, true).all_clean());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn walks_every_checkpoint_family() {
+        let root = scratch_root("families");
+        // A valid tenancy cell and a torn one, plus a broken objcache
+        // cell: doctor must classify all of them, not just cache/sweep.
+        let tenancy_dir = root.join("cache").join("tenancy");
+        let mix = workloads::TenantMix::default_three_class();
+        let llc = crate::tenancy::default_llc();
+        let key = crate::tenancy::tenancy_cell_key(
+            &mix,
+            &tenancy::IsolationMode::Shared,
+            &llc,
+            1_000,
+        );
+        let stats = vec![crate::tenancy::TenantCellStats::default(); 3];
+        crate::tenancy::store_tenancy_cell(&tenancy_dir, &key, &stats);
+        let full = crate::tenancy::encode_tenancy_cell(&key, &stats);
+        fs::create_dir_all(&tenancy_dir).expect("mkdir");
+        fs::write(tenancy_dir.join("00000000torncell.json"), &full[..full.len() / 2])
+            .expect("torn cell");
+        let obj_dir = root.join("cache").join("objcache");
+        fs::create_dir_all(&obj_dir).expect("mkdir");
+        fs::write(obj_dir.join("ffffffffffffffff.json"), b"{broken").expect("garbage");
+        let report = run(&root, true);
+        assert_eq!(report.count(ArtifactStatus::Ok), 1, "{report:?}");
+        assert_eq!(report.count(ArtifactStatus::Quarantined), 2, "{report:?}");
+        assert!(tenancy_dir.join(key.file_name()).exists(), "valid cell untouched");
+        assert!(tenancy_dir.join("quarantine").join("00000000torncell.json").exists());
+        assert!(obj_dir.join("quarantine").join("ffffffffffffffff.json").exists());
         assert!(run(&root, true).all_clean());
         let _ = fs::remove_dir_all(&root);
     }

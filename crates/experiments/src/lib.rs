@@ -37,6 +37,7 @@ pub mod roster;
 pub mod runner;
 pub mod scale;
 pub mod tables;
+pub mod tenancy;
 
 pub use report::Table;
 pub use roster::{LlcPolicy, PolicyKind};

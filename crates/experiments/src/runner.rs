@@ -436,6 +436,67 @@ pub fn run_mix(mix: &WorkloadMix, policy: PolicyKind, scale: Scale) -> Vec<RunSt
     system.run(scale.mc_warmup(), scale.mc_instructions())
 }
 
+/// Captures the shared LLC's access stream for a multi-core mix into one
+/// trace — every record carries its issuing core's id, so the container
+/// can later be split per core ([`cache_sim::LlcTrace::filter_core`],
+/// `rlr trace export <file.rlt> --core N`).
+///
+/// Mirrors [`capture_llc_trace`]'s slice-drained structure on
+/// [`MultiCoreSystem::warm_up`]/[`MultiCoreSystem::run_until`]: warm up
+/// unmeasured, then enable capture and grow the instruction target in
+/// slices, draining the buffer each slice so capture memory stays bounded.
+///
+/// # Errors
+///
+/// Returns [`RunnerError::UnknownBenchmark`] for the first unknown name,
+/// or [`RunnerError::CaptureUnavailable`] if the LLC stops yielding its
+/// capture buffer.
+pub fn capture_mix_llc_trace(
+    benchmarks: &[&str],
+    scale: Scale,
+    max_records: usize,
+) -> Result<LlcTrace, RunnerError> {
+    assert!(!benchmarks.is_empty(), "at least one benchmark");
+    assert!(benchmarks.len() <= u8::MAX as usize + 1, "core ids are one byte");
+    let mut config = SystemConfig::paper_quad_core();
+    config.cores = benchmarks.len() as u8;
+    let mut streams: Vec<Box<dyn Iterator<Item = workloads::TraceEntry> + Send>> = Vec::new();
+    for (core, name) in benchmarks.iter().enumerate() {
+        let wl = resolve_workload(name)?;
+        // Same per-core decorrelation as `run_mix`: distinct seeds and a
+        // per-core PC salt modelling distinct address spaces.
+        let seeded = wl.clone().with_seed(wl.seed() ^ (core as u64 + 1).wrapping_mul(0x9E37));
+        let pc_salt = (core as u64 + 1) << 44;
+        streams.push(Box::new(seeded.stream().map(move |mut e| {
+            e.pc ^= pc_salt;
+            e
+        })));
+    }
+    let mut system =
+        MultiCoreSystem::new(&config, PolicyKind::Lru.build(&config.llc, None), streams);
+    system.warm_up(scale.mc_warmup());
+    system.llc_mut().enable_capture();
+    let mut trace = LlcTrace::new();
+    let mut target = 0u64;
+    loop {
+        watchdog_tick(1);
+        target += 250_000;
+        let _ = system.run_until(target);
+        let drained =
+            system.llc_mut().drain_capture().ok_or(RunnerError::CaptureUnavailable)?;
+        for &r in drained.records() {
+            if trace.len() >= max_records {
+                break;
+            }
+            trace.push(r);
+        }
+        if trace.len() >= max_records || target >= 40 * scale.mc_instructions() {
+            break;
+        }
+    }
+    Ok(trace)
+}
+
 /// Resolves the experiment worker count: an explicit `jobs` wins, then the
 /// `RLR_JOBS` environment variable, then the machine's available
 /// parallelism (1 if that cannot be determined).
@@ -691,6 +752,17 @@ impl SweepOptions {
             run: RunOptions::from_env(),
             cache_dir: checkpoint::checkpointing_enabled()
                 .then(checkpoint::sweep_cache_dir),
+        }
+    }
+
+    /// [`SweepOptions::from_env`], but with cells under the named
+    /// checkpoint family's directory (`results/cache/<family>/`).
+    pub fn from_env_for(family: &str) -> Self {
+        Self {
+            jobs: None,
+            run: RunOptions::from_env(),
+            cache_dir: checkpoint::checkpointing_enabled()
+                .then(|| checkpoint::cache_dir_for(family)),
         }
     }
 }

@@ -248,6 +248,69 @@ fn corrupt_corpus_container_is_quarantined_and_recaptured() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The tenancy sweep's cells sit behind the same wall: a torn write
+/// never exposes a partial cell, every truncation of a stored cell is a
+/// miss, and `doctor` quarantines a torn cell out of `cache/tenancy/`.
+#[test]
+fn torn_tenancy_cell_is_a_miss_and_doctor_quarantines_it() {
+    use experiments::tenancy::{
+        decode_tenancy_cell, default_llc, encode_tenancy_cell, load_tenancy_cell,
+        store_tenancy_cell, tenancy_cell_key, TenantCellStats,
+    };
+
+    let root = scratch_dir("tenancy_cell");
+    let dir = root.join("cache").join("tenancy");
+    let mix = workloads::TenantMix::default_three_class();
+    let mode = tenancy::IsolationMode::LearnedPriority(vec![4, 1, 0]);
+    let key = tenancy_cell_key(&mix, &mode, &default_llc(), 9_000);
+    let stats: Vec<TenantCellStats> = (0..3)
+        .map(|t| TenantCellStats {
+            accesses: 1_000 + t,
+            hits: 500,
+            demand_accesses: 900,
+            demand_hits: 400,
+            occupancy: 10 + t,
+            peak_occupancy: 20,
+            miss_count: 500,
+            miss_ticks: 90_000,
+            lat_p50: 180,
+            lat_p99: 400,
+        })
+        .collect();
+    let encoded = encode_tenancy_cell(&key, &stats);
+
+    // Torn mid-write: the write fails, no final-name file appears, the
+    // resume is a miss, and the only residue is one scratch file.
+    for cut in [0, 1, encoded.len() / 2, encoded.len() - 1] {
+        let plan = IoFailPlan::parse(&format!("torn:{cut}")).expect("valid plan");
+        with_io_plan(plan, || {
+            write_atomic(&dir.join(key.file_name()), encoded.as_bytes())
+                .expect_err("a torn write must fail");
+        });
+        assert!(!dir.join(key.file_name()).exists(), "cut {cut}: no final-name file");
+        assert!(load_tenancy_cell(&dir, &key).is_none(), "cut {cut}: a torn cell is a miss");
+        assert_eq!(sweep_orphans(&dir), 1, "cut {cut}: one scratch file of residue");
+    }
+
+    // Every truncation of the encoded cell decodes as a miss.
+    store_tenancy_cell(&dir, &key, &stats);
+    for cut in 0..encoded.len() {
+        assert!(decode_tenancy_cell(&encoded[..cut], &key).is_none(), "cut {cut}");
+    }
+    assert_eq!(load_tenancy_cell(&dir, &key), Some(stats));
+
+    // A torn sibling planted on disk: one doctor pass quarantines it and
+    // leaves the valid cell in place.
+    fs::write(dir.join("00000000deadbeef.json"), &encoded.as_bytes()[..encoded.len() / 2])
+        .expect("plant torn cell");
+    experiments::doctor::run(&root, true);
+    assert!(dir.join(key.file_name()).exists(), "valid cell untouched");
+    assert!(!dir.join("00000000deadbeef.json").exists());
+    assert!(dir.join("quarantine").join("00000000deadbeef.json").exists(), "evidence kept");
+    assert!(experiments::doctor::run(&root, true).all_clean());
+    let _ = fs::remove_dir_all(&root);
+}
+
 fn sample_records(n: u64) -> Vec<LlcRecord> {
     (0..n)
         .map(|i| LlcRecord {

@@ -1,0 +1,424 @@
+//! The tenant-aware replacement policy behind [`crate::MultiTenantLlc`].
+//!
+//! [`TenantPolicy`] is RLR's victim key — `P = 8·P_age + P_type + P_hit`
+//! with exact-recency tie-breaking and the dynamically estimated reuse
+//! distance — extended for a serving tier where up to [`MAX_TENANTS`]
+//! tenants share one LLC. The tenant id rides in [`Access::core`] (the
+//! cache already tags every line with its last toucher there), and the
+//! [`IsolationMode`] decides what the victim scan does with it:
+//!
+//! * [`IsolationMode::Shared`] — the id is ignored; plain RLR over the
+//!   whole set.
+//! * [`IsolationMode::WayPartition`] — each tenant owns a way mask;
+//!   fills are confined to it via [`ReplacementPolicy::fill_mask`] and the
+//!   victim scan runs the masked lane kernel ([`rlr::scan::scan_masked`])
+//!   over the tenant's slice only, so no tenant can evict outside its
+//!   partition.
+//! * [`IsolationMode::LearnedPriority`] — the per-tenant priority table
+//!   (derived offline by the weight-analysis loop in
+//!   `experiments::tenancy`) feeds the scan's packed core-rank path: a
+//!   tenant's rank is added to every one of its lines' priorities, exactly
+//!   like the paper's `P_core` but with learned levels instead of
+//!   demand-hit ranks.
+
+use cache_sim::{Access, AccessKind, CacheConfig, Decision, LineSnapshot, ReplacementPolicy};
+use rlr::packed::LineMeta;
+use rlr::scan::{self, ScanParams, ScanWays};
+
+/// Most tenants one LLC serves: the scan's packed rank path covers 8
+/// cores, and tenant ids share that plumbing.
+pub const MAX_TENANTS: usize = 8;
+
+/// Saturation bound of the per-line age counter (5-bit, the unoptimized
+/// RLR age so partitions as narrow as 2 ways still resolve ages).
+const MAX_AGE: u64 = 31;
+/// Weight of the age term in the victim key.
+const AGE_WEIGHT: u32 = 8;
+/// Demand hits per RD-estimator window.
+const DEMAND_HIT_WINDOW: u32 = 32;
+/// RD = `RD_MULTIPLIER ×` average preuse distance.
+const RD_MULTIPLIER: f64 = 2.0;
+/// Accesses tolerated without an RD update before the estimate resets.
+const RD_STALE_LIMIT: u64 = 2048;
+/// Largest learned priority level (fits the scan's packed one-byte ranks
+/// and keeps the summed priority far below the key's 10-bit field).
+pub const MAX_PRIORITY: u32 = 255;
+
+/// How the shared LLC isolates its tenants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IsolationMode {
+    /// Free-for-all: tenant ids are recorded but never influence victim
+    /// selection.
+    Shared,
+    /// Hard isolation: tenant `t` may fill (and evict) only inside way
+    /// mask `masks[t]`. Masks may overlap — overlapping ways are shared
+    /// capacity.
+    WayPartition(Vec<u32>),
+    /// Soft isolation: tenant `t`'s lines gain `ranks[t]` priority in the
+    /// victim scan, so low-rank tenants' lines are evicted first.
+    LearnedPriority(Vec<u32>),
+}
+
+impl IsolationMode {
+    /// Short mode name used in reports and checkpoint keys.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Shared => "shared",
+            Self::WayPartition(_) => "way-partition",
+            Self::LearnedPriority(_) => "learned-priority",
+        }
+    }
+}
+
+/// Splits `ways` into contiguous per-tenant slices proportional to
+/// `weights` (every tenant gets at least one way; remainders go to the
+/// heaviest tenants first). Returns one mask per tenant.
+///
+/// # Panics
+///
+/// Panics on zero tenants, more tenants than ways, or zero total weight.
+#[must_use]
+pub fn partition_by_weight(ways: u16, weights: &[u32]) -> Vec<u32> {
+    let n = weights.len();
+    assert!(n > 0, "no tenants to partition for");
+    assert!(n <= usize::from(ways), "more tenants than ways");
+    let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    assert!(total > 0, "all tenant weights are zero");
+    // Ideal share, floored, with one way guaranteed each.
+    let mut counts: Vec<u64> =
+        weights.iter().map(|&w| (u64::from(ways) * u64::from(w) / total).max(1)).collect();
+    // Trim/award until the counts sum to exactly `ways`, adjusting the
+    // heaviest tenants first (deterministic: index breaks ties).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+    loop {
+        let sum: u64 = counts.iter().sum();
+        match sum.cmp(&u64::from(ways)) {
+            std::cmp::Ordering::Equal => break,
+            std::cmp::Ordering::Less => {
+                let i = order.iter().copied().find(|&i| counts[i] < u64::from(ways)).unwrap();
+                counts[i] += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                let i = order.iter().rev().copied().find(|&i| counts[i] > 1).expect("trimmable");
+                counts[i] -= 1;
+            }
+        }
+    }
+    let mut masks = Vec::with_capacity(n);
+    let mut base = 0u32;
+    for &c in &counts {
+        let c = c as u32;
+        let mask = if c >= 32 { u32::MAX } else { ((1u32 << c) - 1) << base };
+        masks.push(mask);
+        base += c;
+    }
+    masks
+}
+
+/// The tenant-aware RLR policy. See the [module docs](self) for the three
+/// isolation modes.
+#[derive(Clone, Debug)]
+pub struct TenantPolicy {
+    mode: IsolationMode,
+    ways: u16,
+    tenants: u8,
+    /// Per-set access clock (ages count set accesses; exact recency).
+    access_clock: Vec<u64>,
+    /// Per-line: access-clock stamp at last touch.
+    access_stamp: Vec<u64>,
+    /// Per-line: packed hit/type metadata.
+    meta: Vec<LineMeta>,
+    /// Per-line: owning tenant (inserted or last touched), the scan's
+    /// `cores` input.
+    line_tenant: Vec<u8>,
+    /// Predicted reuse distance (set accesses).
+    rd: u64,
+    preuse_accum: u64,
+    window_hits: u32,
+    accesses_since_rd_update: u64,
+    /// Per-tenant priority levels (LearnedPriority), else empty.
+    tenant_rank: Vec<u32>,
+    /// Per-tenant fill masks (WayPartition), else empty.
+    fill_masks: Vec<u32>,
+}
+
+impl TenantPolicy {
+    /// Creates the policy for `tenants` tenants over `cache`'s geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tenant count exceeds [`MAX_TENANTS`], when a mode
+    /// vector's length disagrees with the tenant count, when a partition
+    /// mask is empty or reaches outside the set, or when a learned
+    /// priority exceeds [`MAX_PRIORITY`].
+    pub fn new(cache: &CacheConfig, tenants: u8, mode: IsolationMode) -> Self {
+        assert!(tenants >= 1, "at least one tenant");
+        assert!(usize::from(tenants) <= MAX_TENANTS, "at most {MAX_TENANTS} tenants");
+        let ways_bits: u32 = if usize::from(cache.ways) >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << cache.ways) - 1
+        };
+        let (tenant_rank, fill_masks) = match &mode {
+            IsolationMode::Shared => (Vec::new(), Vec::new()),
+            IsolationMode::WayPartition(masks) => {
+                assert_eq!(masks.len(), usize::from(tenants), "one mask per tenant");
+                for (t, &m) in masks.iter().enumerate() {
+                    assert!(m & ways_bits != 0, "tenant {t} has an empty way mask");
+                    assert!(m & !ways_bits == 0, "tenant {t}'s mask reaches outside the set");
+                }
+                (Vec::new(), masks.clone())
+            }
+            IsolationMode::LearnedPriority(ranks) => {
+                assert_eq!(ranks.len(), usize::from(tenants), "one rank per tenant");
+                for (t, &r) in ranks.iter().enumerate() {
+                    assert!(r <= MAX_PRIORITY, "tenant {t}'s priority {r} exceeds {MAX_PRIORITY}");
+                }
+                (ranks.clone(), Vec::new())
+            }
+        };
+        let lines = cache.lines() as usize;
+        Self {
+            mode,
+            ways: cache.ways,
+            tenants,
+            access_clock: vec![0; cache.sets as usize],
+            access_stamp: vec![0; lines],
+            meta: vec![LineMeta::default(); lines],
+            line_tenant: vec![0; lines],
+            // Fully protective until the estimator has seen real reuse.
+            rd: MAX_AGE,
+            preuse_accum: 0,
+            window_hits: 0,
+            accesses_since_rd_update: 0,
+            tenant_rank,
+            fill_masks,
+        }
+    }
+
+    /// The active isolation mode.
+    pub fn mode(&self) -> &IsolationMode {
+        &self.mode
+    }
+
+    /// The current predicted reuse distance (set accesses).
+    pub fn predicted_reuse_distance(&self) -> u64 {
+        self.rd
+    }
+
+    fn idx(&self, set: u32, way: u16) -> usize {
+        set as usize * usize::from(self.ways) + usize::from(way)
+    }
+
+    fn tenant_of(&self, access: &Access) -> usize {
+        let t = usize::from(access.core);
+        assert!(t < usize::from(self.tenants), "access from unknown tenant {t}");
+        t
+    }
+
+    fn record_access(&mut self) {
+        self.accesses_since_rd_update += 1;
+        if self.accesses_since_rd_update > RD_STALE_LIMIT {
+            self.rd = MAX_AGE;
+            self.accesses_since_rd_update = 0;
+        }
+    }
+}
+
+impl ReplacementPolicy for TenantPolicy {
+    fn name(&self) -> String {
+        format!("Tenant[{}]", self.mode.name())
+    }
+
+    fn on_miss(&mut self, set: u32, _access: &Access) {
+        self.access_clock[set as usize] += 1;
+        self.record_access();
+    }
+
+    fn uses_line_snapshots(&self) -> bool {
+        // Like RLR, every scan input lives in the policy's own tables.
+        false
+    }
+
+    fn fill_mask(&self, access: &Access) -> u32 {
+        match &self.mode {
+            IsolationMode::WayPartition(_) => self.fill_masks[self.tenant_of(access)],
+            _ => u32::MAX,
+        }
+    }
+
+    fn select_victim(&mut self, set: u32, _lines: &[LineSnapshot], access: &Access) -> Decision {
+        let ways = usize::from(self.ways);
+        let base = self.idx(set, 0);
+        let clock = self.access_clock[set as usize];
+        let params = ScanParams {
+            now: clock,
+            clock,
+            rd: self.rd,
+            max_age: MAX_AGE,
+            age_weight: AGE_WEIGHT,
+            use_type: true,
+            use_hit: true,
+            exact_recency: true,
+        };
+        let stamps = &self.access_stamp[base..base + ways];
+        let scan_ways = ScanWays {
+            age_stamps: stamps,
+            rec_stamps: stamps,
+            metas: &self.meta[base..base + ways],
+            cores: &self.line_tenant[base..base + ways],
+            core_rank: &self.tenant_rank,
+        };
+        let outcome = match &self.mode {
+            // The masked kernel can only name a way inside the tenant's
+            // slice, and the cache filled every invalid slice way before
+            // consulting us, so the scanned metadata is always live.
+            IsolationMode::WayPartition(_) => {
+                scan::scan_masked(&params, &scan_ways, self.fill_masks[self.tenant_of(access)])
+            }
+            _ => scan::scan(&params, &scan_ways),
+        };
+        Decision::Evict(outcome.victim())
+    }
+
+    fn on_hit(&mut self, set: u32, way: u16, access: &Access) {
+        let i = self.idx(set, way);
+        // Preuse distance: the line's age at the moment of the hit.
+        let preuse = (self.access_clock[set as usize] - self.access_stamp[i]).min(MAX_AGE);
+        self.access_clock[set as usize] += 1;
+        self.record_access();
+        if access.kind.is_demand() {
+            if self.meta[i].last_demand() {
+                self.preuse_accum += preuse;
+                self.window_hits += 1;
+            }
+            if self.window_hits == DEMAND_HIT_WINDOW {
+                let avg = self.preuse_accum as f64 / f64::from(DEMAND_HIT_WINDOW);
+                self.rd = (avg * RD_MULTIPLIER).round() as u64;
+                self.preuse_accum = 0;
+                self.window_hits = 0;
+                self.accesses_since_rd_update = 0;
+            }
+        }
+        let meta = &mut self.meta[i];
+        meta.set_hit_count((meta.hit_count() + 1).min(LineMeta::HIT_MASK));
+        meta.set_access_type(access.kind == AccessKind::Prefetch, access.kind.is_demand());
+        self.line_tenant[i] = access.core;
+        self.access_stamp[i] = self.access_clock[set as usize];
+    }
+
+    fn on_fill(&mut self, set: u32, way: u16, access: &Access) {
+        let i = self.idx(set, way);
+        self.meta[i] =
+            LineMeta::filled(access.kind == AccessKind::Prefetch, access.kind.is_demand());
+        self.line_tenant[i] = access.core;
+        self.access_stamp[i] = self.access_clock[set as usize];
+    }
+
+    fn overhead_bits(&self, config: &CacheConfig) -> u64 {
+        // 5-bit age + 1-bit hit + 1-bit type + exact recency + 3-bit
+        // tenant tag per line, plus the per-tenant tables.
+        let per_line = 5 + 1 + 1 + u64::from(config.way_bits()) + 3;
+        let per_tenant = match &self.mode {
+            IsolationMode::Shared => 0,
+            IsolationMode::WayPartition(_) => u64::from(config.ways), // one mask bit per way
+            IsolationMode::LearnedPriority(_) => 8,                   // one rank byte
+        };
+        config.lines() * per_line + u64::from(self.tenants) * per_tenant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig { sets: 4, ways: 8, latency: 26 }
+    }
+
+    fn access(tenant: u8, addr: u64) -> Access {
+        Access { pc: 0x400, addr, kind: AccessKind::Load, core: tenant, seq: 0 }
+    }
+
+    #[test]
+    fn partition_by_weight_covers_every_way_exactly_once_for_disjoint_slices() {
+        let masks = partition_by_weight(8, &[4, 2, 1]);
+        assert_eq!(masks.len(), 3);
+        let union = masks.iter().fold(0u32, |u, &m| u | m);
+        let sum: u32 = masks.iter().map(|m| m.count_ones()).sum();
+        assert_eq!(union, 0xFF, "slices cover the set");
+        assert_eq!(sum, 8, "slices are disjoint");
+        assert!(masks[0].count_ones() >= masks[1].count_ones());
+        assert!(masks[1].count_ones() >= masks[2].count_ones());
+    }
+
+    #[test]
+    fn partition_by_weight_guarantees_a_way_per_tenant() {
+        let masks = partition_by_weight(4, &[100, 1, 1, 1]);
+        assert!(masks.iter().all(|m| m.count_ones() >= 1));
+        assert_eq!(masks.iter().map(|m| m.count_ones()).sum::<u32>(), 4);
+    }
+
+    #[test]
+    fn way_partition_fill_mask_follows_the_tenant() {
+        let masks = partition_by_weight(8, &[1, 1]);
+        let p = TenantPolicy::new(&cfg(), 2, IsolationMode::WayPartition(masks.clone()));
+        assert_eq!(p.fill_mask(&access(0, 0)), masks[0]);
+        assert_eq!(p.fill_mask(&access(1, 0)), masks[1]);
+    }
+
+    #[test]
+    fn shared_and_learned_modes_leave_fills_unconstrained() {
+        let p = TenantPolicy::new(&cfg(), 2, IsolationMode::Shared);
+        assert_eq!(p.fill_mask(&access(1, 0)), u32::MAX);
+        let q = TenantPolicy::new(&cfg(), 2, IsolationMode::LearnedPriority(vec![2, 0]));
+        assert_eq!(q.fill_mask(&access(0, 0)), u32::MAX);
+    }
+
+    #[test]
+    fn learned_priority_protects_high_rank_tenants_lines() {
+        let mut p = TenantPolicy::new(&cfg(), 2, IsolationMode::LearnedPriority(vec![2, 0]));
+        // Fill the set alternating tenants; all else equal, a rank-0
+        // tenant's line must be the victim.
+        for w in 0..8u16 {
+            p.on_miss(0, &access((w % 2) as u8, 0));
+            p.on_fill(0, w, &access((w % 2) as u8, 0));
+        }
+        match p.select_victim(0, &[], &access(0, 0)) {
+            Decision::Evict(w) => assert_eq!(w % 2, 1, "rank-0 tenant's line goes first"),
+            Decision::Bypass => panic!("tenancy policy never bypasses"),
+        }
+    }
+
+    #[test]
+    fn way_partition_victims_stay_inside_the_mask() {
+        let masks = vec![0b0000_1111u32, 0b1111_0000];
+        let mut p = TenantPolicy::new(&cfg(), 2, IsolationMode::WayPartition(masks));
+        for w in 0..8u16 {
+            let t = u8::from(w >= 4);
+            p.on_miss(0, &access(t, 0));
+            p.on_fill(0, w, &access(t, 0));
+        }
+        for _ in 0..32 {
+            match p.select_victim(0, &[], &access(1, 0)) {
+                Decision::Evict(w) => assert!(w >= 4, "tenant 1 evicted way {w} of tenant 0"),
+                Decision::Bypass => panic!("tenancy policy never bypasses"),
+            }
+            p.on_miss(0, &access(1, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty way mask")]
+    fn empty_partition_mask_is_rejected() {
+        TenantPolicy::new(&cfg(), 2, IsolationMode::WayPartition(vec![0xF, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the set")]
+    fn oversized_partition_mask_is_rejected() {
+        TenantPolicy::new(&cfg(), 1, IsolationMode::WayPartition(vec![0x1FF]));
+    }
+}

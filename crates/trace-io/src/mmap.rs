@@ -1,0 +1,173 @@
+//! Read-only memory-mapped open path for `RLT1` containers.
+//!
+//! The streaming [`TraceReader`](crate::TraceReader) copies every byte it
+//! touches through a buffered file handle — fine for a single replay, but
+//! the resilient sweep runner replays the *same* corpus file from many
+//! worker threads at once, and N workers × buffered reads means N private
+//! copies of the hot blocks. [`MappedContainer`] maps the file read-only
+//! instead: every worker's [`MappedContainer::reader`] decodes straight
+//! out of one shared page-cache mapping, so the corpus is resident once
+//! no matter how wide the sweep fans out.
+//!
+//! The mapping is raw `mmap(2)`/`munmap(2)` through `extern "C"` — the
+//! workspace's hermetic-build policy rules out an mmap crate. On
+//! non-Unix targets the type transparently falls back to reading the
+//! file into an owned buffer; the API and decode results are identical,
+//! only the sharing is lost.
+
+use std::fs::File;
+#[cfg(not(unix))]
+use std::io::Read;
+use std::path::Path;
+
+use crate::container::{TraceIoError, TraceReader};
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+enum Backing {
+    /// A live `mmap(2)` region (Unix only; never zero-length).
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut std::ffi::c_void,
+        len: usize,
+    },
+    /// Owned bytes: the non-Unix fallback, and the zero-length case
+    /// everywhere (`mmap` rejects empty mappings).
+    Owned(Vec<u8>),
+}
+
+/// A whole trace container, memory-mapped read-only.
+///
+/// Dereferences to the raw file bytes; [`MappedContainer::reader`] starts
+/// a fresh streaming decode over them. The container is `Send + Sync`, so
+/// one mapping can serve every worker of a parallel sweep:
+///
+/// ```no_run
+/// # fn main() -> Result<(), trace_io::TraceIoError> {
+/// let mapped = trace_io::MappedContainer::open("corpus/429.mcf.rlt".as_ref())?;
+/// let trace = mapped.reader()?.read_to_trace()?;
+/// # Ok(()) }
+/// ```
+pub struct MappedContainer {
+    backing: Backing,
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE and never mutated after
+// `open` returns; shared immutable access from any thread is sound.
+unsafe impl Send for MappedContainer {}
+unsafe impl Sync for MappedContainer {}
+
+impl MappedContainer {
+    /// Maps `path` read-only (Unix), or reads it into memory (elsewhere).
+    pub fn open(path: &Path) -> Result<Self, TraceIoError> {
+        #[cfg_attr(unix, allow(unused_mut))]
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len_usize =
+            usize::try_from(len).map_err(|_| TraceIoError::Corrupt("trace exceeds address space"))?;
+        if len_usize == 0 {
+            return Ok(Self { backing: Backing::Owned(Vec::new()) });
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: fd is a freshly opened readable file, the length
+            // matches its current size, and PROT_READ/MAP_PRIVATE gives a
+            // region we only ever read. MAP_FAILED is checked below.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len_usize,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr == sys::map_failed() {
+                return Err(TraceIoError::Io(std::io::Error::last_os_error()));
+            }
+            // The mapping outlives the fd; dropping `file` here is fine.
+            Ok(Self { backing: Backing::Mapped { ptr, len: len_usize } })
+        }
+        #[cfg(not(unix))]
+        {
+            let mut buf = Vec::with_capacity(len_usize);
+            file.read_to_end(&mut buf)?;
+            Ok(Self { backing: Backing::Owned(buf) })
+        }
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            // SAFETY: ptr/len describe the live mapping created in `open`
+            // and released only in `drop`.
+            Backing::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts((*ptr).cast::<u8>(), *len)
+            },
+            Backing::Owned(buf) => buf,
+        }
+    }
+
+    /// Bytes in the container file.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Starts a streaming decode over the mapping. Each call returns an
+    /// independent reader positioned at the first block; concurrent
+    /// readers share the pages.
+    pub fn reader(&self) -> Result<TraceReader<&[u8]>, TraceIoError> {
+        TraceReader::new(self.bytes())
+    }
+}
+
+impl std::ops::Deref for MappedContainer {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl Drop for MappedContainer {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: ptr/len are the exact values mmap returned; the
+            // region is unmapped exactly once.
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Differential wall: the mmap-backed open path must decode every
+//! container byte-for-byte identically to the streaming file reader, and
+//! one mapping must support many concurrent readers (the sweep-runner
+//! sharing scenario it exists for).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use trace_io::{read_trace_file, MappedContainer, TraceIoError};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden_429mcf.rlt");
+
+#[test]
+fn mapped_decode_matches_the_streaming_reader_exactly() {
+    let path = Path::new(FIXTURE);
+    let streamed = read_trace_file(path).expect("fixture decodes via the file reader");
+    let mapped = MappedContainer::open(path).expect("fixture maps");
+    let via_map = mapped.reader().expect("header parses").read_to_trace().expect("body decodes");
+    assert_eq!(streamed.records(), via_map.records(), "the two open paths must agree record-for-record");
+}
+
+#[test]
+fn mapped_bytes_are_the_file_bytes() {
+    let path = Path::new(FIXTURE);
+    let on_disk = std::fs::read(path).expect("fixture readable");
+    let mapped = MappedContainer::open(path).expect("fixture maps");
+    assert_eq!(&*mapped, &on_disk[..], "the mapping is the file, byte for byte");
+    assert_eq!(mapped.len(), on_disk.len());
+    assert!(!mapped.is_empty());
+}
+
+#[test]
+fn one_mapping_serves_concurrent_readers() {
+    let mapped = Arc::new(MappedContainer::open(Path::new(FIXTURE)).expect("fixture maps"));
+    let baseline = mapped.reader().unwrap().read_to_trace().unwrap();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let m = Arc::clone(&mapped);
+            let want = baseline.records().to_vec();
+            std::thread::spawn(move || {
+                let got = m.reader().unwrap().read_to_trace().unwrap();
+                assert_eq!(got.records(), want);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("reader thread succeeds");
+    }
+}
+
+#[test]
+fn mapping_garbage_fails_like_streaming_does() {
+    let dir = std::env::temp_dir().join(format!("rlr-mmap-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.rlt");
+    std::fs::write(&path, b"not a container").unwrap();
+    let mapped = MappedContainer::open(&path).expect("any file maps");
+    assert!(matches!(mapped.reader(), Err(TraceIoError::BadMagic(_))));
+
+    let empty = dir.join("empty.rlt");
+    std::fs::write(&empty, b"").unwrap();
+    let mapped = MappedContainer::open(&empty).expect("empty files open via the fallback");
+    assert!(mapped.is_empty());
+    assert!(matches!(mapped.reader(), Err(TraceIoError::Truncated(_))));
+    std::fs::remove_dir_all(&dir).ok();
+}

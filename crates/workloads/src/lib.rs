@@ -36,6 +36,7 @@ mod power_law;
 mod recipe;
 mod record;
 mod spec;
+pub mod tenants;
 mod workload;
 
 pub use characterize::{Characterization, ReuseBuckets};
@@ -47,6 +48,10 @@ pub use power_law::PowerLaw;
 pub use record::RecordedTrace;
 pub use recipe::Recipe;
 pub use spec::{spec2006, SPEC2006, TRAINING_SET};
+pub use tenants::{
+    SyntheticStream, TenantAccess, TenantClass, TenantMix, TenantSource, TenantSpec,
+    WeightedInterleave,
+};
 pub use workload::{Stream, Workload};
 
 /// Line size, in bytes, assumed by all generators (matches the simulated

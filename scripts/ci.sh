@@ -24,6 +24,14 @@ cargo test -q --offline -p cache-sim --features rlr/scalar-scan \
 cargo test -q --offline -p experiments --features rlr/scalar-scan \
     --test hierarchy_batch
 
+echo "==> tenancy partition wall (lane + forced-scalar scan builds)"
+# The waymask property wall: masked scalar/lane/dispatch scans agree and
+# never pick a victim outside the mask, and WayPartition occupancy never
+# exceeds the allocation. Run in both scan builds so the masked kernels
+# stay oracle-checked on whichever backend CI selects.
+cargo test -q --offline -p tenancy --test partition_wall
+cargo test -q --offline -p tenancy --features scalar-scan --test partition_wall
+
 echo "==> timing wall (analytic + event)"
 # Both suites drive the analytic AND the event timing model internally:
 # the property suite (IPC bound, monotone clock, MSHR occupancy, chain
@@ -206,6 +214,28 @@ grep -q "derived-RLR beats LRU" "$SMOKE_DIR/obj.txt" || {
 RLR_RESULTS_DIR="$SMOKE_DIR/obj" "$RLR" $OBJ > "$SMOKE_DIR/obj2.txt" 2>/dev/null
 diff "$SMOKE_DIR/obj.txt" "$SMOKE_DIR/obj2.txt" || {
     echo "ci.sh: checkpointed objcache compare re-run diverged" >&2; exit 1;
+}
+
+echo "==> multi-tenant CLI smoke test"
+# The 3-tenant serving-tier comparison on the pinned default mix: all
+# three isolation modes report, the learned table beats shared sharing on
+# weighted demand miss rate (the acceptance headline), and a re-run
+# against the same checkpoint directory reproduces the table byte-for-byte
+# from cached cells.
+TEN="tenancy compare --accesses 60000 --jobs 2"
+RLR_RESULTS_DIR="$SMOKE_DIR/ten" "$RLR" $TEN > "$SMOKE_DIR/ten.txt" 2>/dev/null
+for mode in shared way-partition learned-priority; do
+    grep -q "$mode" "$SMOKE_DIR/ten.txt" || {
+        echo "ci.sh: tenancy compare is missing the $mode rows" >&2; exit 1;
+    }
+done
+grep -q "learned-priority beats shared" "$SMOKE_DIR/ten.txt" || {
+    echo "ci.sh: learned table no longer beats shared on the default mix" >&2
+    exit 1
+}
+RLR_RESULTS_DIR="$SMOKE_DIR/ten" "$RLR" $TEN > "$SMOKE_DIR/ten2.txt" 2>/dev/null
+diff "$SMOKE_DIR/ten.txt" "$SMOKE_DIR/ten2.txt" || {
+    echo "ci.sh: checkpointed tenancy compare re-run diverged" >&2; exit 1;
 }
 
 echo "==> perf-over-time report"
